@@ -1,0 +1,103 @@
+// Command issrun assembles and executes a program on the implementation
+// model's instruction-set simulator (internal/iss), standalone — without
+// kernel or co-simulation. Useful for developing firmware for the
+// implementation model and for inspecting cycle counts.
+//
+//	go run ./cmd/issrun testdata/sum.asm
+//	go run ./cmd/issrun -trace -max 100 prog.asm     # disassembled trace
+//	go run ./cmd/issrun -dump 0:16 prog.asm          # memory dump at exit
+//
+// TRAP 6 prints r0 (debug console); other traps fault, since no kernel is
+// installed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/iss"
+)
+
+func main() {
+	maxInsts := flag.Int("max", 10_000_000, "instruction budget")
+	traceExec := flag.Bool("trace", false, "print a disassembled execution trace")
+	dump := flag.String("dump", "", "memory range to dump at exit, e.g. 0:16")
+	memWords := flag.Int("mem", 65536, "memory size in words")
+	regs := flag.Bool("regs", true, "print final register state")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "issrun: need exactly one .asm file")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	exitOn(err)
+	prog, err := iss.Assemble(string(src))
+	exitOn(err)
+	cpu, err := iss.NewCPU(prog, *memWords)
+	exitOn(err)
+	cpu.TrapHandler = func(n int64) uint64 {
+		if n == 6 {
+			fmt.Printf("[debug] r0 = %d (cycle %d)\n", cpu.Regs[0], cpu.Cycles)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "issrun: unhandled trap %d at cycle %d\n", n, cpu.Cycles)
+		cpu.Halted = true
+		return 0
+	}
+
+	for i := 0; i < *maxInsts && !cpu.Halted; i++ {
+		if *traceExec {
+			fmt.Printf("%6d  pc=%-4d %s\n", cpu.Cycles, cpu.PC, cpu.Code[cpu.PC])
+		}
+		cpu.Step()
+	}
+	if err := cpu.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "issrun:", err)
+		os.Exit(1)
+	}
+	if !cpu.Halted {
+		fmt.Fprintf(os.Stderr, "issrun: instruction budget (%d) exhausted\n", *maxInsts)
+		os.Exit(1)
+	}
+
+	fmt.Printf("halted: %d instructions, %d cycles\n", cpu.Insts, cpu.Cycles)
+	if *regs {
+		for i, v := range cpu.Regs {
+			fmt.Printf("r%d=%-12d", i, v)
+			if i%4 == 3 {
+				fmt.Println()
+			}
+		}
+		fmt.Printf("acc=%d sp=%d\n", cpu.Acc, cpu.SP)
+	}
+	if *dump != "" {
+		lo, hi, err := parseRange(*dump)
+		exitOn(err)
+		for a := lo; a < hi && a < int64(len(cpu.Mem)); a++ {
+			fmt.Printf("mem[%4d] = %d\n", a, cpu.Mem[a])
+		}
+	}
+}
+
+func parseRange(s string) (lo, hi int64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("issrun: bad range %q, want lo:hi", s)
+	}
+	if lo, err = strconv.ParseInt(parts[0], 0, 64); err != nil {
+		return
+	}
+	hi, err = strconv.ParseInt(parts[1], 0, 64)
+	return
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "issrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+// Command rtossim simulates a task set on the abstract RTOS model.
+//
+// The task set comes from a JSON file (-f) or a random generator
+// (-random). Output is a summary of deadline and scheduling statistics,
+// optionally with an ASCII Gantt chart (-gantt), the full event list
+// (-events), a CSV trace (-csv file) or a VCD waveform (-vcd file) for
+// GTKWave.
+//
+// Example task set file (see internal/taskset for the schema):
+//
+//	{
+//	  "policy": "priority",
+//	  "timeModel": "coarse",
+//	  "horizonMs": 1000,
+//	  "tasks": [
+//	    {"name": "ctrl",  "type": "periodic", "periodUs": 1000, "wcetUs": 250, "prio": 1},
+//	    {"name": "audio", "type": "periodic", "periodUs": 4000, "wcetUs": 1500, "prio": 2},
+//	    {"name": "init",  "type": "aperiodic", "prio": 0, "computeUs": [100, 100], "startUs": 0}
+//	  ]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/synth"
+	"repro/internal/taskset"
+	"repro/internal/trace"
+	"repro/internal/ukernel"
+	"repro/internal/workload"
+)
+
+func main() {
+	file := flag.String("f", "", "task set JSON file")
+	random := flag.Int("random", 0, "generate N random periodic tasks instead of reading a file")
+	util := flag.Float64("util", 0.8, "total utilization for -random")
+	seed := flag.Uint64("seed", 1, "seed for -random")
+	policyFlag := flag.String("policy", "", "override scheduling policy (priority|fcfs|rr|edf|rm)")
+	quantumUs := flag.Float64("quantum", 1000, "round-robin quantum in µs")
+	horizonMs := flag.Float64("horizon", 1000, "simulation horizon in ms (when the file sets none)")
+	tmFlag := flag.String("timemodel", "", "override time model (coarse|segmented)")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	events := flag.Bool("events", false, "print the event list")
+	csvOut := flag.String("csv", "", "write the trace as CSV to a file")
+	vcdOut := flag.String("vcd", "", "write the trace as a VCD waveform to a file")
+	doSynth := flag.Bool("synth", false, "also synthesize implementation-model firmware, run it on the ISS and compare")
+	asmOut := flag.String("asm", "", "write the synthesized assembly to a file (implies work of -synth generation)")
+	flag.Parse()
+
+	var set *taskset.Set
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		exitOn(err)
+		set, err = taskset.Parse(data)
+		exitOn(err)
+	case *random > 0:
+		specs := workload.PeriodicSet(workload.NewRNG(*seed), *random, *util)
+		set = &taskset.Set{Policy: "priority", HorizonMs: *horizonMs}
+		for _, s := range specs {
+			set.Tasks = append(set.Tasks, taskset.Task{
+				Name: s.Name, Type: "periodic",
+				PeriodUs: float64(s.Period) / 1000, WcetUs: float64(s.WCET) / 1000,
+				Prio: s.Prio,
+			})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "rtossim: need -f FILE or -random N; see -help")
+		os.Exit(2)
+	}
+	if *policyFlag != "" {
+		set.Policy = *policyFlag
+	}
+	if *tmFlag != "" {
+		set.TimeModel = *tmFlag
+	}
+	if set.HorizonMs == 0 {
+		set.HorizonMs = *horizonMs
+	}
+	if set.QuantumUs == 0 {
+		set.QuantumUs = *quantumUs
+	}
+
+	res, err := taskset.Run(set)
+	exitOn(err)
+
+	fmt.Printf("policy %s, time model %s, horizon %v\n\n", res.Policy, res.TimeModel, res.Horizon)
+	fmt.Printf("%-10s %5s %10s %10s %8s %10s %12s\n",
+		"task", "prio", "period", "wcet", "cycles", "missed", "cpuTime")
+	for _, t := range res.Tasks {
+		fmt.Printf("%-10s %5d %10v %10v %8d %10d %12v\n",
+			t.Name, t.Prio, t.Period, t.WCET, t.Activations, t.Missed, t.CPUTime)
+	}
+	st := res.Stats
+	fmt.Printf("\ndispatches %d, context switches %d, preemptions %d, idle %v, busy %v\n",
+		st.Dispatches, st.ContextSwitches, st.Preemptions, st.IdleTime, st.BusyTime)
+
+	if *gantt {
+		fmt.Println()
+		exitOn(res.Trace.Gantt(os.Stdout, trace.GanttOptions{Width: 72}))
+	}
+	if *events {
+		fmt.Println()
+		exitOn(res.Trace.EventList(os.Stdout))
+	}
+	if *csvOut != "" {
+		writeTo(*csvOut, res.Trace.CSV)
+	}
+	if *vcdOut != "" {
+		writeTo(*vcdOut, res.Trace.VCD)
+	}
+
+	if *doSynth || *asmOut != "" {
+		fw, err := synth.Generate(set, ukernel.DefaultCyclePeriod)
+		exitOn(err)
+		if *asmOut != "" {
+			exitOn(os.WriteFile(*asmOut, []byte(fw.Source), 0o644))
+			fmt.Printf("\nsynthesized assembly written to %s\n", *asmOut)
+		}
+		if *doSynth {
+			impl, err := fw.Run(res.Horizon, true)
+			exitOn(err)
+			fmt.Printf("\nsynthesized implementation model (ISS + micro-kernel, %d instructions):\n",
+				impl.Instructions)
+			fmt.Printf("%-10s %10s %10s\n", "task", "cycles", "missed")
+			for _, tr := range impl.Tasks {
+				fmt.Printf("%-10s %10d %10d\n", tr.Name, tr.Activations, tr.Missed)
+			}
+			fmt.Printf("context switches: %d (architecture model: %d)\n",
+				impl.Stats.ContextSwitches, res.Stats.ContextSwitches)
+		}
+	}
+}
+
+func writeTo(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	exitOn(err)
+	exitOn(fn(f))
+	exitOn(f.Close())
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtossim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// JPEG: hardware/software partitioning explored on system-level models —
+// the second classic demonstrator of the authors' SoC Environment flow.
+//
+// A block pipeline (DCT → quantization → Huffman) encodes an image under
+// three mappings:
+//
+//  1. unscheduled specification (all stages truly concurrent),
+//  2. pure software (all stages as RTOS tasks on one CPU),
+//  3. HW/SW partition (DCT on a bus-attached accelerator, rest on the CPU).
+//
+// The RTOS model makes mapping 2 and the CPU side of mapping 3 honest:
+// stage delays serialize under the scheduler instead of overlapping
+// freely, which is exactly the effect that motivates offloading the DCT.
+//
+// Run with: go run ./examples/jpeg [-blocks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 256, "number of 8x8 blocks to encode")
+	flag.Parse()
+
+	par := models.DefaultJPEG()
+	par.Blocks = *blocks
+
+	spec, _, err := models.JPEGSpec(par)
+	check(err)
+	sw, _, err := models.JPEGSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	check(err)
+	hw, _, bus, err := models.JPEGHWSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	check(err)
+
+	fmt.Printf("JPEG encoder, %d blocks (DCT %v sw / %v hw, quant %v, huff %v per block)\n\n",
+		par.Blocks, par.DCTTimeSW, par.DCTTimeHW, par.QuantTime, par.HuffTime)
+	fmt.Printf("%-24s %16s %16s %14s\n", "mapping", "total", "per block", "ctx switches")
+	for _, r := range []models.JPEGResults{spec, sw, hw} {
+		fmt.Printf("%-24s %16v %16v %14d\n", r.Model, r.Total, r.PerBlock, r.CtxSwitch)
+	}
+	fmt.Printf("\nHW/SW: speedup %.2fx over pure software; bus busy %v over %d transfers\n",
+		float64(sw.Total)/float64(hw.Total), bus.BusyTime(), bus.Transfers())
+	fmt.Println("(the accelerator lets quantization and Huffman overlap the DCT again,")
+	fmt.Println(" recovering most of the specification model's pipeline parallelism)")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,168 @@
+// Package arch provides the architecture-model substrate of the design
+// flow: processing elements (PEs), buses with arbitration and transfer
+// delays, interrupt lines with ISR processes, and typed inter-PE links
+// whose receive side follows the paper's bus-driver pattern — "the
+// interrupt handler ISR for external events signals the main bus driver
+// through a semaphore channel sem" (Figure 3).
+//
+// A software PE carries an instance of the RTOS model (internal/core) and
+// runs its behaviors as tasks; a hardware PE executes its processes truly
+// concurrently on the bare simulation kernel. Communication between PEs
+// is synthesized as Link channels over a shared Bus.
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PE is a processing element of the system architecture.
+type PE struct {
+	name string
+	k    *sim.Kernel
+	os   *core.OS // nil for hardware PEs
+	isrs []*IRQ
+}
+
+// NewSWPE creates a software PE: a processor running an instance of the
+// abstract RTOS model with the given scheduling policy.
+func NewSWPE(k *sim.Kernel, name string, policy core.Policy, opts ...core.Option) *PE {
+	return &PE{name: name, k: k, os: core.New(k, name, policy, opts...)}
+}
+
+// NewHWPE creates a hardware PE: custom hardware whose processes run truly
+// concurrently without an operating system.
+func NewHWPE(k *sim.Kernel, name string) *PE {
+	return &PE{name: name, k: k}
+}
+
+// Name returns the PE name.
+func (pe *PE) Name() string { return pe.name }
+
+// Kernel returns the simulation kernel.
+func (pe *PE) Kernel() *sim.Kernel { return pe.k }
+
+// OS returns the PE's RTOS model instance (nil for hardware PEs).
+func (pe *PE) OS() *core.OS { return pe.os }
+
+// Factory returns the channel factory matching the PE's modeling layer:
+// RTOS-refined channels for software PEs, specification-level channels for
+// hardware PEs.
+func (pe *PE) Factory() channel.Factory {
+	if pe.os != nil {
+		return channel.RTOSFactory{OS: pe.os}
+	}
+	return channel.SpecFactory{K: pe.k}
+}
+
+// IRQ is an interrupt line into a PE. Raising it latches a request; the
+// PE's ISR process services requests one at a time.
+type IRQ struct {
+	name    string
+	pe      *PE
+	pending *channel.Handshake
+	raises  uint64
+}
+
+// AttachISR wires an interrupt line with the given service routine into
+// the PE. The handler runs as a plain SLDL process above the RTOS model
+// (paper Section 4: ISRs are generated inside bus drivers); on software
+// PEs it is bracketed by InterruptEnter/InterruptReturn so the RTOS can
+// re-schedule tasks the handler released. serviceTime models the ISR's
+// own execution time before the handler body runs.
+func (pe *PE) AttachISR(name string, serviceTime sim.Time, handler func(p *sim.Proc)) *IRQ {
+	irq := &IRQ{
+		name:    name,
+		pe:      pe,
+		pending: channel.NewHandshake(channel.SpecFactory{K: pe.k}, pe.name+"."+name),
+	}
+	pe.isrs = append(pe.isrs, irq)
+	isr := pe.k.Spawn(pe.name+"."+name+".isr", func(p *sim.Proc) {
+		for {
+			irq.pending.WaitSig(p)
+			if pe.os != nil {
+				pe.os.InterruptEnter(p, name)
+			}
+			if serviceTime > 0 {
+				p.WaitFor(serviceTime)
+			}
+			if handler != nil {
+				handler(p)
+			}
+			if pe.os != nil {
+				pe.os.InterruptReturn(p, name)
+			}
+		}
+	})
+	isr.SetDaemon(true)
+	return irq
+}
+
+// Name returns the interrupt line's name.
+func (irq *IRQ) Name() string { return irq.name }
+
+// Raises returns how many times the line was raised.
+func (irq *IRQ) Raises() uint64 { return irq.raises }
+
+// Raise latches an interrupt request. Callable from any simulation
+// process (devices, buses, other PEs).
+func (irq *IRQ) Raise(p *sim.Proc) {
+	irq.raises++
+	irq.pending.Signal(p)
+}
+
+// Bus is a shared communication medium with exclusive arbitration and a
+// linear transfer-delay model: delay = ArbDelay + bytes × PerByte.
+type Bus struct {
+	name     string
+	k        *sim.Kernel
+	arb      *channel.Mutex
+	arbDelay sim.Time
+	perByte  sim.Time
+
+	transfers uint64
+	bytes     uint64
+	busyTime  sim.Time
+}
+
+// NewBus creates a bus. arbDelay is the fixed per-transfer overhead
+// (arbitration, addressing); perByte the payload cost per byte.
+func NewBus(k *sim.Kernel, name string, arbDelay, perByte sim.Time) *Bus {
+	return &Bus{
+		name:     name,
+		k:        k,
+		arb:      channel.NewMutex(channel.SpecFactory{K: k}, name+".arb"),
+		arbDelay: arbDelay,
+		perByte:  perByte,
+	}
+}
+
+// Name returns the bus name.
+func (b *Bus) Name() string { return b.name }
+
+// Transfers returns the number of completed transfers.
+func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// Bytes returns the total payload bytes moved.
+func (b *Bus) Bytes() uint64 { return b.bytes }
+
+// BusyTime returns the accumulated time the bus was occupied.
+func (b *Bus) BusyTime() sim.Time { return b.busyTime }
+
+// Transfer occupies the bus for one transfer of the given payload size,
+// blocking while another master holds it.
+func (b *Bus) Transfer(p *sim.Proc, bytes int) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("arch: negative transfer size %d on bus %q", bytes, b.name))
+	}
+	b.arb.Lock(p)
+	d := b.arbDelay + sim.Time(bytes)*b.perByte
+	p.WaitFor(d)
+	b.transfers++
+	b.bytes += uint64(bytes)
+	b.busyTime += d
+	b.arb.Unlock(p)
+}

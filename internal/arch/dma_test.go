@@ -1,0 +1,107 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestDMAOverlapsComputeWithTransfer: a task starts a DMA transfer and
+// keeps computing; total time is max(compute, transfer), not the sum —
+// unlike the CPU-driven Link path.
+func TestDMAOverlapsComputeWithTransfer(t *testing.T) {
+	k := sim.NewKernel()
+	bus := NewBus(k, "bus", 0, 10) // 10 ns/byte
+	pe := NewSWPE(k, "CPU", core.PriorityPolicy{})
+	done := channel.NewSemaphore(pe.Factory(), "dma.done", 0)
+	dma := NewDMA(bus, "dma0", pe, 0, func(p *sim.Proc, tag int64) {
+		done.Release(p)
+	})
+
+	var finished sim.Time
+	task := pe.OS().TaskCreate("worker", core.Aperiodic, 0, 0, 1)
+	k.Spawn("worker", func(p *sim.Proc) {
+		pe.OS().TaskActivate(p, task)
+		dma.Start(p, 100, 7)      // transfer: 1000 ns on the bus
+		pe.OS().TimeWait(p, 1000) // compute: 1000 ns, overlapping
+		done.Acquire(p)           // both finish ≈ together
+		finished = p.Now()
+		pe.OS().TaskTerminate(p)
+	})
+	pe.OS().Start(nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap: end ≈ 1000, definitely < 2000 (the serialized CPU-driven
+	// equivalent).
+	if finished < 1000 || finished > 1200 {
+		t.Errorf("finished at %v, want ≈1000 (compute/transfer overlap)", finished)
+	}
+	if dma.Completed() != 1 || dma.BytesMoved() != 100 {
+		t.Errorf("dma stats: completed=%d moved=%d", dma.Completed(), dma.BytesMoved())
+	}
+	if dma.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", dma.Pending())
+	}
+}
+
+// TestDMAQueuesMultipleTransfers: transfers serialize on the engine and
+// every completion delivers its own tag.
+func TestDMAQueuesMultipleTransfers(t *testing.T) {
+	k := sim.NewKernel()
+	bus := NewBus(k, "bus", 0, 1)
+	pe := NewHWPE(k, "HW")
+	var tags []int64
+	var times []sim.Time
+	dma := NewDMA(bus, "dma0", pe, 0, func(p *sim.Proc, tag int64) {
+		tags = append(tags, tag)
+		times = append(times, p.Now())
+	})
+	k.Spawn("submitter", func(p *sim.Proc) {
+		dma.Start(p, 50, 1)
+		dma.Start(p, 50, 2)
+		dma.Start(p, 50, 3)
+	})
+	if err := k.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 3 || tags[0] != 1 || tags[1] != 2 || tags[2] != 3 {
+		t.Fatalf("tags = %v, want [1 2 3]", tags)
+	}
+	// 50-byte transfers at 1 ns/byte back-to-back: completions ~50/100/150.
+	for i, want := range []sim.Time{50, 100, 150} {
+		if times[i] < want || times[i] > want+10 {
+			t.Errorf("completion %d at %v, want ≈%v", i, times[i], want)
+		}
+	}
+}
+
+// TestDMAContendsWithCPUOnBus: engine transfers and CPU-driven Link
+// transfers arbitrate for the same bus exclusively.
+func TestDMAContendsWithCPUOnBus(t *testing.T) {
+	k := sim.NewKernel()
+	bus := NewBus(k, "bus", 0, 1)
+	hw := NewHWPE(k, "HW")
+	var dmaDone sim.Time
+	dma := NewDMA(bus, "dma0", hw, 0, func(p *sim.Proc, tag int64) {
+		dmaDone = p.Now()
+	})
+	k.Spawn("cpu-master", func(p *sim.Proc) {
+		bus.Transfer(p, 200) // occupies the bus 0..200
+	})
+	k.Spawn("submitter", func(p *sim.Proc) {
+		p.WaitFor(10)
+		dma.Start(p, 100, 0) // must wait for the bus until 200
+	})
+	if err := k.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dmaDone < 300 {
+		t.Errorf("DMA completed at %v, want ≥ 300 (bus busy until 200, then 100 transfer)", dmaDone)
+	}
+	if bus.Transfers() != 2 {
+		t.Errorf("bus transfers = %d, want 2", bus.Transfers())
+	}
+}

@@ -1,0 +1,67 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+)
+
+// Link is a typed unidirectional message channel between two PEs,
+// synthesized over a shared bus. The receive side follows the paper's bus
+// driver pattern: arriving data raises an interrupt on the destination PE,
+// the ISR releases a semaphore, and the driver code running in the
+// receiving task blocks on that semaphore.
+type Link[T any] struct {
+	name     string
+	bus      *Bus
+	from, to *PE
+	msgBytes int
+
+	irq *IRQ
+	sem *channel.Semaphore
+	buf []T
+}
+
+// NewLink wires a link from one PE to another over the bus. msgBytes is
+// the payload size per message for the bus timing model; isrTime is the
+// destination ISR's modeled service time.
+func NewLink[T any](bus *Bus, name string, from, to *PE, msgBytes int, isrTime sim.Time) *Link[T] {
+	if from == to {
+		panic(fmt.Sprintf("arch: link %q connects PE %q to itself", name, from.Name()))
+	}
+	l := &Link[T]{name: name, bus: bus, from: from, to: to, msgBytes: msgBytes}
+	// The driver's semaphore lives at the destination's modeling layer:
+	// RTOS-refined on software PEs, specification-level on hardware PEs.
+	l.sem = channel.NewSemaphore(to.Factory(), name+".sem", 0)
+	l.irq = to.AttachISR(name+".irq", isrTime, func(p *sim.Proc) {
+		l.sem.Release(p)
+	})
+	return l
+}
+
+// Name returns the link name.
+func (l *Link[T]) Name() string { return l.name }
+
+// IRQ returns the destination-side interrupt line (for tests and traces).
+func (l *Link[T]) IRQ() *IRQ { return l.irq }
+
+// Send transfers v over the bus and raises the destination interrupt.
+// The calling process occupies the bus for the transfer duration.
+func (l *Link[T]) Send(p *sim.Proc, v T) {
+	l.bus.Transfer(p, l.msgBytes)
+	l.buf = append(l.buf, v)
+	l.irq.Raise(p)
+}
+
+// Recv blocks the calling driver code until a message has arrived (ISR
+// semaphore) and returns it.
+func (l *Link[T]) Recv(p *sim.Proc) T {
+	l.sem.Acquire(p)
+	v := l.buf[0]
+	l.buf = l.buf[1:]
+	return v
+}
+
+// Pending returns the number of delivered but unconsumed messages.
+func (l *Link[T]) Pending() int { return len(l.buf) }

@@ -1,0 +1,86 @@
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Barrier synchronizes a fixed party of processes: each call to Await
+// blocks until all parties have arrived, then all are released and the
+// barrier resets for the next round.
+type Barrier struct {
+	name       string
+	cond       Cond
+	parties    int
+	arrived    int
+	generation uint64
+}
+
+// NewBarrier creates a barrier for the given number of parties (≥ 1).
+func NewBarrier(f Factory, name string, parties int) *Barrier {
+	if parties < 1 {
+		panic(fmt.Sprintf("channel: barrier %q parties %d < 1", name, parties))
+	}
+	return &Barrier{name: name, cond: f.NewCond(name + ".bar"), parties: parties}
+}
+
+// Name returns the barrier's name.
+func (b *Barrier) Name() string { return b.name }
+
+// Parties returns the configured party count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Await blocks until all parties have arrived. It returns the arrival
+// index within the round (0 = first, parties-1 = last, who trips the
+// barrier).
+func (b *Barrier) Await(p *sim.Proc) int {
+	idx := b.arrived
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.generation++
+		b.cond.Notify(p)
+		return idx
+	}
+	gen := b.generation
+	for gen == b.generation {
+		b.cond.Wait(p)
+	}
+	return idx
+}
+
+// Handshake is a one-slot signal with memory: unlike a raw SLDL event, a
+// Signal delivered while nobody waits is latched and satisfies the next
+// WaitSig. It models the classic two-wire ready/acknowledge handshake at
+// the abstraction level of the paper's communication synthesis.
+type Handshake struct {
+	name    string
+	cond    Cond
+	pending int
+}
+
+// NewHandshake creates a handshake with no pending signal.
+func NewHandshake(f Factory, name string) *Handshake {
+	return &Handshake{name: name, cond: f.NewCond(name + ".hs")}
+}
+
+// Name returns the handshake's name.
+func (h *Handshake) Name() string { return h.name }
+
+// Signal latches one signal and wakes a waiter. Callable from ISRs.
+func (h *Handshake) Signal(p *sim.Proc) {
+	h.pending++
+	h.cond.Notify(p)
+}
+
+// WaitSig blocks until a signal is (or was) delivered and consumes it.
+func (h *Handshake) WaitSig(p *sim.Proc) {
+	for h.pending == 0 {
+		h.cond.Wait(p)
+	}
+	h.pending--
+}
+
+// Pending returns the number of latched, unconsumed signals.
+func (h *Handshake) Pending() int { return h.pending }

@@ -1,0 +1,426 @@
+package channel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// harness runs channel tests against both modeling layers: "spec" uses raw
+// kernel processes, "rtos" wraps every worker in an RTOS task on a
+// priority-scheduled OS instance. Channels must behave identically (up to
+// serialization of time) on both.
+type harness struct {
+	k  *sim.Kernel
+	f  Factory
+	os *core.OS // nil in spec mode
+}
+
+func newHarness(mode string) *harness {
+	k := sim.NewKernel()
+	h := &harness{k: k}
+	switch mode {
+	case "spec":
+		h.f = SpecFactory{K: k}
+	case "rtos":
+		h.os = core.New(k, "PE", core.PriorityPolicy{})
+		h.f = RTOSFactory{OS: h.os}
+	default:
+		panic("unknown harness mode " + mode)
+	}
+	return h
+}
+
+// spawn adds a worker with a priority (ignored in spec mode).
+func (h *harness) spawn(name string, prio int, body func(p *sim.Proc)) {
+	if h.os == nil {
+		h.k.Spawn(name, body)
+		return
+	}
+	task := h.os.TaskCreate(name, core.Aperiodic, 0, 0, prio)
+	h.k.Spawn(name, func(p *sim.Proc) {
+		h.os.TaskActivate(p, task)
+		body(p)
+		h.os.TaskTerminate(p)
+	})
+}
+
+func (h *harness) run(t *testing.T) {
+	t.Helper()
+	if h.os != nil {
+		h.os.Start(nil)
+	}
+	if err := h.k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func bothModes(t *testing.T, fn func(t *testing.T, mode string)) {
+	for _, mode := range []string{"spec", "rtos"} {
+		t.Run(mode, func(t *testing.T) { fn(t, mode) })
+	}
+}
+
+func TestSemaphoreProducerConsumer(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		sem := NewSemaphore(h.f, "items", 0)
+		const n = 20
+		consumed := 0
+		h.spawn("consumer", 1, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				sem.Acquire(p)
+				consumed++
+			}
+		})
+		h.spawn("producer", 2, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				h.f.Delay(p, 3)
+				sem.Release(p)
+			}
+		})
+		h.run(t)
+		if consumed != n {
+			t.Errorf("consumed = %d, want %d", consumed, n)
+		}
+		if sem.Value() != 0 {
+			t.Errorf("final count = %d, want 0", sem.Value())
+		}
+	})
+}
+
+func TestSemaphoreInitialCount(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		sem := NewSemaphore(h.f, "s", 3)
+		got := 0
+		h.spawn("w", 1, func(p *sim.Proc) {
+			for sem.TryAcquire(p) {
+				got++
+			}
+		})
+		h.run(t)
+		if got != 3 {
+			t.Errorf("TryAcquire succeeded %d times, want 3", got)
+		}
+	})
+}
+
+func TestSemaphoreFromISR(t *testing.T) {
+	// The paper's Figure 3 pattern: an ISR (plain SLDL process) releases a
+	// semaphore a task blocks on.
+	h := newHarness("rtos")
+	sem := NewSemaphore(h.f, "sem", 0)
+	var servedAt sim.Time
+	h.spawn("driver", 1, func(p *sim.Proc) {
+		sem.Acquire(p)
+		servedAt = p.Now()
+	})
+	h.k.Spawn("isr", func(p *sim.Proc) {
+		p.WaitFor(17)
+		h.os.InterruptEnter(p, "irq")
+		sem.Release(p)
+		h.os.InterruptReturn(p, "irq")
+	})
+	h.run(t)
+	if servedAt != 17 {
+		t.Errorf("driver served at %v, want 17", servedAt)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		m := NewMutex(h.f, "m")
+		inCS := 0
+		violations := 0
+		for i := 0; i < 4; i++ {
+			h.spawn(fmt.Sprintf("w%d", i), i, func(p *sim.Proc) {
+				for r := 0; r < 3; r++ {
+					m.Lock(p)
+					inCS++
+					if inCS > 1 {
+						violations++
+					}
+					h.f.Delay(p, 5)
+					inCS--
+					m.Unlock(p)
+					h.f.Delay(p, 1)
+				}
+			})
+		}
+		h.run(t)
+		if violations != 0 {
+			t.Errorf("%d mutual-exclusion violations", violations)
+		}
+		if m.Locked() {
+			t.Error("mutex left locked")
+		}
+	})
+}
+
+func TestMutexRecursivePanics(t *testing.T) {
+	h := newHarness("spec")
+	m := NewMutex(h.f, "m")
+	defer func() {
+		if recover() == nil {
+			t.Error("recursive Lock did not panic")
+		}
+	}()
+	h.spawn("w", 0, func(p *sim.Proc) {
+		m.Lock(p)
+		m.Lock(p)
+	})
+	_ = h.k.Run()
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	h := newHarness("spec")
+	m := NewMutex(h.f, "m")
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign Unlock did not panic")
+		}
+	}()
+	h.spawn("owner", 0, func(p *sim.Proc) {
+		m.Lock(p)
+		p.WaitFor(100)
+		m.Unlock(p)
+	})
+	h.spawn("thief", 0, func(p *sim.Proc) {
+		p.WaitFor(10)
+		m.Unlock(p)
+	})
+	_ = h.k.Run()
+}
+
+func TestQueueFIFO(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		q := NewQueue[int](h.f, "q", 4)
+		const n = 32
+		var got []int
+		h.spawn("recv", 1, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				got = append(got, q.Recv(p))
+			}
+		})
+		h.spawn("send", 2, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				h.f.Delay(p, 1)
+				q.Send(p, i)
+			}
+		})
+		h.run(t)
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i)
+			}
+		}
+		if q.Sent() != n || q.Received() != n {
+			t.Errorf("counts sent=%d received=%d, want %d each", q.Sent(), q.Received(), n)
+		}
+	})
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		q := NewQueue[int](h.f, "q", 2)
+		var thirdSentAt, firstRecvAt sim.Time
+		h.spawn("send", 1, func(p *sim.Proc) {
+			q.Send(p, 1)
+			q.Send(p, 2)
+			q.Send(p, 3) // must block until the receiver drains one
+			thirdSentAt = p.Now()
+		})
+		h.spawn("recv", 2, func(p *sim.Proc) {
+			h.f.Delay(p, 50)
+			_ = q.Recv(p)
+			firstRecvAt = p.Now()
+			_ = q.Recv(p)
+			_ = q.Recv(p)
+		})
+		h.run(t)
+		if thirdSentAt < firstRecvAt {
+			t.Errorf("third send completed at %v before first recv at %v", thirdSentAt, firstRecvAt)
+		}
+	})
+}
+
+func TestQueueTryOps(t *testing.T) {
+	h := newHarness("spec")
+	q := NewQueue[string](h.f, "q", 1)
+	h.spawn("w", 0, func(p *sim.Proc) {
+		if _, ok := q.TryRecv(p); ok {
+			t.Error("TryRecv on empty queue succeeded")
+		}
+		if !q.TrySend(p, "a") {
+			t.Error("TrySend on empty queue failed")
+		}
+		if q.TrySend(p, "b") {
+			t.Error("TrySend on full queue succeeded")
+		}
+		v, ok := q.TryRecv(p)
+		if !ok || v != "a" {
+			t.Errorf("TryRecv = %q,%v, want a,true", v, ok)
+		}
+	})
+	h.run(t)
+}
+
+func TestMailboxRendezvous(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		mb := NewMailbox[int](h.f, "mb")
+		var sendDone, recvAt sim.Time
+		h.spawn("send", 1, func(p *sim.Proc) {
+			mb.Send(p, 42)
+			sendDone = p.Now()
+		})
+		h.spawn("recv", 2, func(p *sim.Proc) {
+			h.f.Delay(p, 30)
+			if v := mb.Recv(p); v != 42 {
+				t.Errorf("received %d, want 42", v)
+			}
+			recvAt = p.Now()
+		})
+		h.run(t)
+		if sendDone < recvAt {
+			t.Errorf("send completed at %v before receive at %v (no rendezvous)", sendDone, recvAt)
+		}
+	})
+}
+
+func TestMailboxSequence(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		mb := NewMailbox[int](h.f, "mb")
+		var got []int
+		h.spawn("recv", 1, func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				got = append(got, mb.Recv(p))
+			}
+		})
+		h.spawn("send", 2, func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				mb.Send(p, i*i)
+			}
+		})
+		h.run(t)
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		b := NewBarrier(h.f, "b", 3)
+		releases := map[string]sim.Time{}
+		delays := map[string]sim.Time{"a": 10, "b": 25, "c": 40}
+		for name, d := range delays {
+			name, d := name, d
+			h.spawn(name, int(d), func(p *sim.Proc) {
+				h.f.Delay(p, d)
+				b.Await(p)
+				releases[name] = p.Now()
+			})
+		}
+		h.run(t)
+		// All three release only after the slowest arrival. In the RTOS
+		// mode arrivals serialize, so the release time is the accumulated
+		// total; in spec mode it is the max. Either way all must be equal
+		// and ≥ the slowest delay.
+		var first sim.Time
+		for _, at := range releases {
+			if first == 0 {
+				first = at
+			}
+			if at != first {
+				t.Errorf("unequal release times: %v", releases)
+				break
+			}
+		}
+		if first < 40 {
+			t.Errorf("released at %v, before slowest arrival", first)
+		}
+	})
+}
+
+func TestBarrierMultipleRounds(t *testing.T) {
+	h := newHarness("spec")
+	b := NewBarrier(h.f, "b", 2)
+	rounds := 0
+	h.spawn("a", 0, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.WaitFor(3)
+			b.Await(p)
+		}
+	})
+	h.spawn("b", 0, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.WaitFor(7)
+			b.Await(p)
+			rounds++
+		}
+	})
+	h.run(t)
+	if rounds != 5 {
+		t.Errorf("completed rounds = %d, want 5", rounds)
+	}
+}
+
+func TestHandshakeLatchesSignal(t *testing.T) {
+	bothModes(t, func(t *testing.T, mode string) {
+		h := newHarness(mode)
+		hs := NewHandshake(h.f, "hs")
+		var waitedAt sim.Time
+		h.spawn("signaler", 1, func(p *sim.Proc) {
+			hs.Signal(p) // nobody waiting yet: must latch
+		})
+		h.spawn("waiter", 2, func(p *sim.Proc) {
+			h.f.Delay(p, 20)
+			hs.WaitSig(p)
+			waitedAt = p.Now()
+		})
+		h.run(t)
+		if waitedAt != 20 {
+			t.Errorf("waiter proceeded at %v, want 20 (latched signal)", waitedAt)
+		}
+		if hs.Pending() != 0 {
+			t.Errorf("pending = %d, want 0", hs.Pending())
+		}
+	})
+}
+
+func TestConstructorValidation(t *testing.T) {
+	h := newHarness("spec")
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("negative semaphore", func() { NewSemaphore(h.f, "s", -1) })
+	mustPanic("zero-capacity queue", func() { NewQueue[int](h.f, "q", 0) })
+	mustPanic("zero-party barrier", func() { NewBarrier(h.f, "b", 0) })
+}
+
+func TestFactoryNames(t *testing.T) {
+	hs := newHarness("spec")
+	if hs.f.Name() != "spec" {
+		t.Errorf("spec factory name = %q", hs.f.Name())
+	}
+	hr := newHarness("rtos")
+	if hr.f.Name() != "rtos/PE" {
+		t.Errorf("rtos factory name = %q", hr.f.Name())
+	}
+}

@@ -1,0 +1,64 @@
+package channel_test
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The synchronization-refinement pattern of the paper's Figure 7: the
+// same producer/consumer code runs at the specification layer (raw SLDL
+// events) and at the architecture layer (RTOS events) just by swapping
+// the channel factory.
+func ExampleFactory() {
+	run := func(f channel.Factory, k *sim.Kernel, spawn func(name string, prio int, body sim.Func)) sim.Time {
+		q := channel.NewQueue[int](f, "data", 2)
+		spawn("consumer", 1, func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				q.Recv(p)
+			}
+		})
+		spawn("producer", 2, func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				f.Delay(p, 10)
+				q.Send(p, i)
+			}
+		})
+		if err := k.Run(); err != nil {
+			fmt.Println("error:", err)
+		}
+		return k.Now()
+	}
+
+	// Specification layer.
+	k1 := sim.NewKernel()
+	end1 := run(channel.SpecFactory{K: k1}, k1, func(name string, _ int, body sim.Func) {
+		k1.Spawn(name, body)
+	})
+
+	// Architecture layer: the identical code as RTOS tasks.
+	k2 := sim.NewKernel()
+	rtos := core.New(k2, "CPU", core.PriorityPolicy{})
+	spawnTask := func(name string, prio int, body sim.Func) {
+		task := rtos.TaskCreate(name, core.Aperiodic, 0, 0, prio)
+		k2.Spawn(name, func(p *sim.Proc) {
+			rtos.TaskActivate(p, task)
+			body(p)
+			rtos.TaskTerminate(p)
+		})
+	}
+	rtosEnd := func() sim.Time {
+		end := run(channel.RTOSFactory{OS: rtos}, k2, spawnTask)
+		return end
+	}
+	rtos.Start(nil)
+	end2 := rtosEnd()
+
+	fmt.Printf("spec model end: %v\n", end1)
+	fmt.Printf("arch model end: %v\n", end2)
+	// Output:
+	// spec model end: 30ns
+	// arch model end: 30ns
+}

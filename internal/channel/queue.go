@@ -1,0 +1,137 @@
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Queue is a bounded FIFO message channel — the paper's c_queue example
+// (Figure 7). Send blocks while the queue is full; Recv blocks while it is
+// empty. The element type is generic; models typically move frame or
+// sample buffers.
+type Queue[T any] struct {
+	name     string
+	cond     Cond // single condition: senders and receivers re-check state
+	buf      []T
+	capacity int
+
+	sent, received uint64
+}
+
+// NewQueue creates a queue with the given capacity (at least 1).
+func NewQueue[T any](f Factory, name string, capacity int) *Queue[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("channel: queue %q capacity %d < 1", name, capacity))
+	}
+	return &Queue[T]{name: name, cond: f.NewCond(name + ".q"), capacity: capacity}
+}
+
+// Name returns the queue's name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of buffered elements.
+func (q *Queue[T]) Len() int { return len(q.buf) }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Sent returns the total number of elements accepted by Send.
+func (q *Queue[T]) Sent() uint64 { return q.sent }
+
+// Received returns the total number of elements returned by Recv.
+func (q *Queue[T]) Received() uint64 { return q.received }
+
+// Send enqueues v, blocking while the queue is full.
+func (q *Queue[T]) Send(p *sim.Proc, v T) {
+	for len(q.buf) == q.capacity {
+		q.cond.Wait(p)
+	}
+	q.buf = append(q.buf, v)
+	q.sent++
+	q.cond.Notify(p)
+}
+
+// TrySend enqueues v if space is available and reports success.
+func (q *Queue[T]) TrySend(p *sim.Proc, v T) bool {
+	if len(q.buf) == q.capacity {
+		return false
+	}
+	q.buf = append(q.buf, v)
+	q.sent++
+	q.cond.Notify(p)
+	return true
+}
+
+// Recv dequeues the oldest element, blocking while the queue is empty.
+func (q *Queue[T]) Recv(p *sim.Proc) T {
+	for len(q.buf) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	q.received++
+	q.cond.Notify(p)
+	return v
+}
+
+// TryRecv dequeues if an element is available.
+func (q *Queue[T]) TryRecv(p *sim.Proc) (T, bool) {
+	var zero T
+	if len(q.buf) == 0 {
+		return zero, false
+	}
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	q.received++
+	q.cond.Notify(p)
+	return v, true
+}
+
+// Mailbox is an unbuffered rendezvous channel: Send blocks until a
+// receiver has taken the value, pairing one sender with one receiver in
+// FIFO order.
+type Mailbox[T any] struct {
+	name string
+	cond Cond
+	full bool
+	data T
+	acks int // completed transfers awaiting sender wake-up
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox[T any](f Factory, name string) *Mailbox[T] {
+	return &Mailbox[T]{name: name, cond: f.NewCond(name + ".mbox")}
+}
+
+// Name returns the mailbox's name.
+func (m *Mailbox[T]) Name() string { return m.name }
+
+// Send transfers v to exactly one receiver and returns only after the
+// receiver has taken it (rendezvous semantics).
+func (m *Mailbox[T]) Send(p *sim.Proc, v T) {
+	for m.full {
+		m.cond.Wait(p) // another sender's value still in the slot
+	}
+	m.full = true
+	m.data = v
+	m.cond.Notify(p)
+	for m.acks == 0 {
+		m.cond.Wait(p)
+	}
+	m.acks--
+}
+
+// Recv blocks until a sender provides a value and returns it.
+func (m *Mailbox[T]) Recv(p *sim.Proc) T {
+	for !m.full {
+		m.cond.Wait(p)
+	}
+	v := m.data
+	var zero T
+	m.data = zero
+	m.full = false
+	m.acks++
+	m.cond.Notify(p)
+	return v
+}

@@ -1,0 +1,97 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestQuickQueuePreservesSequence: arbitrary payload sequences pushed
+// through a queue of arbitrary small capacity arrive complete and in
+// order, in both modeling layers.
+func TestQuickQueuePreservesSequence(t *testing.T) {
+	f := func(payload []int16, capRaw uint8, rtos bool) bool {
+		capacity := int(capRaw%5) + 1
+		mode := "spec"
+		if rtos {
+			mode = "rtos"
+		}
+		h := newHarness(mode)
+		q := NewQueue[int16](h.f, "q", capacity)
+		var got []int16
+		h.spawn("recv", 1, func(p *sim.Proc) {
+			for range payload {
+				got = append(got, q.Recv(p))
+			}
+		})
+		h.spawn("send", 2, func(p *sim.Proc) {
+			for i, v := range payload {
+				if i%3 == 0 {
+					h.f.Delay(p, sim.Time(i%7))
+				}
+				q.Send(p, v)
+			}
+		})
+		if h.os != nil {
+			h.os.Start(nil)
+		}
+		if err := h.k.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSemaphoreConservation: for arbitrary release/acquire schedules
+// that are balanced, the semaphore ends at its initial value and the
+// count observed by any process is never negative (structurally
+// guaranteed, checked dynamically here).
+func TestQuickSemaphoreConservation(t *testing.T) {
+	f := func(nOps uint8, initial uint8, rtos bool) bool {
+		n := int(nOps%30) + 1
+		init := int(initial % 4)
+		mode := "spec"
+		if rtos {
+			mode = "rtos"
+		}
+		h := newHarness(mode)
+		sem := NewSemaphore(h.f, "s", init)
+		bad := false
+		h.spawn("acq", 1, func(p *sim.Proc) {
+			for i := 0; i < n+init; i++ {
+				sem.Acquire(p)
+				if sem.Value() < 0 {
+					bad = true
+				}
+			}
+		})
+		h.spawn("rel", 2, func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				h.f.Delay(p, 1)
+				sem.Release(p)
+			}
+		})
+		if h.os != nil {
+			h.os.Start(nil)
+		}
+		if err := h.k.Run(); err != nil {
+			return false
+		}
+		return !bad && sem.Value() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package channel
+
+import "repro/internal/sim"
+
+// Register is a shared variable with update notification — the SLDL's
+// shared-memory communication pattern. Writers replace the value; readers
+// either sample it (Read) or block for the next write (AwaitChange).
+// Unlike a queue, a register has no backpressure and intermediate values
+// may be lost, which is exactly the semantics of shared-variable
+// communication the refinement flow must preserve.
+type Register[T any] struct {
+	name    string
+	cond    Cond
+	value   T
+	version uint64
+}
+
+// NewRegister creates a register holding the zero value.
+func NewRegister[T any](f Factory, name string) *Register[T] {
+	return &Register[T]{name: name, cond: f.NewCond(name + ".reg")}
+}
+
+// Name returns the register's name.
+func (r *Register[T]) Name() string { return r.name }
+
+// Version returns the write counter (0 = never written).
+func (r *Register[T]) Version() uint64 { return r.version }
+
+// Read samples the current value without blocking.
+func (r *Register[T]) Read(p *sim.Proc) T { return r.value }
+
+// Write replaces the value and wakes blocked readers.
+func (r *Register[T]) Write(p *sim.Proc, v T) {
+	r.value = v
+	r.version++
+	r.cond.Notify(p)
+}
+
+// AwaitChange blocks until the register's version exceeds since and
+// returns the (then-current) value and version. Use Version() to obtain
+// the starting point; intermediate writes may be skipped.
+func (r *Register[T]) AwaitChange(p *sim.Proc, since uint64) (T, uint64) {
+	for r.version <= since {
+		r.cond.Wait(p)
+	}
+	return r.value, r.version
+}

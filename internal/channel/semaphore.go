@@ -1,0 +1,97 @@
+package channel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Semaphore is a counting semaphore — the channel the paper's bus-driver
+// example uses between interrupt handler and driver task ("the interrupt
+// handler ISR for external events signals the main bus driver through a
+// semaphore channel sem", Figure 3).
+type Semaphore struct {
+	name  string
+	cond  Cond
+	count int
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(f Factory, name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic(fmt.Sprintf("channel: semaphore %q initial count %d < 0", name, initial))
+	}
+	return &Semaphore{name: name, cond: f.NewCond(name + ".sem"), count: initial}
+}
+
+// Name returns the semaphore's name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Value returns the current count (non-blocking snapshot).
+func (s *Semaphore) Value() int { return s.count }
+
+// Acquire decrements the count, blocking while it is zero.
+func (s *Semaphore) Acquire(p *sim.Proc) {
+	for s.count == 0 {
+		s.cond.Wait(p)
+	}
+	s.count--
+}
+
+// TryAcquire decrements the count if positive and reports success.
+func (s *Semaphore) TryAcquire(p *sim.Proc) bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release increments the count and wakes waiters. It may be called from
+// interrupt handlers (the paper's ISR-to-driver signalling path).
+func (s *Semaphore) Release(p *sim.Proc) {
+	s.count++
+	s.cond.Notify(p)
+}
+
+// Mutex is a binary lock with owner tracking.
+type Mutex struct {
+	name   string
+	cond   Cond
+	locked bool
+	owner  *sim.Proc
+}
+
+// NewMutex creates an unlocked mutex.
+func NewMutex(f Factory, name string) *Mutex {
+	return &Mutex{name: name, cond: f.NewCond(name + ".mtx")}
+}
+
+// Name returns the mutex's name.
+func (m *Mutex) Name() string { return m.name }
+
+// Lock acquires the mutex, blocking while another process holds it.
+// Recursive locking is an error and panics (it would self-deadlock).
+func (m *Mutex) Lock(p *sim.Proc) {
+	if m.locked && m.owner == p {
+		panic(fmt.Sprintf("channel: recursive Lock of %q by %s", m.name, p.Name()))
+	}
+	for m.locked {
+		m.cond.Wait(p)
+	}
+	m.locked = true
+	m.owner = p
+}
+
+// Unlock releases the mutex; only the owner may unlock.
+func (m *Mutex) Unlock(p *sim.Proc) {
+	if !m.locked || m.owner != p {
+		panic(fmt.Sprintf("channel: Unlock of %q by non-owner %s", m.name, p.Name()))
+	}
+	m.locked = false
+	m.owner = nil
+	m.cond.Notify(p)
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.locked }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file is an extension over the DATE 2003 paper: static
+// schedulability analysis for the periodic task sets the RTOS model
+// executes. The paper's model parameters (period, wcet per task_create)
+// carry exactly the information classic analysis needs, so the experiment
+// harness uses these functions to cross-check simulated deadline misses
+// against analytical predictions (DESIGN.md, experiment SCHED).
+
+// Utilization returns the total processor utilization of the periodic
+// tasks in the set: sum of wcet/period.
+func Utilization(tasks []*Task) float64 {
+	u := 0.0
+	for _, t := range tasks {
+		if t.typ == Periodic && t.period > 0 {
+			u += float64(t.wcet) / float64(t.period)
+		}
+	}
+	return u
+}
+
+// RMUtilizationBound returns the Liu & Layland rate-monotonic utilization
+// bound n(2^(1/n)-1) for n periodic tasks. Task sets below the bound are
+// guaranteed schedulable under RM; above it, they may or may not be.
+func RMUtilizationBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// EDFFeasible reports whether the periodic task set is schedulable under
+// preemptive EDF with deadlines equal to periods: U <= 1.
+func EDFFeasible(tasks []*Task) bool {
+	return Utilization(tasks) <= 1.0+1e-12
+}
+
+// ResponseTimeRM computes worst-case response times for a periodic task
+// set under fixed-priority preemptive scheduling with rate-monotonic
+// priority assignment, using standard response-time analysis
+// (R = C + sum over higher-priority j of ceil(R/T_j)*C_j, iterated to a
+// fixed point). It returns the response time per task, in the order given,
+// and ok=false if any task's response time exceeds its period (deadline).
+func ResponseTimeRM(tasks []*Task) (resp []sim.Time, ok bool) {
+	periodic := make([]*Task, 0, len(tasks))
+	for _, t := range tasks {
+		if t.typ == Periodic {
+			periodic = append(periodic, t)
+		}
+	}
+	byRate := append([]*Task(nil), periodic...)
+	sort.SliceStable(byRate, func(i, j int) bool { return byRate[i].period < byRate[j].period })
+
+	rt := make(map[*Task]sim.Time, len(byRate))
+	ok = true
+	for i, t := range byRate {
+		r := t.wcet
+		for iter := 0; iter < 1000; iter++ {
+			next := t.wcet
+			for _, h := range byRate[:i] {
+				n := (r + h.period - 1) / h.period // ceil(r / T_h)
+				next += n * h.wcet
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > t.period*64 { // diverging: hopelessly unschedulable
+				break
+			}
+		}
+		rt[t] = r
+		if r > t.period {
+			ok = false
+		}
+	}
+	resp = make([]sim.Time, 0, len(periodic))
+	for _, t := range periodic {
+		resp = append(resp, rt[t])
+	}
+	return resp, ok
+}
+
+// Hyperperiod returns the least common multiple of the periodic tasks'
+// periods — the natural simulation horizon for schedulability experiments.
+// It returns 0 if there are no periodic tasks, and caps the result at
+// limit to avoid astronomically long horizons (0 means no cap).
+func Hyperperiod(tasks []*Task, limit sim.Time) sim.Time {
+	var h sim.Time
+	for _, t := range tasks {
+		if t.typ != Periodic || t.period <= 0 {
+			continue
+		}
+		if h == 0 {
+			h = t.period
+			continue
+		}
+		h = lcm(h, t.period)
+		if limit > 0 && h > limit {
+			return limit
+		}
+	}
+	return h
+}
+
+func gcd(a, b sim.Time) sim.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b sim.Time) sim.Time { return a / gcd(a, b) * b }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mkPeriodic(period, wcet sim.Time) *Task {
+	return &Task{typ: Periodic, period: period, wcet: wcet}
+}
+
+func TestUtilization(t *testing.T) {
+	tasks := []*Task{
+		mkPeriodic(100, 25), // 0.25
+		mkPeriodic(200, 50), // 0.25
+		{typ: Aperiodic, wcet: 1000},
+	}
+	if u := Utilization(tasks); math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if u := Utilization(nil); u != 0 {
+		t.Errorf("empty utilization = %v, want 0", u)
+	}
+}
+
+func TestRMUtilizationBound(t *testing.T) {
+	if b := RMUtilizationBound(1); math.Abs(b-1.0) > 1e-12 {
+		t.Errorf("bound(1) = %v, want 1", b)
+	}
+	if b := RMUtilizationBound(2); math.Abs(b-0.8284271) > 1e-6 {
+		t.Errorf("bound(2) = %v, want ~0.828", b)
+	}
+	// Decreases towards ln 2.
+	if b := RMUtilizationBound(1000); math.Abs(b-math.Ln2) > 1e-3 {
+		t.Errorf("bound(1000) = %v, want ~ln2", b)
+	}
+	if b := RMUtilizationBound(0); b != 0 {
+		t.Errorf("bound(0) = %v, want 0", b)
+	}
+}
+
+func TestEDFFeasible(t *testing.T) {
+	ok := []*Task{mkPeriodic(100, 50), mkPeriodic(100, 50)}
+	if !EDFFeasible(ok) {
+		t.Error("U=1.0 set reported infeasible under EDF")
+	}
+	over := []*Task{mkPeriodic(100, 60), mkPeriodic(100, 50)}
+	if EDFFeasible(over) {
+		t.Error("U=1.1 set reported feasible under EDF")
+	}
+}
+
+func TestResponseTimeRMClassicExample(t *testing.T) {
+	// Classic RTA example: T1=(C=1,T=4), T2=(C=2,T=6), T3=(C=3,T=13).
+	// R1=1, R2=3, R3 = 3 + ceil(R3/4)*1 + ceil(R3/6)*2 → R3=10.
+	tasks := []*Task{
+		mkPeriodic(4, 1),
+		mkPeriodic(6, 2),
+		mkPeriodic(13, 3),
+	}
+	resp, ok := ResponseTimeRM(tasks)
+	if !ok {
+		t.Fatal("classic schedulable set reported unschedulable")
+	}
+	want := []sim.Time{1, 3, 10}
+	for i := range want {
+		if resp[i] != want[i] {
+			t.Errorf("R%d = %v, want %v", i+1, resp[i], want[i])
+		}
+	}
+}
+
+func TestResponseTimeRMUnschedulable(t *testing.T) {
+	tasks := []*Task{
+		mkPeriodic(10, 6),
+		mkPeriodic(14, 7), // U ≈ 1.1: cannot fit
+	}
+	if _, ok := ResponseTimeRM(tasks); ok {
+		t.Error("overloaded set reported schedulable")
+	}
+}
+
+func TestResponseTimeMatchesSimulation(t *testing.T) {
+	// Cross-validation: the worst-case response time predicted by RTA must
+	// bound (and for synchronous release, match) the response time
+	// observed in simulation under RM at the critical instant t=0.
+	// Chosen so no task's completion coincides exactly with another task's
+	// release (a coincident release would preempt the finishing task before
+	// it can record its own completion, skewing the observation).
+	specs := []struct{ period, wcet sim.Time }{
+		{40, 10},
+		{60, 15},
+		{130, 29},
+	}
+	k := sim.NewKernel()
+	os := New(k, "PE", RMPolicy{}, WithTimeModel(TimeModelSegmented))
+	var tasks []*Task
+	firstDone := map[string]sim.Time{}
+	for i, s := range specs {
+		s := s
+		task := os.TaskCreate(names3[i], Periodic, s.period, s.wcet, i)
+		tasks = append(tasks, task)
+		k.Spawn(task.Name(), func(p *sim.Proc) {
+			os.TaskActivate(p, task)
+			for c := 0; c < 3; c++ {
+				os.TimeWait(p, s.wcet)
+				if c == 0 {
+					firstDone[task.Name()] = p.Now()
+				}
+				os.TaskEndCycle(p)
+			}
+			os.TaskTerminate(p)
+		})
+	}
+	os.Start(nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := ResponseTimeRM(tasks)
+	if !ok {
+		t.Fatal("set reported unschedulable")
+	}
+	for i, task := range tasks {
+		observed := firstDone[task.Name()]
+		if observed != resp[i] {
+			t.Errorf("task %s first-cycle response %v, RTA predicts %v",
+				task.Name(), observed, resp[i])
+		}
+	}
+}
+
+var names3 = []string{"fast", "mid", "slow"}
+
+func TestHyperperiod(t *testing.T) {
+	tasks := []*Task{mkPeriodic(4, 1), mkPeriodic(6, 1), mkPeriodic(10, 1)}
+	if h := Hyperperiod(tasks, 0); h != 60 {
+		t.Errorf("hyperperiod = %v, want 60", h)
+	}
+	if h := Hyperperiod(tasks, 30); h != 30 {
+		t.Errorf("capped hyperperiod = %v, want 30", h)
+	}
+	if h := Hyperperiod(nil, 0); h != 0 {
+		t.Errorf("empty hyperperiod = %v, want 0", h)
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// inversionScenario runs the classic three-task priority-inversion
+// pattern (the Mars Pathfinder situation) and returns the time at which
+// the high-priority task finally acquired the lock:
+//
+//	t=0  L (low prio) locks the mutex and computes 100 inside it
+//	t=10 H (high prio) arrives and blocks on the mutex
+//	t=20 M (medium prio) arrives with 200 of unrelated compute
+//
+// Without inheritance, M preempts L and H waits for M + L. With
+// inheritance, L is boosted to H's priority, M cannot interfere, and H's
+// inversion is bounded by L's critical section.
+func inversionScenario(t *testing.T, inherit bool) sim.Time {
+	t.Helper()
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{}, WithTimeModel(TimeModelSegmented))
+	m := os.MutexNew("resource", inherit)
+
+	low := os.TaskCreate("L", Aperiodic, 0, 0, 30)
+	high := os.TaskCreate("H", Aperiodic, 0, 0, 10)
+	med := os.TaskCreate("M", Aperiodic, 0, 0, 20)
+
+	var acquired sim.Time
+	k.Spawn("L", func(p *sim.Proc) {
+		os.TaskActivate(p, low)
+		m.Lock(p)
+		os.TimeWait(p, 100) // critical section
+		m.Unlock(p)
+		os.TimeWait(p, 10)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("H", func(p *sim.Proc) {
+		p.WaitFor(10)
+		os.TaskActivate(p, high)
+		m.Lock(p)
+		acquired = p.Now()
+		os.TimeWait(p, 10)
+		m.Unlock(p)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("M", func(p *sim.Proc) {
+		p.WaitFor(20)
+		os.TaskActivate(p, med)
+		os.TimeWait(p, 200) // unrelated compute
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	run(t, k)
+	return acquired
+}
+
+func TestPriorityInversionUnbounded(t *testing.T) {
+	acquired := inversionScenario(t, false)
+	// Without inheritance, M's 200 units delay H: L is preempted at t=20
+	// with ~90 of its critical section left, resumes at 220, unlocks at
+	// ~310.
+	if acquired < 300 {
+		t.Errorf("H acquired at %v; expected unbounded inversion (≥ 300) without inheritance", acquired)
+	}
+}
+
+func TestPriorityInheritanceBoundsInversion(t *testing.T) {
+	acquired := inversionScenario(t, true)
+	// With inheritance, H waits only for L's critical section: L runs
+	// 0..100 (boosted from t=10), unlocks at 100, H acquires immediately.
+	if acquired != 100 {
+		t.Errorf("H acquired at %v, want 100 (inversion bounded by the critical section)", acquired)
+	}
+}
+
+func TestMutexHandoverFollowsPolicy(t *testing.T) {
+	// Two waiters of different priority: the higher-priority one gets the
+	// mutex first regardless of arrival order.
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	m := os.MutexNew("res", false)
+	var order []string
+	hold := os.TaskCreate("hold", Aperiodic, 0, 0, 0)
+	wLow := os.TaskCreate("wLow", Aperiodic, 0, 0, 20)
+	wHigh := os.TaskCreate("wHigh", Aperiodic, 0, 0, 10)
+	k.Spawn("hold", taskBody(os, hold, func(p *sim.Proc) {
+		m.Lock(p)
+		os.TimeWait(p, 50)
+		m.Unlock(p)
+	}))
+	k.Spawn("wLow", func(p *sim.Proc) {
+		p.WaitFor(5) // arrives first
+		os.TaskActivate(p, wLow)
+		m.Lock(p)
+		order = append(order, "low")
+		m.Unlock(p)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("wHigh", func(p *sim.Proc) {
+		p.WaitFor(10) // arrives second
+		os.TaskActivate(p, wHigh)
+		m.Lock(p)
+		order = append(order, "high")
+		m.Unlock(p)
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	run(t, k)
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Errorf("handover order = %v, want [high low]", order)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	m := os.MutexNew("res", false)
+	a := os.TaskCreate("a", Aperiodic, 0, 0, 1)
+	k.Spawn("a", taskBody(os, a, func(p *sim.Proc) {
+		if !m.TryLock(p) {
+			t.Error("TryLock on free mutex failed")
+		}
+		if m.TryLock(p) {
+			t.Error("TryLock on own mutex succeeded (recursion)")
+		}
+		m.Unlock(p)
+		if m.Owner() != nil {
+			t.Error("owner not cleared")
+		}
+	}))
+	os.Start(nil)
+	run(t, k)
+}
+
+func TestMutexRecursiveLockPanics(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	m := os.MutexNew("res", false)
+	a := os.TaskCreate("a", Aperiodic, 0, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("recursive Lock did not panic")
+		}
+	}()
+	k.Spawn("a", taskBody(os, a, func(p *sim.Proc) {
+		m.Lock(p)
+		m.Lock(p)
+	}))
+	os.Start(nil)
+	_ = k.Run()
+}
+
+func TestMutexForeignUnlockPanics(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	m := os.MutexNew("res", false)
+	a := os.TaskCreate("a", Aperiodic, 0, 0, 1)
+	b := os.TaskCreate("b", Aperiodic, 0, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign Unlock did not panic")
+		}
+	}()
+	k.Spawn("a", taskBody(os, a, func(p *sim.Proc) {
+		m.Lock(p)
+		os.TimeWait(p, 100)
+		m.Unlock(p)
+	}))
+	k.Spawn("b", taskBody(os, b, func(p *sim.Proc) {
+		os.TimeWait(p, 10)
+		m.Unlock(p) // not the owner
+	}))
+	os.Start(nil)
+	_ = k.Run()
+}
+
+func TestMutexHandoverSkipsKilledWaiter(t *testing.T) {
+	// A waiter killed while blocked on the mutex must not receive
+	// ownership, and waiters behind it must still be served.
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	m := os.MutexNew("res", false)
+	var survivorGotIt bool
+	hold := os.TaskCreate("hold", Aperiodic, 0, 0, 0)
+	doomed := os.TaskCreate("doomed", Aperiodic, 0, 0, 5)
+	survivor := os.TaskCreate("survivor", Aperiodic, 0, 0, 10)
+	k.Spawn("hold", taskBody(os, hold, func(p *sim.Proc) {
+		m.Lock(p)
+		os.TimeWait(p, 50)
+		os.TaskKill(p, doomed) // doomed dies while queued on the mutex
+		m.Unlock(p)
+	}))
+	k.Spawn("doomed", func(p *sim.Proc) {
+		p.WaitFor(5)
+		os.TaskActivate(p, doomed)
+		m.Lock(p)
+		t.Error("doomed acquired the mutex after being killed")
+		m.Unlock(p)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("survivor", func(p *sim.Proc) {
+		p.WaitFor(10)
+		os.TaskActivate(p, survivor)
+		m.Lock(p)
+		survivorGotIt = true
+		m.Unlock(p)
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	run(t, k)
+	if !survivorGotIt {
+		t.Error("survivor never acquired the mutex")
+	}
+}
+
+func TestMutexPriorityRestoredAfterUnlock(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{}, WithTimeModel(TimeModelSegmented))
+	m := os.MutexNew("res", true)
+	low := os.TaskCreate("L", Aperiodic, 0, 0, 30)
+	high := os.TaskCreate("H", Aperiodic, 0, 0, 10)
+	var prioInside, prioAfter int
+	k.Spawn("L", func(p *sim.Proc) {
+		os.TaskActivate(p, low)
+		m.Lock(p)
+		os.TimeWait(p, 50)
+		prioInside = low.Priority() // boosted to 10 once H blocks
+		m.Unlock(p)
+		prioAfter = low.Priority()
+		os.TimeWait(p, 10)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("H", func(p *sim.Proc) {
+		p.WaitFor(10)
+		os.TaskActivate(p, high)
+		m.Lock(p)
+		m.Unlock(p)
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	run(t, k)
+	if prioInside != 10 {
+		t.Errorf("owner priority inside CS = %d, want boosted 10", prioInside)
+	}
+	if prioAfter != 30 {
+		t.Errorf("owner priority after unlock = %d, want restored 30", prioAfter)
+	}
+	if m.Boosts() == 0 || m.Contended() == 0 {
+		t.Errorf("boosts=%d contended=%d, want > 0", m.Boosts(), m.Contended())
+	}
+}

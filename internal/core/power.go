@@ -1,0 +1,50 @@
+package core
+
+import "repro/internal/sim"
+
+// Power modeling is a light extension over the paper: system-level design
+// flows evaluate energy alongside timing, and the RTOS model already
+// tracks exactly the quantities a two-state (active/idle) processor power
+// model needs. Powers are in milliwatts; energies in picojoules when one
+// time unit is one nanosecond (mW × ns = pJ).
+
+// PowerModel is a two-state processor power model.
+type PowerModel struct {
+	ActiveMW float64 // power while a task occupies the CPU
+	IdleMW   float64 // power while the CPU idles
+}
+
+// Energy reports the modeled energy consumption derived from the OS's
+// busy/idle accounting, in mW×time-units (pJ at nanosecond resolution).
+type Energy struct {
+	ActivePJ float64
+	IdlePJ   float64
+	TotalPJ  float64
+}
+
+// EnergyUnder evaluates a power model against the instance's accumulated
+// statistics. Call after (or during) simulation; the idle figure uses the
+// recorded idle time, the active figure the total modeled execution time.
+func (os *OS) EnergyUnder(pm PowerModel) Energy {
+	e := Energy{
+		ActivePJ: pm.ActiveMW * float64(os.stats.BusyTime),
+		IdlePJ:   pm.IdleMW * float64(os.stats.IdleTime),
+	}
+	e.TotalPJ = e.ActivePJ + e.IdlePJ
+	return e
+}
+
+// TaskEnergy returns one task's active energy under the model.
+func (pm PowerModel) TaskEnergy(t *Task) float64 {
+	return pm.ActiveMW * float64(t.cpuTime)
+}
+
+// AveragePowerMW returns the average power over an observation window
+// ending at the OS's kernel time, assuming the window started at t0.
+func (os *OS) AveragePowerMW(pm PowerModel, t0 sim.Time) float64 {
+	span := os.k.Now() - t0
+	if span <= 0 {
+		return 0
+	}
+	return os.EnergyUnder(pm).TotalPJ / float64(span)
+}

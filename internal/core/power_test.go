@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestEnergyAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	e := os.EventNew("go")
+	a := os.TaskCreate("a", Aperiodic, 0, 0, 1)
+	// a: runs 100, waits 50 (idle), runs 50 more after the ISR releases it.
+	k.Spawn("a", taskBody(os, a, func(p *sim.Proc) {
+		os.TimeWait(p, 100)
+		os.EventWait(p, e)
+		os.TimeWait(p, 50)
+	}))
+	k.Spawn("isr", func(p *sim.Proc) {
+		p.WaitFor(150)
+		os.InterruptEnter(p, "x")
+		os.EventNotify(p, e)
+		os.InterruptReturn(p, "x")
+	})
+	os.Start(nil)
+	run(t, k)
+
+	pm := PowerModel{ActiveMW: 200, IdleMW: 20}
+	en := os.EnergyUnder(pm)
+	// Busy 150 units at 200 mW, idle 50 units at 20 mW.
+	if math.Abs(en.ActivePJ-150*200) > 1e-9 {
+		t.Errorf("active = %v, want %v", en.ActivePJ, 150*200.0)
+	}
+	if math.Abs(en.IdlePJ-50*20) > 1e-9 {
+		t.Errorf("idle = %v, want %v", en.IdlePJ, 50*20.0)
+	}
+	if math.Abs(en.TotalPJ-(en.ActivePJ+en.IdlePJ)) > 1e-9 {
+		t.Error("total != active + idle")
+	}
+	if got := pm.TaskEnergy(a); math.Abs(got-150*200) > 1e-9 {
+		t.Errorf("task energy = %v, want %v", got, 150*200.0)
+	}
+	// Average power over the 200-unit window: (30000+1000)/200 = 155 mW.
+	if got := os.AveragePowerMW(pm, 0); math.Abs(got-155) > 1e-9 {
+		t.Errorf("average power = %v mW, want 155", got)
+	}
+}
+
+func TestEnergyComparesPolicies(t *testing.T) {
+	// Same workload, same busy time — energy differences come only from
+	// idle span differences; with identical spans the totals match,
+	// making energy a fair policy-comparison metric.
+	runPolicy := func(pol Policy) Energy {
+		k := sim.NewKernel()
+		os := New(k, "PE", pol)
+		for i := 0; i < 3; i++ {
+			task := os.TaskCreate(names3[i], Aperiodic, 0, 0, i)
+			k.Spawn(task.Name(), taskBody(os, task, func(p *sim.Proc) {
+				os.TimeWait(p, 40)
+			}))
+		}
+		os.Start(nil)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return os.EnergyUnder(PowerModel{ActiveMW: 100, IdleMW: 10})
+	}
+	prio := runPolicy(PriorityPolicy{})
+	fcfs := runPolicy(FCFSPolicy{})
+	if math.Abs(prio.TotalPJ-fcfs.TotalPJ) > 1e-9 {
+		t.Errorf("energy differs across policies for identical work: %v vs %v",
+			prio.TotalPJ, fcfs.TotalPJ)
+	}
+	if prio.ActivePJ != 3*40*100 {
+		t.Errorf("active = %v, want %v", prio.ActivePJ, 3*40*100.0)
+	}
+}
+
+func TestAveragePowerEmptyWindow(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	if got := os.AveragePowerMW(PowerModel{ActiveMW: 1}, 0); got != 0 {
+		t.Errorf("average power over empty window = %v, want 0", got)
+	}
+}

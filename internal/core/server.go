@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PollingServer is a classic aperiodic server (Buttazzo, "Hard Real-Time
+// Computing Systems" — the paper's reference [5]): a periodic task with a
+// capacity budget that serves queued aperiodic requests at its own
+// priority, giving aperiodic work bounded response time without
+// jeopardizing hard periodic tasks. It extends the RTOS model with the
+// standard mechanism for mixing the paper's two task classes.
+//
+// Usage: create with NewPollingServer, submit work with Submit (callable
+// from tasks or ISRs), and run Serve as the body of the server's process.
+type PollingServer struct {
+	os       *OS
+	task     *Task
+	capacity sim.Time
+
+	queue   []serverJob
+	pending *sim.Event
+
+	served    int
+	exhausted int // cycles in which the budget ran out with work pending
+}
+
+type serverJob struct {
+	compute sim.Time
+	done    func(p *sim.Proc)
+}
+
+// NewPollingServer creates the server's task with the given period,
+// capacity (budget per period) and priority.
+func (os *OS) NewPollingServer(name string, period, capacity sim.Time, prio int) *PollingServer {
+	if capacity <= 0 || capacity > period {
+		panic(fmt.Sprintf("core: polling server %q capacity %v not in (0, %v]", name, capacity, period))
+	}
+	return &PollingServer{
+		os:       os,
+		task:     os.TaskCreate(name, Periodic, period, capacity, prio),
+		capacity: capacity,
+		pending:  os.k.NewEvent(name + ".pending"),
+	}
+}
+
+// Task returns the server's task control block.
+func (s *PollingServer) Task() *Task { return s.task }
+
+// Served returns the number of completed requests.
+func (s *PollingServer) Served() int { return s.served }
+
+// ExhaustedCycles returns how many server periods ended with the budget
+// consumed while requests were still waiting.
+func (s *PollingServer) ExhaustedCycles() int { return s.exhausted }
+
+// Backlog returns the queued, unserved requests.
+func (s *PollingServer) Backlog() int { return len(s.queue) }
+
+// Submit enqueues an aperiodic request of the given compute demand; done
+// (optional) runs in the server's context when the request completes.
+// Callable from any process, including ISRs.
+func (s *PollingServer) Submit(p *sim.Proc, compute sim.Time, done func(p *sim.Proc)) {
+	s.queue = append(s.queue, serverJob{compute: compute, done: done})
+	p.Notify(s.pending)
+}
+
+// Serve is the server task's body: activate it with the server's process,
+// then call Serve, which loops forever (spawn as a daemon process).
+// Each period it serves queued requests until the budget is exhausted; in
+// the polling variant, unused budget is dropped when the queue empties.
+func (s *PollingServer) Serve(p *sim.Proc) {
+	os := s.os
+	os.TaskActivate(p, s.task)
+	for {
+		budget := s.capacity
+		for budget > 0 && len(s.queue) > 0 {
+			job := s.queue[0]
+			slice := job.compute
+			if slice > budget {
+				slice = budget
+			}
+			os.TimeWait(p, slice)
+			budget -= slice
+			job.compute -= slice
+			if job.compute <= 0 {
+				s.queue = s.queue[1:]
+				s.served++
+				if job.done != nil {
+					job.done(p)
+				}
+			} else {
+				s.queue[0] = job // partially served: resume next period
+			}
+		}
+		if budget == 0 && len(s.queue) > 0 {
+			s.exhausted++
+		}
+		os.TaskEndCycle(p)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// serverFixture: a polling server (period 100, capacity 30, prio 1) above
+// a periodic hard task (period 100, wcet 50, prio 2); aperiodic requests
+// arrive from an ISR.
+func serverFixture(t *testing.T, requests []sim.Time, arrivalGap sim.Time) (*PollingServer, []sim.Time, *Task) {
+	t.Helper()
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{}, WithTimeModel(TimeModelSegmented))
+	srv := os.NewPollingServer("server", 100, 30, 1)
+	hard := os.TaskCreate("hard", Periodic, 100, 50, 2)
+
+	sp := k.Spawn("server", srv.Serve)
+	sp.SetDaemon(true)
+	hp := k.Spawn("hard", func(p *sim.Proc) {
+		os.TaskActivate(p, hard)
+		for {
+			os.TimeWait(p, 50)
+			os.TaskEndCycle(p)
+		}
+	})
+	hp.SetDaemon(true)
+
+	var completions []sim.Time
+	k.Spawn("arrivals", func(p *sim.Proc) {
+		for _, c := range requests {
+			c := c
+			p.WaitFor(arrivalGap)
+			os.InterruptEnter(p, "req")
+			srv.Submit(p, c, func(sp *sim.Proc) {
+				completions = append(completions, sp.Now())
+			})
+			os.InterruptReturn(p, "req")
+		}
+	}).SetDaemon(true)
+
+	os.Start(nil)
+	if err := k.RunUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	return srv, completions, hard
+}
+
+func TestPollingServerServesRequests(t *testing.T) {
+	srv, completions, hard := serverFixture(t, []sim.Time{10, 10, 10}, 100)
+	if srv.Served() != 3 || len(completions) != 3 {
+		t.Fatalf("served = %d, completions = %v", srv.Served(), completions)
+	}
+	// The hard task never misses despite the server running above it: the
+	// server's demand is bounded by its capacity.
+	if hard.MissedDeadlines() != 0 {
+		t.Errorf("hard task missed %d deadlines", hard.MissedDeadlines())
+	}
+	// Each 10-unit request arrives at k*100 and is served within the next
+	// server period: completion - arrival ≤ period + capacity.
+	for i, at := range completions {
+		arrival := sim.Time(i+1) * 100
+		if at-arrival > 130 {
+			t.Errorf("request %d served %v after arrival", i, at-arrival)
+		}
+	}
+}
+
+func TestPollingServerBudgetSlicesLargeRequest(t *testing.T) {
+	// A 70-unit request against a 30-unit budget needs three periods.
+	srv, completions, _ := serverFixture(t, []sim.Time{70}, 50)
+	if srv.Served() != 1 || len(completions) != 1 {
+		t.Fatalf("served = %d", srv.Served())
+	}
+	// Arrival at 50; served in budgets of the periods starting 100, 200,
+	// 300 → completes in the third service window.
+	if completions[0] < 200 || completions[0] > 350 {
+		t.Errorf("completion at %v, want within the third server period", completions[0])
+	}
+	if srv.ExhaustedCycles() < 2 {
+		t.Errorf("exhausted cycles = %d, want ≥ 2 (budget ran out twice)", srv.ExhaustedCycles())
+	}
+	if srv.Backlog() != 0 {
+		t.Errorf("backlog = %d, want 0", srv.Backlog())
+	}
+}
+
+func TestPollingServerValidation(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "PE", PriorityPolicy{})
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity > period accepted")
+		}
+	}()
+	os.NewPollingServer("bad", 100, 200, 1)
+}

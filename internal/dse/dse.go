@@ -1,0 +1,110 @@
+// Package dse is a small design-space-exploration driver over the
+// system-level models — the activity the paper's abstract RTOS model
+// exists to accelerate ("early and rapid design space exploration"). A
+// design space is a grid of named axes; every configuration is evaluated
+// by a user function returning a cost metric (and optional auxiliary
+// metrics), and the results come back ranked.
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is one point of the design space: a value per axis.
+type Config map[string]string
+
+// Key returns a canonical, order-independent string form.
+func (c Config) Key() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+c[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Axis is one dimension of the space.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Grid enumerates the cartesian product of the axes, first axis slowest.
+func Grid(axes []Axis) []Config {
+	if len(axes) == 0 {
+		return []Config{{}}
+	}
+	rest := Grid(axes[1:])
+	var out []Config
+	for _, v := range axes[0].Values {
+		for _, r := range rest {
+			c := Config{axes[0].Name: v}
+			for k, rv := range r {
+				c[k] = rv
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Point is an evaluated configuration.
+type Point struct {
+	Config Config
+	Cost   float64
+	Aux    map[string]float64
+	Err    error
+}
+
+// EvalFunc evaluates one configuration: lower cost is better.
+type EvalFunc func(c Config) (cost float64, aux map[string]float64, err error)
+
+// Explore evaluates every configuration of the grid and returns the
+// points sorted by ascending cost; failed evaluations sort last and carry
+// their error.
+func Explore(axes []Axis, eval EvalFunc) []Point {
+	configs := Grid(axes)
+	points := make([]Point, 0, len(configs))
+	for _, c := range configs {
+		cost, aux, err := eval(c)
+		points = append(points, Point{Config: c, Cost: cost, Aux: aux, Err: err})
+	}
+	sort.SliceStable(points, func(i, j int) bool {
+		if (points[i].Err == nil) != (points[j].Err == nil) {
+			return points[i].Err == nil
+		}
+		return points[i].Cost < points[j].Cost
+	})
+	return points
+}
+
+// Best returns the lowest-cost successful point.
+func Best(points []Point) (Point, error) {
+	for _, p := range points {
+		if p.Err == nil {
+			return p, nil
+		}
+	}
+	return Point{}, fmt.Errorf("dse: no configuration evaluated successfully")
+}
+
+// Table renders the ranked points, one line each, with the cost metric
+// named unit.
+func Table(points []Point, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-44s %14s\n", "rank", "configuration", unit)
+	for i, p := range points {
+		if p.Err != nil {
+			fmt.Fprintf(&b, "%4d  %-44s %14s (%v)\n", i+1, p.Config.Key(), "error", p.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%4d  %-44s %14.3f\n", i+1, p.Config.Key(), p.Cost)
+	}
+	return b.String()
+}

@@ -1,0 +1,275 @@
+package iss
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble compiles the assembly dialect into a Program. Syntax:
+//
+//	; comment (also after instructions)
+//	label:              ; code label
+//	    ldi r0, 42
+//	    ld  r1, counter  ; data symbol as address
+//	    st  counter, r1
+//	    ldx r2, r1, 4    ; r2 = mem[r1+4]
+//	    stx r1, 4, r2    ; mem[r1+4] = r2
+//	    beq done
+//	    trap 4
+//	.data                ; switch to data section
+//	counter: .word 0     ; one initialized word
+//	buf:     .space 160  ; zero-filled block
+//
+// Numeric immediates may be decimal or 0x-hex; data symbols and code
+// labels share one namespace and resolve to addresses/instruction
+// indices.
+func Assemble(src string) (*Program, error) {
+	type fixup struct {
+		instr int    // code index
+		sym   string // symbol to resolve into Imm
+		line  int
+	}
+	p := &Program{Symbols: map[string]int64{}}
+	var fixups []fixup
+	inData := false
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction or directive).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("asm:%d: bad label %q", ln+1, label)
+			}
+			if _, dup := p.Symbols[label]; dup {
+				return nil, fmt.Errorf("asm:%d: duplicate symbol %q", ln+1, label)
+			}
+			if inData {
+				p.Symbols[label] = int64(len(p.Data))
+			} else {
+				p.Symbols[label] = int64(len(p.Code))
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		fields := splitOperands(line)
+		mnem := strings.ToLower(fields[0])
+		args := fields[1:]
+
+		switch mnem {
+		case ".data":
+			inData = true
+			continue
+		case ".text":
+			inData = false
+			continue
+		case ".word":
+			for _, a := range args {
+				v, err := parseImm(a)
+				if err != nil {
+					return nil, fmt.Errorf("asm:%d: %v", ln+1, err)
+				}
+				p.Data = append(p.Data, v)
+			}
+			continue
+		case ".space":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("asm:%d: .space needs a size", ln+1)
+			}
+			n, err := parseImm(args[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("asm:%d: bad .space size %q", ln+1, args[0])
+			}
+			p.Data = append(p.Data, make([]int64, n)...)
+			continue
+		}
+		if inData {
+			return nil, fmt.Errorf("asm:%d: instruction %q in .data section", ln+1, mnem)
+		}
+
+		op, ok := opByName(mnem)
+		if !ok {
+			return nil, fmt.Errorf("asm:%d: unknown mnemonic %q", ln+1, mnem)
+		}
+		in := Instr{Op: op}
+		bad := func() error {
+			return fmt.Errorf("asm:%d: bad operands for %s: %v", ln+1, mnem, args)
+		}
+		needs := func(n int) error {
+			if len(args) != n {
+				return bad()
+			}
+			return nil
+		}
+		reg := func(s string) (int, error) {
+			s = strings.ToLower(s)
+			if len(s) == 2 && s[0] == 'r' && s[1] >= '0' && s[1] < '0'+NumRegs {
+				return int(s[1] - '0'), nil
+			}
+			return 0, fmt.Errorf("asm:%d: bad register %q", ln+1, s)
+		}
+		immOrSym := func(s string, instrIdx int) (int64, error) {
+			if v, err := parseImm(s); err == nil {
+				return v, nil
+			}
+			if !isIdent(s) {
+				return 0, fmt.Errorf("asm:%d: bad immediate/symbol %q", ln+1, s)
+			}
+			fixups = append(fixups, fixup{instrIdx, s, ln + 1})
+			return 0, nil
+		}
+
+		var err error
+		idx := len(p.Code)
+		switch op {
+		case OpNop, OpHalt, OpRet, OpClra:
+			err = needs(0)
+		case OpLdi, OpAddi, OpCmpi, OpShl, OpShr:
+			if err = needs(2); err == nil {
+				if in.Rd, err = reg(args[0]); err == nil {
+					in.Imm, err = immOrSym(args[1], idx)
+				}
+			}
+		case OpLd:
+			if err = needs(2); err == nil {
+				if in.Rd, err = reg(args[0]); err == nil {
+					in.Imm, err = immOrSym(args[1], idx)
+				}
+			}
+		case OpSt:
+			if err = needs(2); err == nil {
+				if in.Imm, err = immOrSym(args[0], idx); err == nil {
+					in.Rs, err = reg(args[1])
+				}
+			}
+		case OpLdx:
+			if err = needs(3); err == nil {
+				if in.Rd, err = reg(args[0]); err == nil {
+					if in.Rs, err = reg(args[1]); err == nil {
+						in.Imm, err = immOrSym(args[2], idx)
+					}
+				}
+			}
+		case OpStx:
+			if err = needs(3); err == nil {
+				if in.Rd, err = reg(args[0]); err == nil {
+					if in.Imm, err = immOrSym(args[1], idx); err == nil {
+						in.Rs, err = reg(args[2])
+					}
+				}
+			}
+		case OpMov, OpAdd, OpSub, OpMul, OpMac, OpAnd, OpOr, OpXor, OpCmp:
+			if err = needs(2); err == nil {
+				if in.Rd, err = reg(args[0]); err == nil {
+					in.Rs, err = reg(args[1])
+				}
+			}
+		case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall:
+			if err = needs(1); err == nil {
+				in.Imm, err = immOrSym(args[0], idx)
+			}
+		case OpPush:
+			if err = needs(1); err == nil {
+				in.Rs, err = reg(args[0])
+			}
+		case OpPop, OpRda:
+			if err = needs(1); err == nil {
+				in.Rd, err = reg(args[0])
+			}
+		case OpTrap:
+			if err = needs(1); err == nil {
+				in.Imm, err = parseImm(args[0])
+			}
+		default:
+			err = bad()
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Code = append(p.Code, in)
+	}
+
+	for _, f := range fixups {
+		v, ok := p.Symbols[f.sym]
+		if !ok {
+			return nil, fmt.Errorf("asm:%d: undefined symbol %q", f.line, f.sym)
+		}
+		p.Code[f.instr].Imm = v
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for compile-time-constant
+// firmware in tests and models.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func opByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+func splitOperands(line string) []string {
+	// mnemonic, then comma-separated operands with optional spaces.
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{line}
+	}
+	out := []string{line[:i]}
+	for _, f := range strings.Split(line[i+1:], ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseImm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+package iss
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStackFaults(t *testing.T) {
+	// Stack overflow: push with SP at 0.
+	p := MustAssemble("push r0\nhalt")
+	c, _ := NewCPU(p, 8)
+	c.SP = 0
+	for i := 0; i < 10 && !c.Halted; i++ {
+		c.Step()
+	}
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "stack overflow") {
+		t.Errorf("overflow err = %v", c.Err())
+	}
+	// Stack underflow: pop with SP at memory top.
+	p2 := MustAssemble("pop r0\nhalt")
+	c2, _ := NewCPU(p2, 8)
+	for i := 0; i < 10 && !c2.Halted; i++ {
+		c2.Step()
+	}
+	if c2.Err() == nil || !strings.Contains(c2.Err().Error(), "stack underflow") {
+		t.Errorf("underflow err = %v", c2.Err())
+	}
+}
+
+func TestBadStoreFaults(t *testing.T) {
+	p := MustAssemble("st 99999, r0\nhalt")
+	c, _ := NewCPU(p, 8)
+	for i := 0; i < 10 && !c.Halted; i++ {
+		c.Step()
+	}
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "bad address") {
+		t.Errorf("store err = %v", c.Err())
+	}
+}
+
+func TestRaiseIRQBadLinePanics(t *testing.T) {
+	p := MustAssemble("halt")
+	c, _ := NewCPU(p, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad IRQ line did not panic")
+		}
+	}()
+	c.RaiseIRQ(NumIRQLines)
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble on bad source did not panic")
+		}
+	}()
+	MustAssemble("frobnicate r0")
+}
+
+func TestRemainingALUOps(t *testing.T) {
+	c := runProgram(t, `
+		ldi r0, 12
+		ldi r1, 10
+		or  r0, r1      ; 14
+		ldi r2, 6
+		and r0, r2      ; 6
+		shr r0, 1       ; 3
+		ldi r3, -8
+		shr r3, 2       ; arithmetic: -2
+		ldi r4, 5
+		cmpi r4, 5
+		beq eq_ok
+		halt
+	eq_ok:
+		cmpi r4, 9
+		bge neg_bad     ; 5-9 < 0: not taken
+		ldi r5, 1
+	neg_bad:
+		halt
+	`, 100)
+	if c.Regs[0] != 3 {
+		t.Errorf("r0 = %d, want 3 ((12|10)&6 = 6, shifted right once)", c.Regs[0])
+	}
+	if c.Regs[3] != -2 {
+		t.Errorf("r3 = %d, want -2 (arithmetic shift)", c.Regs[3])
+	}
+	if c.Regs[5] != 1 {
+		t.Errorf("bge mis-taken: r5 = %d", c.Regs[5])
+	}
+}
+
+func TestDisassemblyAllForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpClra}, "clra"},
+		{Instr{Op: OpLdx, Rd: 1, Rs: 2, Imm: 3}, "ldx r1, r2, 3"},
+		{Instr{Op: OpStx, Rd: 1, Rs: 2, Imm: 3}, "stx r1, 3, r2"},
+		{Instr{Op: OpPush, Rs: 4}, "push r4"},
+		{Instr{Op: OpPop, Rd: 5}, "pop r5"},
+		{Instr{Op: OpRda, Rd: 6}, "rda r6"},
+		{Instr{Op: OpTrap, Imm: 7}, "trap 7"},
+		{Instr{Op: OpCall, Imm: 9}, "call 9"},
+		{Instr{Op: OpBlt, Imm: 2}, "blt 2"},
+		{Instr{Op: OpMac, Rd: 1, Rs: 2}, "mac r1, r2"},
+		{Instr{Op: OpShl, Rd: 1, Imm: 4}, "shl r1, 4"},
+		{Instr{Op: OpCmpi, Rd: 3, Imm: -1}, "cmpi r3, -1"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm %+v = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if Op(999).String() == "" {
+		t.Error("unknown op renders empty")
+	}
+}
+
+func TestIsIdentEdgeCases(t *testing.T) {
+	good := []string{"a", "A_b", "x9", "_lead"}
+	bad := []string{"", "9lead", "has space", "pünkt", "a-b"}
+	for _, s := range good {
+		if !isIdent(s) {
+			t.Errorf("isIdent(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if isIdent(s) {
+			t.Errorf("isIdent(%q) = true", s)
+		}
+	}
+}
+
+func TestLabelWithInlineInstruction(t *testing.T) {
+	c := runProgram(t, "start: ldi r0, 9\nhalt", 10)
+	if c.Regs[0] != 9 {
+		t.Errorf("r0 = %d", c.Regs[0])
+	}
+}
+
+func TestMultipleWordDirective(t *testing.T) {
+	p := MustAssemble(".data\ntbl: .word 1, 2, 3")
+	if len(p.Data) != 3 || p.Data[2] != 3 {
+		t.Errorf("data = %v", p.Data)
+	}
+}
+
+func TestDataImageTooLarge(t *testing.T) {
+	p := MustAssemble(".data\nbig: .space 100")
+	if _, err := NewCPU(p, 10); err == nil {
+		t.Error("oversized data image accepted")
+	}
+}

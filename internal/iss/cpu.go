@@ -1,0 +1,266 @@
+package iss
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 8
+
+// CPU is the processor state. Memory is word-addressed (one int64 per
+// address). The stack grows downward from the initial SP. External
+// interrupts are delivered between instructions to the IRQHandler hook —
+// the para-virtualized kernel entry of the implementation model (see
+// DESIGN.md's substitution table); likewise TrapHandler receives TRAP
+// instructions.
+type CPU struct {
+	Regs  [NumRegs]int64
+	Acc   int64 // multiply-accumulate register
+	PC    int64 // instruction index into Code
+	SP    int64 // stack pointer (word address, grows down)
+	FlagZ bool
+	FlagN bool
+
+	Mem  []int64
+	Code []Instr
+
+	Halted    bool
+	IntEnable bool
+	irqMask   uint64 // pending interrupt lines (bit i = line i)
+
+	Cycles uint64 // total consumed cycles
+	Insts  uint64 // retired instruction count
+
+	// TrapHandler services TRAP n; it may mutate the whole CPU state
+	// (context switch) and returns additional cycles consumed by the
+	// kernel. A nil handler makes TRAP halt with an error.
+	TrapHandler func(n int64) uint64
+	// IRQHandler services a pending external interrupt (delivered between
+	// instructions while IntEnable); lines are vectored, lowest line
+	// first. Returns kernel cycles consumed.
+	IRQHandler func(line int) uint64
+
+	err error
+}
+
+// NewCPU creates a CPU with the given memory size, loads the program's
+// code and data image, and points SP at the top of memory.
+func NewCPU(p *Program, memWords int) (*CPU, error) {
+	if len(p.Data) > memWords {
+		return nil, fmt.Errorf("iss: data image (%d words) exceeds memory (%d)", len(p.Data), memWords)
+	}
+	c := &CPU{
+		Mem:       make([]int64, memWords),
+		Code:      p.Code,
+		SP:        int64(memWords),
+		IntEnable: true,
+	}
+	copy(c.Mem, p.Data)
+	return c, nil
+}
+
+// Err returns the first execution fault (bad address, stack overflow,
+// unhandled trap), or nil.
+func (c *CPU) Err() error { return c.err }
+
+// NumIRQLines is the number of vectored interrupt lines.
+const NumIRQLines = 64
+
+// RaiseIRQ asserts an external interrupt line (0..NumIRQLines-1). The
+// interrupt is taken before the next instruction while interrupts are
+// enabled; the line stays asserted until taken. Lower line numbers have
+// higher delivery priority.
+func (c *CPU) RaiseIRQ(line int) {
+	if line < 0 || line >= NumIRQLines {
+		panic(fmt.Sprintf("iss: bad interrupt line %d", line))
+	}
+	c.irqMask |= 1 << uint(line)
+}
+
+// IRQPending reports whether any line is asserted and untaken.
+func (c *CPU) IRQPending() bool { return c.irqMask != 0 }
+
+// lowestIRQ returns and clears the highest-priority pending line.
+func (c *CPU) lowestIRQ() int {
+	for i := 0; i < NumIRQLines; i++ {
+		if c.irqMask&(1<<uint(i)) != 0 {
+			c.irqMask &^= 1 << uint(i)
+			return i
+		}
+	}
+	return -1
+}
+
+// fault stops execution with an error.
+func (c *CPU) fault(format string, args ...interface{}) uint64 {
+	c.err = fmt.Errorf("iss: "+format+" (pc=%d cycles=%d)", append(args, c.PC, c.Cycles)...)
+	c.Halted = true
+	return 1
+}
+
+func (c *CPU) load(addr int64) int64 {
+	if addr < 0 || addr >= int64(len(c.Mem)) {
+		c.fault("load from bad address %d", addr)
+		return 0
+	}
+	return c.Mem[addr]
+}
+
+func (c *CPU) store(addr, v int64) {
+	if addr < 0 || addr >= int64(len(c.Mem)) {
+		c.fault("store to bad address %d", addr)
+		return
+	}
+	c.Mem[addr] = v
+}
+
+func (c *CPU) push(v int64) {
+	c.SP--
+	if c.SP < 0 {
+		c.fault("stack overflow")
+		return
+	}
+	c.Mem[c.SP] = v
+}
+
+func (c *CPU) pop() int64 {
+	if c.SP >= int64(len(c.Mem)) {
+		c.fault("stack underflow")
+		return 0
+	}
+	v := c.Mem[c.SP]
+	c.SP++
+	return v
+}
+
+func (c *CPU) setFlags(v int64) {
+	c.FlagZ = v == 0
+	c.FlagN = v < 0
+}
+
+// Step executes one instruction (servicing a pending interrupt first) and
+// returns the cycles it consumed. On a halted CPU, Step returns 0.
+func (c *CPU) Step() uint64 {
+	if c.Halted {
+		return 0
+	}
+	if c.irqMask != 0 && c.IntEnable && c.IRQHandler != nil {
+		line := c.lowestIRQ()
+		cost := 6 + c.IRQHandler(line) // 6-cycle interrupt entry + kernel time
+		c.Cycles += cost
+		return cost
+	}
+	if c.PC < 0 || c.PC >= int64(len(c.Code)) {
+		return c.fault("instruction fetch from bad address %d", c.PC)
+	}
+	in := c.Code[c.PC]
+	c.PC++
+	c.Insts++
+	cost := cycleCost[in.Op]
+
+	switch in.Op {
+	case OpNop:
+	case OpHalt:
+		c.Halted = true
+	case OpLdi:
+		c.Regs[in.Rd] = in.Imm
+	case OpLd:
+		c.Regs[in.Rd] = c.load(in.Imm)
+	case OpSt:
+		c.store(in.Imm, c.Regs[in.Rs])
+	case OpLdx:
+		c.Regs[in.Rd] = c.load(c.Regs[in.Rs] + in.Imm)
+	case OpStx:
+		c.store(c.Regs[in.Rd]+in.Imm, c.Regs[in.Rs])
+	case OpMov:
+		c.Regs[in.Rd] = c.Regs[in.Rs]
+	case OpAdd:
+		c.Regs[in.Rd] += c.Regs[in.Rs]
+		c.setFlags(c.Regs[in.Rd])
+	case OpAddi:
+		c.Regs[in.Rd] += in.Imm
+		c.setFlags(c.Regs[in.Rd])
+	case OpSub:
+		c.Regs[in.Rd] -= c.Regs[in.Rs]
+		c.setFlags(c.Regs[in.Rd])
+	case OpMul:
+		c.Regs[in.Rd] *= c.Regs[in.Rs]
+		c.setFlags(c.Regs[in.Rd])
+	case OpMac:
+		c.Acc += c.Regs[in.Rd] * c.Regs[in.Rs]
+	case OpClra:
+		c.Acc = 0
+	case OpRda:
+		c.Regs[in.Rd] = c.Acc
+	case OpAnd:
+		c.Regs[in.Rd] &= c.Regs[in.Rs]
+		c.setFlags(c.Regs[in.Rd])
+	case OpOr:
+		c.Regs[in.Rd] |= c.Regs[in.Rs]
+		c.setFlags(c.Regs[in.Rd])
+	case OpXor:
+		c.Regs[in.Rd] ^= c.Regs[in.Rs]
+		c.setFlags(c.Regs[in.Rd])
+	case OpShl:
+		c.Regs[in.Rd] <<= uint(in.Imm)
+		c.setFlags(c.Regs[in.Rd])
+	case OpShr:
+		c.Regs[in.Rd] >>= uint(in.Imm)
+		c.setFlags(c.Regs[in.Rd])
+	case OpCmp:
+		c.setFlags(c.Regs[in.Rd] - c.Regs[in.Rs])
+	case OpCmpi:
+		c.setFlags(c.Regs[in.Rd] - in.Imm)
+	case OpBeq:
+		if c.FlagZ {
+			c.PC = in.Imm
+		}
+	case OpBne:
+		if !c.FlagZ {
+			c.PC = in.Imm
+		}
+	case OpBlt:
+		if c.FlagN {
+			c.PC = in.Imm
+		}
+	case OpBge:
+		if !c.FlagN {
+			c.PC = in.Imm
+		}
+	case OpJmp:
+		c.PC = in.Imm
+	case OpCall:
+		c.push(c.PC)
+		c.PC = in.Imm
+	case OpRet:
+		c.PC = c.pop()
+	case OpPush:
+		c.push(c.Regs[in.Rs])
+	case OpPop:
+		c.Regs[in.Rd] = c.pop()
+	case OpTrap:
+		if c.TrapHandler == nil {
+			return c.fault("unhandled trap %d", in.Imm)
+		}
+		cost += c.TrapHandler(in.Imm)
+	default:
+		return c.fault("illegal opcode %d", int(in.Op))
+	}
+	c.Cycles += cost
+	return cost
+}
+
+// RunBatch executes up to maxInsts instructions, stopping early on halt,
+// fault, or after a trap/interrupt (so the caller can synchronize modeled
+// time with the embedding simulation at kernel-visible points). It returns
+// the cycles consumed.
+func (c *CPU) RunBatch(maxInsts int) uint64 {
+	var cycles uint64
+	for i := 0; i < maxInsts && !c.Halted; i++ {
+		trapOrIRQ := (c.irqMask != 0 && c.IntEnable) ||
+			(c.PC >= 0 && c.PC < int64(len(c.Code)) && c.Code[c.PC].Op == OpTrap)
+		cycles += c.Step()
+		if trapOrIRQ {
+			break
+		}
+	}
+	return cycles
+}

@@ -1,0 +1,141 @@
+// Package iss implements a small instruction-set simulator standing in
+// for the paper's implementation-model processor (a Motorola DSP56600
+// with a commercial ISS, which we cannot redistribute — see DESIGN.md's
+// substitution table). The machine is a word-addressed load/store DSP-like
+// core with eight general registers, a hardware stack pointer, condition
+// flags, an external interrupt line, per-instruction cycle costs, and a
+// TRAP instruction that calls into a host-modeled kernel (internal/
+// ukernel). Programs are written in a simple assembly dialect compiled by
+// the two-pass assembler in asm.go.
+package iss
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op int
+
+// The instruction set. Rd/Rs denote register operands, Imm an immediate
+// or resolved address/branch target.
+const (
+	OpNop  Op = iota // nop
+	OpHalt           // halt: stop the core
+	OpLdi            // ldi rd, imm        rd = imm
+	OpLd             // ld rd, sym         rd = mem[sym]
+	OpSt             // st sym, rs         mem[sym] = rs
+	OpLdx            // ldx rd, rs, off    rd = mem[rs+off]
+	OpStx            // stx rd, off, rs    mem[rd+off] = rs
+	OpMov            // mov rd, rs         rd = rs
+	OpAdd            // add rd, rs         rd += rs
+	OpAddi           // addi rd, imm       rd += imm
+	OpSub            // sub rd, rs         rd -= rs
+	OpMul            // mul rd, rs         rd *= rs (DSP multiply)
+	OpMac            // mac rd, rs         acc += rd*rs (accumulator)
+	OpClra           // clra               acc = 0
+	OpRda            // rda rd             rd = acc
+	OpAnd            // and rd, rs
+	OpOr             // or rd, rs
+	OpXor            // xor rd, rs
+	OpShl            // shl rd, imm
+	OpShr            // shr rd, imm (arithmetic)
+	OpCmp            // cmp rd, rs         set Z/N from rd-rs
+	OpCmpi           // cmpi rd, imm
+	OpBeq            // beq label
+	OpBne            // bne label
+	OpBlt            // blt label
+	OpBge            // bge label
+	OpJmp            // jmp label
+	OpCall           // call label
+	OpRet            // ret
+	OpPush           // push rs
+	OpPop            // pop rd
+	OpTrap           // trap n: kernel service call
+	opCount
+)
+
+// opNames maps opcodes to assembly mnemonics.
+var opNames = [opCount]string{
+	OpNop: "nop", OpHalt: "halt", OpLdi: "ldi", OpLd: "ld", OpSt: "st",
+	OpLdx: "ldx", OpStx: "stx", OpMov: "mov", OpAdd: "add", OpAddi: "addi",
+	OpSub: "sub", OpMul: "mul", OpMac: "mac", OpClra: "clra", OpRda: "rda",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpCmp: "cmp", OpCmpi: "cmpi", OpBeq: "beq", OpBne: "bne", OpBlt: "blt",
+	OpBge: "bge", OpJmp: "jmp", OpCall: "call", OpRet: "ret",
+	OpPush: "push", OpPop: "pop", OpTrap: "trap",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// cycleCost models per-instruction execution time, loosely following
+// fixed-point DSP timing: single-cycle ALU, two-cycle memory and multiply,
+// multi-cycle control transfers and traps.
+var cycleCost = [opCount]uint64{
+	OpNop: 1, OpHalt: 1, OpLdi: 1, OpLd: 2, OpSt: 2, OpLdx: 2, OpStx: 2,
+	OpMov: 1, OpAdd: 1, OpAddi: 1, OpSub: 1, OpMul: 2, OpMac: 2,
+	OpClra: 1, OpRda: 1, OpAnd: 1, OpOr: 1, OpXor: 1, OpShl: 1, OpShr: 1,
+	OpCmp: 1, OpCmpi: 1, OpBeq: 2, OpBne: 2, OpBlt: 2, OpBge: 2,
+	OpJmp: 2, OpCall: 4, OpRet: 4, OpPush: 2, OpPop: 2, OpTrap: 8,
+}
+
+// Cost returns the cycle cost of an opcode.
+func Cost(o Op) uint64 { return cycleCost[o] }
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  int   // destination / first register
+	Rs  int   // source / second register
+	Imm int64 // immediate, memory address, branch target or trap number
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpHalt, OpRet, OpClra:
+		return i.Op.String()
+	case OpLdi, OpAddi, OpCmpi, OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case OpLd:
+		return fmt.Sprintf("%s r%d, [%d]", i.Op, i.Rd, i.Imm)
+	case OpSt:
+		return fmt.Sprintf("%s [%d], r%d", i.Op, i.Imm, i.Rs)
+	case OpLdx:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case OpStx:
+		return fmt.Sprintf("%s r%d, %d, r%d", i.Op, i.Rd, i.Imm, i.Rs)
+	case OpMov, OpAdd, OpSub, OpMul, OpMac, OpAnd, OpOr, OpXor, OpCmp:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Rd, i.Rs)
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case OpPush:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs)
+	case OpPop, OpRda:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rd)
+	case OpTrap:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	default:
+		return i.Op.String()
+	}
+}
+
+// Program is an assembled unit: code, initialized data image and the
+// symbol table.
+type Program struct {
+	Code    []Instr
+	Data    []int64          // initial data memory image
+	Symbols map[string]int64 // label -> code index or data address
+}
+
+// Entry returns the address of a code label.
+func (p *Program) Entry(label string) (int64, error) {
+	a, ok := p.Symbols[label]
+	if !ok {
+		return 0, fmt.Errorf("iss: unknown label %q", label)
+	}
+	return a, nil
+}

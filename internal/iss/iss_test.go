@@ -1,0 +1,330 @@
+package iss
+
+import (
+	"strings"
+	"testing"
+)
+
+func runProgram(t *testing.T, src string, maxSteps int) *CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := NewCPU(p, 4096)
+	if err != nil {
+		t.Fatalf("cpu: %v", err)
+	}
+	for i := 0; i < maxSteps && !c.Halted; i++ {
+		c.Step()
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt in %d steps", maxSteps)
+	}
+	if c.Err() != nil {
+		t.Fatalf("execution fault: %v", c.Err())
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := runProgram(t, `
+		ldi r0, 6
+		ldi r1, 7
+		mul r0, r1      ; 42
+		addi r0, -2     ; 40
+		ldi r2, 4
+		sub r0, r2      ; 36
+		shl r0, 1       ; 72
+		shr r0, 3       ; 9
+		halt
+	`, 100)
+	if c.Regs[0] != 9 {
+		t.Errorf("r0 = %d, want 9", c.Regs[0])
+	}
+}
+
+func TestLoadStoreAndData(t *testing.T) {
+	c := runProgram(t, `
+		ld  r0, answer
+		addi r0, 1
+		st  result, r0
+		ldi r1, result
+		ldx r2, r1, 0
+		halt
+	.data
+	answer: .word 41
+	result: .word 0
+	`, 100)
+	if c.Regs[2] != 42 {
+		t.Errorf("r2 = %d, want 42", c.Regs[2])
+	}
+	if c.Mem[1] != 42 {
+		t.Errorf("mem[result] = %d, want 42", c.Mem[1])
+	}
+}
+
+func TestBranchLoop(t *testing.T) {
+	// Sum 1..10 = 55.
+	c := runProgram(t, `
+		ldi r0, 0      ; sum
+		ldi r1, 10     ; i
+	loop:
+		add r0, r1
+		addi r1, -1
+		cmpi r1, 0
+		bne loop
+		halt
+	`, 1000)
+	if c.Regs[0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[0])
+	}
+}
+
+func TestCallRetStack(t *testing.T) {
+	c := runProgram(t, `
+		ldi r0, 5
+		call double
+		call double
+		halt
+	double:
+		add r0, r0
+		ret
+	`, 100)
+	if c.Regs[0] != 20 {
+		t.Errorf("r0 = %d, want 20", c.Regs[0])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	c := runProgram(t, `
+		ldi r0, 11
+		ldi r1, 22
+		push r0
+		push r1
+		pop r2
+		pop r3
+		halt
+	`, 100)
+	if c.Regs[2] != 22 || c.Regs[3] != 11 {
+		t.Errorf("r2,r3 = %d,%d, want 22,11 (LIFO)", c.Regs[2], c.Regs[3])
+	}
+}
+
+func TestMacAccumulator(t *testing.T) {
+	// Dot product of [1,2,3]·[4,5,6] = 32.
+	c := runProgram(t, `
+		clra
+		ldi r0, 1
+		ldi r1, 4
+		mac r0, r1
+		ldi r0, 2
+		ldi r1, 5
+		mac r0, r1
+		ldi r0, 3
+		ldi r1, 6
+		mac r0, r1
+		rda r2
+		halt
+	`, 100)
+	if c.Regs[2] != 32 {
+		t.Errorf("acc = %d, want 32", c.Regs[2])
+	}
+}
+
+func TestTrapHandler(t *testing.T) {
+	p := MustAssemble(`
+		ldi r0, 7
+		trap 3
+		halt
+	`)
+	c, err := NewCPU(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTrap, gotArg int64
+	c.TrapHandler = func(n int64) uint64 {
+		gotTrap = n
+		gotArg = c.Regs[0]
+		return 25
+	}
+	before := c.Cycles
+	for !c.Halted {
+		c.Step()
+	}
+	if gotTrap != 3 || gotArg != 7 {
+		t.Errorf("trap = %d arg = %d, want 3, 7", gotTrap, gotArg)
+	}
+	// ldi(1) + trap(8+25) + halt(1) = 35.
+	if got := c.Cycles - before; got != 35 {
+		t.Errorf("cycles = %d, want 35", got)
+	}
+}
+
+func TestInterruptDelivery(t *testing.T) {
+	p := MustAssemble(`
+	loop:
+		addi r0, 1
+		jmp loop
+	`)
+	c, err := NewCPU(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := false
+	c.IRQHandler = func(line int) uint64 {
+		served = true
+		c.Halted = true // handler stops the test program
+		return 10
+	}
+	for i := 0; i < 10; i++ {
+		c.Step()
+	}
+	c.RaiseIRQ(0)
+	if !c.IRQPending() {
+		t.Fatal("irq line not pending after raise")
+	}
+	c.Step()
+	if !served {
+		t.Fatal("interrupt not delivered on next step")
+	}
+	if c.IRQPending() {
+		t.Error("irq line still pending after delivery")
+	}
+}
+
+func TestInterruptMaskedWhileDisabled(t *testing.T) {
+	p := MustAssemble(`
+		addi r0, 1
+		addi r0, 1
+		halt
+	`)
+	c, _ := NewCPU(p, 64)
+	c.IntEnable = false
+	fired := false
+	c.IRQHandler = func(line int) uint64 { fired = true; return 0 }
+	c.RaiseIRQ(0)
+	for !c.Halted {
+		c.Step()
+	}
+	if fired {
+		t.Error("interrupt delivered while disabled")
+	}
+	if !c.IRQPending() {
+		t.Error("interrupt lost instead of staying pending")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	c := runProgram(t, `
+		ldi r0, 1   ; 1
+		ld  r1, w   ; 2
+		add r0, r1  ; 1
+		halt        ; 1
+	.data
+	w: .word 5
+	`, 10)
+	if c.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5", c.Cycles)
+	}
+	if c.Insts != 4 {
+		t.Errorf("insts = %d, want 4", c.Insts)
+	}
+}
+
+func TestRunBatchStopsAtTrap(t *testing.T) {
+	p := MustAssemble(`
+		addi r0, 1
+		addi r0, 1
+		trap 1
+		addi r0, 1
+		halt
+	`)
+	c, _ := NewCPU(p, 64)
+	trapped := false
+	c.TrapHandler = func(n int64) uint64 { trapped = true; return 0 }
+	c.RunBatch(100)
+	if !trapped {
+		t.Fatal("batch did not reach trap")
+	}
+	if c.Regs[0] != 2 {
+		t.Errorf("r0 = %d at batch end, want 2 (stop right after trap)", c.Regs[0])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"bad-load", "ld r0, 99999\nhalt", "bad address"},
+		{"unhandled-trap", "trap 1\nhalt", "unhandled trap"},
+		{"fetch-off-end", "addi r0, 1", "instruction fetch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Assemble(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, _ := NewCPU(p, 16)
+			for i := 0; i < 100 && !c.Halted; i++ {
+				c.Step()
+			}
+			if c.Err() == nil || !strings.Contains(c.Err().Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", c.Err(), tc.want)
+			}
+		})
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"unknown-mnemonic", "frobnicate r0", "unknown mnemonic"},
+		{"bad-register", "ldi r9, 1", "bad register"},
+		{"undefined-symbol", "jmp nowhere", "undefined symbol"},
+		{"duplicate-label", "a:\na:\nhalt", "duplicate symbol"},
+		{"instr-in-data", ".data\nldi r0, 1", "in .data section"},
+		{"bad-operand-count", "add r0", "bad operands"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	p := MustAssemble(`
+		ldi r0, 42
+		st 5, r0
+		jmp 0
+	`)
+	wants := []string{"ldi r0, 42", "st [5], r0", "jmp 0"}
+	for i, w := range wants {
+		if got := p.Code[i].String(); got != w {
+			t.Errorf("disasm[%d] = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestHexImmediates(t *testing.T) {
+	c := runProgram(t, "ldi r0, 0xff\nhalt", 10)
+	if c.Regs[0] != 255 {
+		t.Errorf("r0 = %d, want 255", c.Regs[0])
+	}
+}
+
+func TestEntryLookup(t *testing.T) {
+	p := MustAssemble("start:\nhalt")
+	if a, err := p.Entry("start"); err != nil || a != 0 {
+		t.Errorf("Entry(start) = %d, %v", a, err)
+	}
+	if _, err := p.Entry("missing"); err == nil {
+		t.Error("Entry(missing) did not fail")
+	}
+}

@@ -1,0 +1,70 @@
+package loccount
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCountFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	content := "package x\n\nfunc F() {}\n\n\n// comment\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // package, func, comment — blanks dropped
+		t.Errorf("count = %d, want 3", n)
+	}
+}
+
+func TestCountDirSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.go"), []byte("package a\nvar X = 1\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "a_test.go"), []byte("package a\nvar Y = 1\nvar Z = 2\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "note.txt"), []byte("irrelevant\n"), 0o644)
+	n, err := CountDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("count = %d, want 2 (tests and non-Go excluded)", n)
+	}
+}
+
+func TestRepoRoot(t *testing.T) {
+	root, err := RepoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("root %q has no go.mod: %v", root, err)
+	}
+}
+
+func TestModelLoCOrdering(t *testing.T) {
+	spec, arch, impl, err := ModelLoC(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Table 1 shape: specification < architecture < implementation.
+	if !(spec > 0 && spec < arch && arch < impl) {
+		t.Errorf("LoC ordering violated: spec=%d arch=%d impl=%d", spec, arch, impl)
+	}
+	// The architecture delta is the RTOS model library — the paper's is
+	// ~2000 lines of SpecC; ours should be the same order of magnitude.
+	delta := arch - spec
+	if delta < 300 || delta > 5000 {
+		t.Errorf("RTOS model library size = %d lines, outside plausible range", delta)
+	}
+}
+
+func TestCountFileMissing(t *testing.T) {
+	if _, err := CountFile("/nonexistent/file.go"); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -1,0 +1,155 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestFigure8aUnscheduled verifies the specification-model trace of the
+// paper's Figure 8(a): B2 and B3 execute truly in parallel (overlapping
+// delays), and the event sequence follows the paper's narrative.
+func TestFigure8aUnscheduled(t *testing.T) {
+	rec, err := Figure3Unscheduled(DefaultFigure3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B1 finishes at 100, then B2/B3 overlap.
+	if ts := rec.MarkerTimes("B1-done"); len(ts) != 1 || ts[0] != 100 {
+		t.Errorf("B1-done at %v, want [100]", ts)
+	}
+	if ov := rec.Overlap("B2", "B3"); ov == 0 {
+		t.Error("unscheduled model shows no B2/B3 overlap; expected true parallelism")
+	}
+	// Paper timeline with default params: c1 send at 140 (end of d5),
+	// c1 data consumed when B3 reaches the receive at 150, external data
+	// at the interrupt time 280, c2 send at 340, end at 390.
+	checks := []struct {
+		label string
+		want  sim.Time
+	}{
+		{"c1-send", 140},
+		{"c1-recv", 150},
+		{"ext-data", 280},
+		{"c2-send", 340},
+	}
+	for _, c := range checks {
+		ts := rec.MarkerTimes(c.label)
+		if len(ts) != 1 || ts[0] != c.want {
+			t.Errorf("%s at %v, want [%v]", c.label, ts, c.want)
+		}
+	}
+	if end := rec.End(); end != 390 {
+		t.Errorf("trace ends at %v, want 390", end)
+	}
+	// No RTOS: zero context switches in the unscheduled model (Table 1).
+	if cs := rec.ContextSwitches(); cs != 0 {
+		t.Errorf("context switches = %d, want 0", cs)
+	}
+}
+
+// TestFigure8bArchitectureCoarse verifies the architecture-model trace of
+// Figure 8(b) under priority scheduling with the paper's coarse time
+// model: tasks interleave (no overlap), and the interrupt at t4=280 takes
+// effect only at t4'=390, the end of task B2's d6 time step.
+func TestFigure8bArchitectureCoarse(t *testing.T) {
+	rec, os, err := Figure3Architecture(DefaultFigure3(), core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := rec.Overlap("B2", "B3"); ov != 0 {
+		t.Errorf("architecture model overlap = %v, want 0 (serialized)", ov)
+	}
+	// Serialized timeline: B3 (higher priority) runs d1 at 100-150, blocks
+	// on c1; B2 runs d5 150-190, sends c1; B3 preempts, d2 190-270, blocks
+	// on the driver semaphore; B2 runs d6 270-390; IRQ at 280 readies B3
+	// but the switch is delayed to 390.
+	checks := []struct {
+		label string
+		want  sim.Time
+	}{
+		{"c1-send", 190},
+		{"c1-recv", 190},
+		{"ext-data", 390}, // t4' — the delayed preemption
+		{"c2-send", 450},
+		{"c2-recv", 560},
+	}
+	for _, c := range checks {
+		ts := rec.MarkerTimes(c.label)
+		if len(ts) != 1 || ts[0] != c.want {
+			t.Errorf("%s at %v, want [%v]", c.label, ts, c.want)
+		}
+	}
+	if end := rec.End(); end != 610 {
+		t.Errorf("trace ends at %v, want 610 (serialized schedule)", end)
+	}
+	st := os.StatsSnapshot()
+	if st.ContextSwitches < 4 {
+		t.Errorf("context switches = %d, want ≥ 4", st.ContextSwitches)
+	}
+	if st.IRQs != 1 {
+		t.Errorf("IRQs = %d, want 1", st.IRQs)
+	}
+	if st.Preemptions == 0 {
+		t.Error("no preemptions recorded; the c1 send and the interrupt must preempt B2")
+	}
+}
+
+// TestFigure8bSegmented verifies the extension time model: the interrupt
+// preempts B2 immediately at t4=280, so B3 receives its data 110 time
+// units earlier than under the coarse model.
+func TestFigure8bSegmented(t *testing.T) {
+	rec, _, err := Figure3Architecture(DefaultFigure3(), core.PriorityPolicy{}, core.TimeModelSegmented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := rec.MarkerTimes("ext-data")
+	if len(ts) != 1 || ts[0] != 280 {
+		t.Errorf("ext-data at %v, want [280] (immediate preemption)", ts)
+	}
+	// Total schedule length is unchanged: the same work is serialized.
+	if end := rec.End(); end != 610 {
+		t.Errorf("trace ends at %v, want 610", end)
+	}
+}
+
+// TestFigure3ResponseTimeGap quantifies the paper's accuracy remark: the
+// response time of B3 to the external interrupt differs between time
+// models by the remainder of B2's d6 annotation.
+func TestFigure3ResponseTimeGap(t *testing.T) {
+	par := DefaultFigure3()
+	coarse, _, err := Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _, err := Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelSegmented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respCoarse := coarse.MarkerTimes("ext-data")[0] - par.IRQAt
+	respSeg := seg.MarkerTimes("ext-data")[0] - par.IRQAt
+	if respSeg != 0 {
+		t.Errorf("segmented response = %v, want 0", respSeg)
+	}
+	// d6 runs 270..390; IRQ at 280 → 110 remaining.
+	if respCoarse != 110 {
+		t.Errorf("coarse response = %v, want 110 (remainder of d6)", respCoarse)
+	}
+}
+
+// TestFigure3FCFS runs the same model under non-preemptive FCFS: B2 (first
+// to block on nothing) and B3 never preempt each other; the model still
+// completes with a valid serialized schedule.
+func TestFigure3FCFS(t *testing.T) {
+	rec, _, err := Figure3Architecture(DefaultFigure3(), core.FCFSPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := rec.Overlap("B2", "B3"); ov != 0 {
+		t.Errorf("overlap = %v, want 0", ov)
+	}
+	if rec.End() <= 390 {
+		t.Errorf("end = %v; serialized schedule must exceed the unscheduled 390", rec.End())
+	}
+}

@@ -1,0 +1,121 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestJPEGSpecThroughputBoundedByDCT(t *testing.T) {
+	par := SmallJPEG()
+	res, rec, err := JPEGSpec(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.MarkerTimes("block-out")); n != par.Blocks {
+		t.Fatalf("encoded %d blocks, want %d", n, par.Blocks)
+	}
+	// Pipeline steady state: one block per DCT time, plus the fill of the
+	// quant+huff tail.
+	wantMin := sim.Time(par.Blocks) * par.DCTTimeSW
+	wantMax := wantMin + par.QuantTime + par.HuffTime + 10*sim.Microsecond
+	if res.Total < wantMin || res.Total > wantMax {
+		t.Errorf("total = %v, want in [%v, %v]", res.Total, wantMin, wantMax)
+	}
+	// Stages really overlap in the specification model.
+	if ov := rec.Overlap("dct", "huff"); ov == 0 {
+		t.Error("dct and huff do not overlap in the unscheduled model")
+	}
+}
+
+func TestJPEGSWSerializes(t *testing.T) {
+	par := SmallJPEG()
+	res, rec, err := JPEGSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.MarkerTimes("block-out")); n != par.Blocks {
+		t.Fatalf("encoded %d blocks, want %d", n, par.Blocks)
+	}
+	// Fully serialized: total = blocks × (dct + quant + huff).
+	want := sim.Time(par.Blocks) * (par.DCTTimeSW + par.QuantTime + par.HuffTime)
+	if res.Total != want {
+		t.Errorf("total = %v, want %v (serialized stages)", res.Total, want)
+	}
+	for _, pair := range [][2]string{{"dct", "quant"}, {"dct", "huff"}, {"quant", "huff"}} {
+		if ov := rec.Overlap(pair[0], pair[1]); ov != 0 {
+			t.Errorf("%s/%s overlap = %v, want 0", pair[0], pair[1], ov)
+		}
+	}
+	if res.CtxSwitch == 0 {
+		t.Error("no context switches in the software mapping")
+	}
+}
+
+func TestJPEGHWSWSpeedsUp(t *testing.T) {
+	par := SmallJPEG()
+	sw, _, err := JPEGSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, rec, bus, err := JPEGHWSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.MarkerTimes("block-out")); n != par.Blocks {
+		t.Fatalf("encoded %d blocks, want %d", n, par.Blocks)
+	}
+	// Offloading the DCT must shorten the encode substantially: the CPU's
+	// serialized work per block drops from 800 µs to 400 µs + bus traffic.
+	speedup := float64(sw.Total) / float64(hw.Total)
+	if speedup < 1.5 {
+		t.Errorf("HW/SW speedup = %.2f (sw %v, hw %v), want ≥ 1.5",
+			speedup, sw.Total, hw.Total)
+	}
+	if bus.Transfers() != uint64(2*par.Blocks) {
+		t.Errorf("bus transfers = %d, want %d (to and from the accelerator)",
+			bus.Transfers(), 2*par.Blocks)
+	}
+	if bus.BusyTime() == 0 {
+		t.Error("bus never busy")
+	}
+	// The accelerated DCT overlaps the CPU's quant/huff work.
+	if ov := rec.Overlap("dct", "huff"); ov == 0 {
+		t.Error("accelerator does not overlap software stages")
+	}
+}
+
+func TestJPEGMappingComparison(t *testing.T) {
+	// Design-space shape across the three mappings: the software mapping
+	// is the slowest (serialized stages with the slow software DCT); both
+	// the unscheduled specification and the HW/SW partition beat it. The
+	// partition may even beat the specification because the accelerator's
+	// DCT is 10× faster than the software DCT the specification models —
+	// exactly the kind of trade-off the flow exists to expose.
+	par := SmallJPEG()
+	spec, _, err := JPEGSpec(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _, err := JPEGSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, _, _, err := JPEGHWSW(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(spec.Total < sw.Total) {
+		t.Errorf("spec %v not faster than software mapping %v", spec.Total, sw.Total)
+	}
+	if !(hw.Total < sw.Total) {
+		t.Errorf("hw/sw %v not faster than software mapping %v", hw.Total, sw.Total)
+	}
+	// The CPU-side serialized work per block halves (800 → 400 µs), so
+	// the partition should land near half the software mapping's time.
+	ratio := float64(sw.Total) / float64(hw.Total)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("hw/sw speedup = %.2f, want ≈2", ratio)
+	}
+}

@@ -1,0 +1,149 @@
+// Package refine implements the paper's dynamic-scheduling refinement
+// (Section 4.2): it turns an unscheduled specification model into an
+// RTOS-based architecture model.
+//
+// Behaviors — the SLDL's units of computation — are written once against
+// the abstract Exec interface. The unscheduled executor binds Exec.Delay
+// to the kernel's waitfor and runs parallel compositions as truly
+// concurrent processes (paper Figure 2(a)). The architecture executor
+// binds Exec.Delay to the RTOS model's time_wait, converts every behavior
+// of a parallel composition into an RTOS task with a priority from the
+// mapping (task refinement, Figure 5), and brackets SLDL par statements
+// with ParStart/ParEnd (dynamic task forking, Figure 6). Synchronization
+// refinement (Figure 7) happens in internal/channel by swapping the
+// channel factory. The refinement is therefore a mechanical substitution
+// of primitives, matching the paper's claim that it is automatable.
+package refine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// kind discriminates behavior composition.
+type kind int
+
+const (
+	kindLeaf kind = iota
+	kindSeq
+	kindPar
+)
+
+// Behavior is a node of the specification's serial-parallel composition
+// hierarchy.
+type Behavior struct {
+	name     string
+	kind     kind
+	fn       func(x Exec)
+	children []*Behavior
+
+	loopCount int        // Loop: repetitions
+	fsmStart  string     // FSM: initial state
+	fsmNext   Transition // FSM: transition function
+}
+
+// Leaf creates a leaf behavior whose body is fn. The body performs
+// computation by calling x.Delay for its annotated execution time and
+// communicates through channels created from the model's channel.Factory.
+func Leaf(name string, fn func(x Exec)) *Behavior {
+	if fn == nil {
+		panic(fmt.Sprintf("refine: leaf %q has nil body", name))
+	}
+	return &Behavior{name: name, kind: kindLeaf, fn: fn}
+}
+
+// Seq creates a sequential composition: children execute in order.
+func Seq(name string, children ...*Behavior) *Behavior {
+	return &Behavior{name: name, kind: kindSeq, children: children}
+}
+
+// Par creates a parallel composition: children execute concurrently and
+// the composition completes when all children have (SLDL par statement).
+func Par(name string, children ...*Behavior) *Behavior {
+	return &Behavior{name: name, kind: kindPar, children: children}
+}
+
+// Name returns the behavior's name.
+func (b *Behavior) Name() string { return b.name }
+
+// Names returns the names of all behaviors in the subtree, pre-order.
+func (b *Behavior) Names() []string {
+	out := []string{b.name}
+	for _, c := range b.children {
+		out = append(out, c.Names()...)
+	}
+	return out
+}
+
+// Validate checks structural soundness: unique names, leaves with bodies,
+// composites with at least one child.
+func (b *Behavior) Validate() error {
+	seen := map[string]bool{}
+	var walk func(n *Behavior) error
+	walk = func(n *Behavior) error {
+		if n == nil {
+			return fmt.Errorf("refine: nil behavior in tree of %q", b.name)
+		}
+		if n.name == "" {
+			return fmt.Errorf("refine: unnamed behavior in tree of %q", b.name)
+		}
+		if seen[n.name] {
+			return fmt.Errorf("refine: duplicate behavior name %q", n.name)
+		}
+		seen[n.name] = true
+		switch n.kind {
+		case kindLeaf:
+			if n.fn == nil {
+				return fmt.Errorf("refine: leaf %q has nil body", n.name)
+			}
+		case kindLoop:
+			if len(n.children) != 1 {
+				return fmt.Errorf("refine: loop %q needs exactly one child", n.name)
+			}
+		case kindFSM:
+			if len(n.children) == 0 {
+				return fmt.Errorf("refine: fsm %q has no states", n.name)
+			}
+			found := false
+			for _, c := range n.children {
+				if c != nil && c.name == n.fsmStart {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("refine: fsm %q start state %q not among its states",
+					n.name, n.fsmStart)
+			}
+		default:
+			if len(n.children) == 0 {
+				return fmt.Errorf("refine: composite %q has no children", n.name)
+			}
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(b)
+}
+
+// Exec is the abstract execution interface behavior bodies are written
+// against. Its two implementations perform the paper's primitive
+// substitution: Delay is SLDL waitfor at specification level and RTOS
+// time_wait at architecture level.
+type Exec interface {
+	// Delay models execution time of the behavior.
+	Delay(d sim.Time)
+	// Proc returns the simulation process executing the behavior, for
+	// channel operations.
+	Proc() *sim.Proc
+	// Now returns the current simulation time.
+	Now() sim.Time
+	// Marker records an instrumentation point in the model's trace.
+	Marker(label string, arg int64)
+	// BehaviorName returns the name of the executing leaf behavior.
+	BehaviorName() string
+}

@@ -1,0 +1,70 @@
+package refine
+
+import "fmt"
+
+// This file adds the remaining SpecC-style composition forms beyond the
+// paper's serial-parallel examples: bounded repetition (Loop) and finite
+// state machine composition (SpecC's fsm construct). Both execute within
+// the enclosing task's context in the architecture model — like Seq, they
+// introduce no new tasks, so refinement treats them transparently.
+
+const (
+	kindLoop kind = iota + 100
+	kindFSM
+)
+
+// Loop creates a bounded repetition: the child executes n times in
+// sequence.
+func Loop(name string, n int, child *Behavior) *Behavior {
+	if n < 0 {
+		panic(fmt.Sprintf("refine: loop %q with negative count %d", name, n))
+	}
+	b := &Behavior{name: name, kind: kindLoop, children: []*Behavior{child}}
+	b.loopCount = n
+	return b
+}
+
+// Transition selects the next state of an FSM composition: it receives
+// the state (behavior) that just finished and returns the name of the
+// next state, or "" to leave the FSM.
+type Transition func(from string, x Exec) string
+
+// FSM creates a finite-state-machine composition over the given state
+// behaviors. Execution starts at start and follows next after each state
+// until it returns "" (done) — SpecC's fsm construct.
+func FSM(name, start string, next Transition, states ...*Behavior) *Behavior {
+	b := &Behavior{name: name, kind: kindFSM, children: states}
+	b.fsmStart = start
+	b.fsmNext = next
+	return b
+}
+
+// execComposite runs the extended composites; shared by both executors
+// (exec runs a child in the current context).
+func execComposite(b *Behavior, x Exec, exec func(*Behavior)) {
+	switch b.kind {
+	case kindLoop:
+		for i := 0; i < b.loopCount; i++ {
+			exec(b.children[0])
+		}
+	case kindFSM:
+		byName := make(map[string]*Behavior, len(b.children))
+		for _, c := range b.children {
+			byName[c.name] = c
+		}
+		state := b.fsmStart
+		for state != "" {
+			s, ok := byName[state]
+			if !ok {
+				panic(fmt.Sprintf("refine: fsm %q transitions to unknown state %q", b.name, state))
+			}
+			exec(s)
+			if b.fsmNext == nil {
+				return
+			}
+			state = b.fsmNext(state, x)
+		}
+	default:
+		panic(fmt.Sprintf("refine: execComposite on kind %d", int(b.kind)))
+	}
+}

@@ -1,0 +1,85 @@
+package sdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Exhaustive parser-error cases: every grammar production's failure paths.
+func TestParserErrorPaths(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"channel-no-name", `channel`, "identifier"},
+		{"channel-bad-arg", `channel q queue x`, "integer"},
+		{"behavior-no-brace", `behavior a delay 1`, "expected"},
+		{"delay-bad-time", `behavior a { delay soon } top a`, "bad time"},
+		{"send-missing-value", `channel q queue 1
+			behavior a { send q } top a`, "integer"},
+		{"marker-missing-arg", `behavior a { marker m } top a`, "integer"},
+		{"repeat-bad-count", `behavior a { repeat x { } } top a`, "integer"},
+		{"repeat-no-brace", `behavior a { repeat 3 delay 1 } top a`, "expected"},
+		{"compose-bad-mode", `behavior a { delay 1 } compose m pipe { a } top m`, "seq or par"},
+		{"compose-missing-brace", `behavior a { delay 1 } compose m seq { a`, "missing }"},
+		{"irq-missing-at", `channel s semaphore 0
+			behavior a { delay 1 } top a
+			irq x releases s`, "expected"},
+		{"irq-bad-time", `channel s semaphore 0
+			behavior a { delay 1 } top a
+			irq x at never releases s`, "bad time"},
+		{"irq-every-no-count", `channel s semaphore 0
+			behavior a { delay 1 } top a
+			irq x at 5 releases s every 10`, "expected"},
+		{"task-missing-priority", `behavior a { delay 1 } top a task a`, "expected"},
+		{"task-bad-priority", `behavior a { delay 1 } top a task a priority high`, "integer"},
+		{"task-bad-period", `behavior a { delay 1 } top a task a priority 1 period soon`, "bad time"},
+		{"negative-delay", `behavior a { delay -5 } top a`, "negative delay"},
+		{"acquire-wrong-kind", `channel q queue 1
+			behavior a { acquire q } top a`, "not a declared semaphore"},
+		{"waitsig-wrong-kind", `channel s semaphore 0
+			behavior a { waitsig s } top a`, "not a declared handshake"},
+		{"dup-channel", `channel c queue 1
+			channel c queue 1
+			behavior a { delay 1 } top a`, "duplicate channel"},
+		{"empty-compose", `behavior a { delay 1 } compose m seq { } top m`, "no children"},
+		{"stray-token", `banana`, "unexpected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestNegativeRepeatRejected covers the repeat-count validation.
+func TestNegativeRepeatRejected(t *testing.T) {
+	_, err := Parse(`behavior a { repeat -1 { delay 1 } } top a`)
+	if err == nil || !strings.Contains(err.Error(), "negative repeat") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestArchitectureRunOfRepeatModel exercises the repeat statement in the
+// RTOS-backed model too.
+func TestArchitectureRunOfRepeatModel(t *testing.T) {
+	src := `
+behavior w { repeat 4 { delay 10ns marker step 0 } }
+compose main seq { w }
+top main
+task main priority 0
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := m.RunArchitecture(core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.MarkerTimes("step")); n != 4 {
+		t.Errorf("steps = %d, want 4", n)
+	}
+}

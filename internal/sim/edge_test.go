@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestKillDuringWaitTimeoutCleansBoth(t *testing.T) {
+	// A process in WaitTimeout is registered on an event AND a timer; kill
+	// must cancel both so neither fires later.
+	k := NewKernel()
+	e := k.NewEvent("e")
+	victim := k.Spawn("victim", func(p *Proc) {
+		p.WaitTimeout(e, 1000)
+		t.Error("victim resumed after kill")
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.WaitFor(10)
+		p.Kill(victim)
+		p.Notify(e) // stale event: must not wake the corpse
+		p.WaitFor(2000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 2010 {
+		t.Errorf("end = %v, want 2010 (victim's 1000-timer canceled)", k.Now())
+	}
+}
+
+func TestSpawnFromParChild(t *testing.T) {
+	var grandchildRan bool
+	k := NewKernel()
+	k.Spawn("root", func(p *Proc) {
+		p.Par(func(c *Proc) {
+			c.Spawn("grand", func(g *Proc) {
+				g.WaitFor(5)
+				grandchildRan = true
+			})
+			c.WaitFor(1)
+		})
+		// Par joins on the child only; the detached grandchild continues.
+		if p.Now() != 1 {
+			t.Errorf("join at %v, want 1", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !grandchildRan {
+		t.Error("grandchild never ran")
+	}
+}
+
+func TestWaitAnySameEventTwice(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("e")
+	var woke bool
+	k.Spawn("w", func(p *Proc) {
+		got := p.WaitAny(e, e)
+		woke = got == e
+	})
+	k.Spawn("n", func(p *Proc) {
+		p.WaitFor(1)
+		p.Notify(e)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Error("WaitAny with duplicate events misbehaved")
+	}
+	if len(e.waiters) != 0 {
+		t.Errorf("stale waiters: %d", len(e.waiters))
+	}
+}
+
+func TestStepsCounterAdvances(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.WaitFor(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Steps < 5 {
+		t.Errorf("steps = %d, want ≥ 5", k.Steps)
+	}
+}
+
+func TestNotifyAfterNonPositive(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("e")
+	var woke Time
+	k.Spawn("w", func(p *Proc) {
+		p.NotifyAfter(e, -5) // clamped: delivered at the current instant's end
+		p.Wait(e)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 0 {
+		t.Errorf("woke at %v, want 0", woke)
+	}
+}
+
+func TestDaemonTimerLoopNeedsHorizon(t *testing.T) {
+	// A daemon with an endless timer loop keeps simulated time advancing;
+	// Run would never return, but RunUntil bounds it and reports no error
+	// because only daemons remain.
+	k := NewKernel()
+	ticks := 0
+	d := k.Spawn("ticker", func(p *Proc) {
+		for {
+			p.WaitFor(10)
+			ticks++
+		}
+	})
+	d.SetDaemon(true)
+	k.Spawn("work", func(p *Proc) { p.WaitFor(35) })
+	if err := k.RunUntil(100); err != nil {
+		t.Fatalf("RunUntil with live daemon: %v", err)
+	}
+	if ticks != 10 {
+		t.Errorf("ticks = %d, want 10", ticks)
+	}
+}
+
+func TestDaemonBlockedOnEventEndsCleanly(t *testing.T) {
+	k := NewKernel()
+	e := k.NewEvent("never")
+	d := k.Spawn("isr", func(p *Proc) {
+		for {
+			p.Wait(e)
+		}
+	})
+	d.SetDaemon(true)
+	k.Spawn("work", func(p *Proc) { p.WaitFor(5) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("daemon blocked on event reported: %v", err)
+	}
+	if k.Now() != 5 {
+		t.Errorf("end = %v, want 5", k.Now())
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("me", func(p *Proc) {
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+		if p.Name() != "me" || p.ID() != 0 {
+			t.Errorf("identity = %q/%d", p.Name(), p.ID())
+		}
+		if p.Daemon() {
+			t.Error("unexpected daemon flag")
+		}
+	})
+	_ = p
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != StateDone {
+		t.Errorf("state = %v", p.State())
+	}
+	if s := p.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestStateStringCoverage(t *testing.T) {
+	states := []State{StateCreated, StateReady, StateRunning, StateWaitEvent,
+		StateWaitTime, StateWaitTimeout, StateWaitChildren, StateDone, StateKilled}
+	seen := map[string]bool{}
+	for _, s := range states {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("state %d: bad string %q", int(s), str)
+		}
+		seen[str] = true
+	}
+}
+
+func TestKernelAccessors(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) { p.WaitFor(1) })
+	if k.Active() != 1 {
+		t.Errorf("active = %d", k.Active())
+	}
+	if len(k.Procs()) != 1 {
+		t.Errorf("procs = %d", len(k.Procs()))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Active() != 0 {
+		t.Errorf("active after run = %d", k.Active())
+	}
+	if k.DeltaCycle() != 0 {
+		// Delta resets on each time advance; after the final advance it
+		// is implementation-defined but must be small.
+		t.Logf("delta cycle = %d", k.DeltaCycle())
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Event is an SLDL synchronization event in the style of SpecC events.
+//
+// Semantics: Notify wakes every process currently blocked in Wait on the
+// event; the woken processes become runnable in the *next* delta cycle of
+// the current time step. An event carries no state: a Notify that finds no
+// waiter is lost. Persistent synchronization (semaphores, queues, the RTOS
+// model's dispatching) is built on top of events by pairing them with
+// explicit state and predicate re-check loops, following the methodology
+// of the paper (Section 4: "Existing SLDL channels ... are reused by
+// refining their internal synchronization primitives").
+type Event struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewEvent allocates an event on the kernel. The name is used only for
+// diagnostics (deadlock dumps, traces).
+func (k *Kernel) NewEvent(name string) *Event {
+	return &Event{k: k, name: name}
+}
+
+// Name returns the diagnostic name given at creation.
+func (e *Event) Name() string { return e.name }
+
+// addWaiter registers p as blocked on e.
+func (e *Event) addWaiter(p *Proc) {
+	e.waiters = append(e.waiters, p)
+}
+
+// removeWaiter unregisters p (used by timeouts, kill, and WaitAny cleanup).
+func (e *Event) removeWaiter(p *Proc) {
+	for i, w := range e.waiters {
+		if w == p {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// flush wakes every current waiter, scheduling each into the next delta
+// cycle, and clears the waiter list. Called by Proc.Notify and by the
+// kernel when a timed notification fires. The state guard makes the wake
+// idempotent when a process registered on the same event more than once
+// (e.g. WaitAny with duplicate events).
+func (e *Event) flush() {
+	if len(e.waiters) == 0 {
+		return
+	}
+	woken := e.waiters
+	e.waiters = nil
+	for _, p := range woken {
+		if p.state == StateWaitEvent || p.state == StateWaitTimeout {
+			p.wakeFromEvent(e)
+		}
+	}
+}

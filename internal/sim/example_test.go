@@ -1,0 +1,50 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A minimal SLDL model: two concurrent processes with modeled delays and
+// an event synchronization, SpecC-style.
+func ExampleKernel() {
+	k := sim.NewKernel()
+	ready := k.NewEvent("ready")
+
+	k.Spawn("producer", func(p *sim.Proc) {
+		p.WaitFor(20 * sim.Millisecond) // waitfor: modeled computation
+		fmt.Printf("[%v] producer: data ready\n", p.Now())
+		p.Notify(ready)
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		p.Wait(ready) // wait: block until notified
+		p.WaitFor(5 * sim.Millisecond)
+		fmt.Printf("[%v] consumer: done\n", p.Now())
+	})
+
+	if err := k.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// [20ms] producer: data ready
+	// [25ms] consumer: done
+}
+
+// Par is the SLDL's fork/join: concurrent delays overlap, so the join
+// happens at the maximum, not the sum.
+func ExampleProc_Par() {
+	k := sim.NewKernel()
+	k.Spawn("root", func(p *sim.Proc) {
+		p.Par(
+			func(c *sim.Proc) { c.WaitFor(30) },
+			func(c *sim.Proc) { c.WaitFor(50) },
+		)
+		fmt.Printf("joined at %v\n", p.Now())
+	})
+	if err := k.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// joined at 50ns
+}

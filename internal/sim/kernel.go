@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// Kernel is the discrete-event simulation engine. Create one with
+// NewKernel, spawn one or more root processes with Spawn, then call Run
+// or RunUntil. A Kernel is not safe for concurrent use from multiple
+// goroutines: the cooperative handoff protocol guarantees that at most one
+// process goroutine (or the Run caller) touches kernel state at a time.
+type Kernel struct {
+	now   Time
+	delta uint64
+	seq   int // process id source
+
+	ready []*Proc // runnable in the current delta cycle, FIFO
+	next  []*Proc // runnable in the next delta cycle, FIFO
+
+	timers   timerHeap
+	timerSeq int
+
+	yield   chan struct{} // process -> kernel handoff
+	killAck chan struct{} // killed process -> killer handoff
+
+	running  *Proc
+	active   int // processes not yet finished
+	stopped  bool
+	panicked interface{}
+
+	procs []*Proc // all processes ever created, for diagnostics
+
+	// Steps counts process activations (resume/yield round trips); exposed
+	// for tests and benchmarks of kernel overhead.
+	Steps uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield:   make(chan struct{}),
+		killAck: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// DeltaCycle returns the delta-cycle counter within the current time step.
+func (k *Kernel) DeltaCycle() uint64 { return k.delta }
+
+// Active returns the number of live (unfinished) processes.
+func (k *Kernel) Active() int { return k.active }
+
+// Procs returns all processes ever created, in creation order.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// newProc allocates a process and its goroutine (parked until first
+// resume).
+func (k *Kernel) newProc(name string, fn Func, parent *Proc) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     k.seq,
+		name:   name,
+		fn:     fn,
+		state:  StateCreated,
+		resume: make(chan resumeMode),
+		parent: parent,
+	}
+	k.seq++
+	k.active++
+	k.procs = append(k.procs, p)
+	go p.run()
+	return p
+}
+
+// Spawn creates a root process. It may be called before Run to set up the
+// model, or from hook code between RunUntil calls. Root processes spawned
+// before Run start at time zero in creation order.
+func (k *Kernel) Spawn(name string, fn Func) *Proc {
+	p := k.newProc(name, fn, nil)
+	k.enqueueReady(p)
+	return p
+}
+
+// enqueueReady schedules p into the current delta cycle.
+func (k *Kernel) enqueueReady(p *Proc) { k.ready = append(k.ready, p) }
+
+// enqueueNext schedules p into the next delta cycle.
+func (k *Kernel) enqueueNext(p *Proc) { k.next = append(k.next, p) }
+
+// removeFromQueues drops p from the ready and next-delta queues (kill
+// path).
+func (k *Kernel) removeFromQueues(p *Proc) {
+	k.ready = removeProc(k.ready, p)
+	k.next = removeProc(k.next, p)
+}
+
+func removeProc(q []*Proc, p *Proc) []*Proc {
+	for i, x := range q {
+		if x == p {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// Run executes the simulation until no process can make progress or a
+// process calls Stop. It returns a DeadlockError if live processes remain
+// blocked with no pending timer (and Stop was not called).
+func (k *Kernel) Run() error { return k.RunUntil(Forever) }
+
+// RunUntil executes the simulation up to and including logical time limit.
+// Events scheduled after limit remain pending; calling RunUntil again with
+// a later limit resumes the simulation.
+func (k *Kernel) RunUntil(limit Time) error {
+	for !k.stopped {
+		if len(k.ready) == 0 {
+			if len(k.next) > 0 {
+				k.ready, k.next = k.next, k.ready[:0]
+				k.delta++
+				continue
+			}
+			t, ok := k.timers.nextTime()
+			if !ok {
+				break // nothing scheduled at all
+			}
+			if t > limit {
+				return nil // time horizon reached; state preserved
+			}
+			k.now = t
+			k.delta = 0
+			k.fireTimers(t)
+			continue
+		}
+		p := k.ready[0]
+		k.ready = k.ready[1:]
+		k.running = p
+		k.Steps++
+		p.resume <- resumeRun
+		<-k.yield
+		k.running = nil
+		if k.panicked != nil {
+			r := k.panicked
+			k.panicked = nil
+			panic(r)
+		}
+	}
+	if k.stopped {
+		return nil
+	}
+	if live := k.liveProcs(); len(live) > 0 {
+		return &DeadlockError{Time: k.now, Procs: live}
+	}
+	return nil
+}
+
+// fireTimers pops every timer entry scheduled at exactly time t, waking
+// timed-out processes into the (fresh) current delta cycle and flushing
+// timed notifications.
+func (k *Kernel) fireTimers(t Time) {
+	for {
+		e, ok := k.timers.peek()
+		if !ok || e.at != t {
+			return
+		}
+		heap.Pop(&k.timers)
+		if e.canceled {
+			continue
+		}
+		switch {
+		case e.p != nil:
+			e.p.wakeFromTimer()
+		case e.e != nil:
+			e.e.flush()
+		}
+	}
+}
+
+// addTimer registers a timer entry: either a process timeout (p != nil) or
+// a timed event notification (e != nil).
+func (k *Kernel) addTimer(at Time, p *Proc, e *Event) *timerEntry {
+	k.timerSeq++
+	entry := &timerEntry{at: at, seq: k.timerSeq, p: p, e: e}
+	heap.Push(&k.timers, entry)
+	return entry
+}
+
+// kill terminates target and its children recursively; see Proc.Kill.
+func (k *Kernel) kill(target, killer *Proc) {
+	if target.state == StateDone || target.state == StateKilled {
+		return
+	}
+	// Children first, so join accounting in finish() sees a live parent.
+	for _, c := range append([]*Proc(nil), target.children...) {
+		k.kill(c, killer)
+	}
+	if target.state == StateDone || target.state == StateKilled {
+		return // finished while its children were being killed
+	}
+	if target == killer {
+		// Self-kill: unwind through the caller's own stack.
+		panic(killedSignal{})
+	}
+	// Detach from every wait structure.
+	for _, e := range target.waitEvents {
+		e.removeWaiter(target)
+	}
+	target.waitEvents = target.waitEvents[:0]
+	if target.timer != nil {
+		target.timer.cancel()
+		target.timer = nil
+	}
+	k.removeFromQueues(target)
+	// Resume the parked goroutine in kill mode and wait for it to ack.
+	target.killSync = true
+	target.resume <- resumeKill
+	<-k.killAck
+	target.killSync = false
+}
+
+// liveProcs returns non-daemon processes that are not done/killed — the
+// processes whose blockage constitutes a deadlock.
+func (k *Kernel) liveProcs() []*Proc {
+	var live []*Proc
+	for _, p := range k.procs {
+		if p.state != StateDone && p.state != StateKilled && !p.daemon {
+			live = append(live, p)
+		}
+	}
+	return live
+}
+
+// DeadlockError reports that the simulation stalled with live processes
+// blocked on events that can never be notified.
+type DeadlockError struct {
+	Time  Time
+	Procs []*Proc
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at %s: %d process(es) blocked:", e.Time, len(e.Procs))
+	for _, p := range e.Procs {
+		fmt.Fprintf(&b, "\n\t%s", p)
+	}
+	return b.String()
+}
+
+// timerEntry is a pending timeout or timed notification.
+type timerEntry struct {
+	at       Time
+	seq      int // tie-break: FIFO among equal times
+	p        *Proc
+	e        *Event
+	canceled bool
+	index    int // heap index
+}
+
+// cancel lazily removes the entry; the heap pop skips canceled entries.
+func (t *timerEntry) cancel() { t.canceled = true }
+
+// timerHeap is a min-heap of timer entries ordered by (at, seq).
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x interface{}) {
+	e := x.(*timerEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// peek returns the earliest live entry without popping it, discarding
+// canceled entries encountered at the top.
+func (h *timerHeap) peek() (*timerEntry, bool) {
+	for h.Len() > 0 {
+		top := (*h)[0]
+		if !top.canceled {
+			return top, true
+		}
+		heap.Pop(h)
+	}
+	return nil, false
+}
+
+// nextTime returns the earliest pending timer time.
+func (h *timerHeap) nextTime() (Time, bool) {
+	e, ok := h.peek()
+	if !ok {
+		return 0, false
+	}
+	return e.at, true
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParEndTimeIsMaxOfSums: for arbitrary per-process delay lists run
+// under Par, the join time equals the maximum per-process delay sum — the
+// defining property of unscheduled (truly concurrent) execution.
+func TestQuickParEndTimeIsMaxOfSums(t *testing.T) {
+	f := func(lists [][]uint8) bool {
+		if len(lists) == 0 {
+			return true
+		}
+		if len(lists) > 16 {
+			lists = lists[:16]
+		}
+		var want Time
+		fns := make([]Func, 0, len(lists))
+		for _, l := range lists {
+			l := l
+			var sum Time
+			for _, d := range l {
+				sum += Time(d)
+			}
+			if sum > want {
+				want = sum
+			}
+			fns = append(fns, func(p *Proc) {
+				for _, d := range l {
+					p.WaitFor(Time(d))
+				}
+			})
+		}
+		var end Time
+		k := NewKernel()
+		k.Spawn("root", func(p *Proc) {
+			p.Par(fns...)
+			end = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		return end == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimeMonotonic: under arbitrary mixes of waits, timeouts and
+// notifications, observed time never decreases and every WaitFor advances
+// time by exactly its argument for the waiting process.
+func TestQuickTimeMonotonic(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		k := NewKernel()
+		e := k.NewEvent("e")
+		ok := true
+		var last Time
+		check := func(p *Proc) {
+			if p.Now() < last {
+				ok = false
+			}
+			last = p.Now()
+		}
+		k.Spawn("driver", func(p *Proc) {
+			for _, op := range ops {
+				d := Time(op % 97)
+				switch op % 4 {
+				case 0:
+					before := p.Now()
+					p.WaitFor(d)
+					if d > 0 && p.Now() != before+d {
+						ok = false
+					}
+				case 1:
+					p.NotifyAfter(e, d)
+				case 2:
+					p.WaitTimeout(e, d)
+				case 3:
+					p.Notify(e)
+				}
+				check(p)
+			}
+		})
+		// A companion that periodically notifies so waits can't starve.
+		k.Spawn("pulse", func(p *Proc) {
+			for i := 0; i < len(ops)+1; i++ {
+				p.WaitFor(13)
+				p.Notify(e)
+				check(p)
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterminism: an arbitrary process population produces a
+// bit-identical execution log across two runs.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint32, n uint8) bool {
+		procs := int(n%8) + 2
+		run := func() string {
+			var log strings.Builder
+			k := NewKernel()
+			e := k.NewEvent("e")
+			for i := 0; i < procs; i++ {
+				i := i
+				k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+					x := seed + uint32(i)*2654435761
+					for j := 0; j < 5; j++ {
+						x = x*1664525 + 1013904223
+						switch x % 3 {
+						case 0:
+							p.WaitFor(Time(x % 50))
+						case 1:
+							p.Notify(e)
+						case 2:
+							p.WaitTimeout(e, Time(x%20+1))
+						}
+						fmt.Fprintf(&log, "%d@%d;", i, p.Now())
+					}
+				})
+			}
+			if err := k.Run(); err != nil {
+				fmt.Fprintf(&log, "err=%v", err)
+			}
+			return log.String()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSequentialAccumulation: delays of a single process accumulate
+// exactly, independent of how they are chunked.
+func TestQuickSequentialAccumulation(t *testing.T) {
+	f := func(chunks []uint8) bool {
+		var want Time
+		for _, c := range chunks {
+			want += Time(c)
+		}
+		var end Time
+		k := NewKernel()
+		k.Spawn("p", func(p *Proc) {
+			for _, c := range chunks {
+				p.WaitFor(Time(c))
+			}
+			end = p.Now()
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return end == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package smp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestCoarseModePreemptsAtSchedulingPoints: under the coarse time model
+// the whole delay annotation completes before a higher-priority arrival
+// takes the CPU (the paper's t4 -> t4' behavior, here on M CPUs).
+func TestCoarseModePreemptsAtSchedulingPoints(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "SMP", FixedPriority{}, 2, false) // coarse
+	var endHigh sim.Time
+	// Fill both CPUs with coarse 200-unit chunks.
+	spawnAperiodic(k, os, "low1", 10, 200, nil)
+	spawnAperiodic(k, os, "low2", 20, 200, nil)
+	high := os.TaskCreate("high", core.Aperiodic, 0, 50, 1)
+	k.Spawn("high", func(p *sim.Proc) {
+		p.WaitFor(40)
+		os.TaskActivate(p, high)
+		os.TimeWait(p, 50)
+		endHigh = p.Now()
+		os.TaskTerminate(p)
+	})
+	run(t, k)
+	// Coarse: high waits until a low task's 200-chunk ends, then runs 50.
+	if endHigh != 250 {
+		t.Errorf("high finished at %v, want 250 (chunk-delayed preemption)", endHigh)
+	}
+}
+
+// TestCoarsePeriodicSet: periodic execution works in coarse mode too.
+func TestCoarsePeriodicSet(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "SMP", FixedPriority{}, 2, false)
+	a := os.TaskCreate("a", core.Periodic, 100, 30, 0)
+	b := os.TaskCreate("b", core.Periodic, 100, 30, 1)
+	k.Spawn("a", periodicBody(os, a, 30, 4))
+	k.Spawn("b", periodicBody(os, b, 30, 4))
+	run(t, k)
+	if a.MissedDeadlines() != 0 || b.MissedDeadlines() != 0 {
+		t.Errorf("misses a=%d b=%d on a trivially feasible 2-CPU set",
+			a.MissedDeadlines(), b.MissedDeadlines())
+	}
+	if a.Activations() != 4 || b.Activations() != 4 {
+		t.Errorf("activations a=%d b=%d, want 4 each", a.Activations(), b.Activations())
+	}
+}
+
+func TestAccessorsSMP(t *testing.T) {
+	k := sim.NewKernel()
+	os := New(k, "SMP", GEDF{}, 3, true)
+	if os.NCPU() != 3 {
+		t.Errorf("ncpu = %d", os.NCPU())
+	}
+	task := os.TaskCreate("t", core.Periodic, 100, 10, 1)
+	if task.Name() != "t" || task.Priority() != 1 {
+		t.Error("task accessors wrong")
+	}
+	if task.State() != core.TaskCreated {
+		t.Errorf("state = %v", task.State())
+	}
+	if task.CPUTime() != 0 || task.Activations() != 0 ||
+		task.MissedDeadlines() != 0 || task.Migrations() != 0 {
+		t.Error("fresh task has nonzero counters")
+	}
+	if (FixedPriority{}).Name() != "g-fp" || (GEDF{}).Name() != "g-edf" {
+		t.Error("policy names wrong")
+	}
+}

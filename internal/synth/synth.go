@@ -1,0 +1,235 @@
+// Package synth implements the paper's stated future work: "development
+// of tools for software synthesis from the architecture model down to
+// target-specific application code linked against the target RTOS
+// libraries". Generate turns a task-set description (the same schema the
+// architecture model simulates via internal/taskset) into assembly for
+// the implementation model's processor, with every abstract RTOS service
+// mapped onto the micro-kernel's trap ABI:
+//
+//	time_wait        -> calibrated busy loop (modeled computation becomes
+//	                    real, preemptible instructions)
+//	task_endcycle    -> TrapSleepUntil on the kernel's alarm service
+//	task_terminate   -> TrapExit
+//
+// Each periodic task additionally maintains activation and deadline-miss
+// counters in data memory, so the synthesized implementation reports the
+// same metrics as the architecture model — the cross-check the paper's
+// Table 1 performs by hand is automated here.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/iss"
+	"repro/internal/sim"
+	"repro/internal/taskset"
+	"repro/internal/ukernel"
+)
+
+// busyLoopCycles is the cost of one calibration-loop iteration
+// (addi + cmpi + bne).
+const busyLoopCycles = 4
+
+// Firmware is the synthesis output: the assembly source plus the metadata
+// needed to load and run it.
+type Firmware struct {
+	Source      string
+	Set         *taskset.Set
+	CyclePeriod sim.Time
+
+	names []string // sanitized per-task symbols, in set order
+}
+
+// Generate synthesizes firmware for the task set at the given CPU cycle
+// period.
+func Generate(s *taskset.Set, cyclePeriod sim.Time) (*Firmware, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cyclePeriod <= 0 {
+		return nil, fmt.Errorf("synth: cycle period %v must be positive", cyclePeriod)
+	}
+	fw := &Firmware{Set: s, CyclePeriod: cyclePeriod}
+	var code, data strings.Builder
+	used := map[string]bool{"idle": true}
+	toCycles := func(us float64) int64 {
+		return int64(sim.Time(us*1000) / cyclePeriod)
+	}
+
+	for _, task := range s.Tasks {
+		n := sanitize(task.Name, used)
+		fw.names = append(fw.names, n)
+		switch task.Type {
+		case "periodic", "":
+			iters := toCycles(task.WcetUs) / busyLoopCycles
+			if iters < 1 {
+				iters = 1
+			}
+			fmt.Fprintf(&code, `
+%[1]s:
+	trap 7              ; r0 = current cycle count
+	mov r7, r0          ; release time
+%[1]s_loop:
+	ld r4, %[1]s_iters  ; time_wait(wcet): calibrated computation
+%[1]s_busy:
+	addi r4, -1
+	cmpi r4, 0
+	bne %[1]s_busy
+	ld r0, %[1]s_period
+	add r7, r0          ; r7 = deadline = next release
+	trap 7
+	addi r0, -1
+	cmp r0, r7          ; completion <= deadline ?
+	blt %[1]s_ok
+	ld r4, %[1]s_miss
+	addi r4, 1
+	st %[1]s_miss, r4
+%[1]s_ok:
+	ld r4, %[1]s_act
+	addi r4, 1
+	st %[1]s_act, r4
+	mov r0, r7
+	trap 10             ; task_endcycle: sleep until next release
+	jmp %[1]s_loop
+`, n)
+			fmt.Fprintf(&data, "%[1]s_iters:  .word %d\n", n, iters)
+			fmt.Fprintf(&data, "%[1]s_period: .word %d\n", n, toCycles(task.PeriodUs))
+			fmt.Fprintf(&data, "%[1]s_miss:   .word 0\n", n)
+			fmt.Fprintf(&data, "%[1]s_act:    .word 0\n", n)
+
+		case "aperiodic":
+			fmt.Fprintf(&code, "\n%s:\n", n)
+			if task.StartUs > 0 {
+				fmt.Fprintf(&code, "\tldi r0, %d\n\ttrap 10     ; wait for the start offset\n",
+					toCycles(task.StartUs))
+			}
+			for i, seg := range task.ComputeUs {
+				iters := toCycles(float64(seg)) / busyLoopCycles
+				if iters < 1 {
+					iters = 1
+				}
+				fmt.Fprintf(&code, `	ld r4, %[1]s_seg%[2]d
+%[1]s_busy%[2]d:
+	addi r4, -1
+	cmpi r4, 0
+	bne %[1]s_busy%[2]d
+`, n, i)
+				fmt.Fprintf(&data, "%s_seg%d: .word %d\n", n, i, iters)
+			}
+			fmt.Fprintf(&code, `	ld r4, %[1]s_act
+	addi r4, 1
+	st %[1]s_act, r4
+	trap 0              ; task_terminate
+`, n)
+			fmt.Fprintf(&data, "%s_act: .word 0\n", n)
+		}
+	}
+	fw.Source = code.String() + "\nidle:\n\tjmp idle\n\n.data\n" + data.String()
+	return fw, nil
+}
+
+// sanitize converts a task name into a unique assembly identifier.
+func sanitize(name string, used map[string]bool) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('t')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	n := b.String()
+	if n == "" {
+		n = "task"
+	}
+	for used[n] {
+		n += "x"
+	}
+	used[n] = true
+	return n
+}
+
+// TaskResult is one synthesized task's outcome.
+type TaskResult struct {
+	Name        string
+	Activations int64
+	Missed      int64
+}
+
+// Result is the implementation-model run outcome.
+type Result struct {
+	Tasks        []TaskResult
+	Stats        ukernel.Stats
+	End          sim.Time
+	Instructions uint64
+	Cycles       uint64
+}
+
+// Run assembles the firmware, boots the micro-kernel with one kernel task
+// per set entry (priorities from the set) and co-simulates until the
+// horizon. skipIdle selects the fast co-simulation mode.
+func (fw *Firmware) Run(horizon sim.Time, skipIdle bool) (*Result, error) {
+	prog, err := iss.Assemble(fw.Source)
+	if err != nil {
+		return nil, fmt.Errorf("synth: generated code does not assemble: %v", err)
+	}
+	memWords := 4096 + 256*len(fw.Set.Tasks)
+	cpu, err := iss.NewCPU(prog, memWords)
+	if err != nil {
+		return nil, err
+	}
+	kern, err := ukernel.New(cpu, prog, "idle")
+	if err != nil {
+		return nil, err
+	}
+	for i, task := range fw.Set.Tasks {
+		entry, err := prog.Entry(fw.names[i])
+		if err != nil {
+			return nil, err
+		}
+		stackTop := int64(memWords - 256*i)
+		kern.AddTask(task.Name, entry, stackTop, task.Prio)
+	}
+	m := ukernel.NewMachine(cpu, kern)
+	m.SkipIdle = skipIdle
+
+	k := sim.NewKernel()
+	kern.Start()
+	m.Spawn(k, "CPU")
+	if err := k.RunUntil(horizon); err != nil {
+		return nil, err
+	}
+	if cpu.Err() != nil {
+		return nil, cpu.Err()
+	}
+
+	res := &Result{
+		Stats:        kern.StatsSnapshot(),
+		End:          k.Now(),
+		Instructions: cpu.Insts,
+		Cycles:       cpu.Cycles,
+	}
+	word := func(sym string) int64 {
+		a, ok := prog.Symbols[sym]
+		if !ok {
+			return 0
+		}
+		return cpu.Mem[a]
+	}
+	for i, task := range fw.Set.Tasks {
+		n := fw.names[i]
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name:        task.Name,
+			Activations: word(n + "_act"),
+			Missed:      word(n + "_miss"),
+		})
+	}
+	return res, nil
+}

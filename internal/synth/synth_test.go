@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/taskset"
+	"repro/internal/ukernel"
+)
+
+func feasibleSet() *taskset.Set {
+	return &taskset.Set{
+		Policy: "priority",
+		Tasks: []taskset.Task{
+			{Name: "ctrl", Type: "periodic", PeriodUs: 500, WcetUs: 100, Prio: 1},
+			{Name: "audio", Type: "periodic", PeriodUs: 2000, WcetUs: 600, Prio: 2},
+			{Name: "init", Type: "aperiodic", Prio: 0, ComputeUs: []int64{50, 50}},
+		},
+	}
+}
+
+func TestGenerateAssembles(t *testing.T) {
+	fw, err := Generate(feasibleSet(), ukernel.DefaultCyclePeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ctrl_loop:", "audio_busy:", "init:", "trap 10", "trap 0", ".data"} {
+		if !strings.Contains(fw.Source, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestSynthesizedFeasibleSetMeetsDeadlines(t *testing.T) {
+	fw, err := Generate(feasibleSet(), ukernel.DefaultCyclePeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Run(10*sim.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TaskResult{}
+	for _, tr := range res.Tasks {
+		byName[tr.Name] = tr
+	}
+	// ctrl: 10 ms / 500 µs = 20 activations, ±1 for horizon edge.
+	if a := byName["ctrl"].Activations; a < 19 || a > 20 {
+		t.Errorf("ctrl activations = %d, want ≈20", a)
+	}
+	if a := byName["audio"].Activations; a < 4 || a > 5 {
+		t.Errorf("audio activations = %d, want ≈5", a)
+	}
+	if byName["init"].Activations != 1 {
+		t.Errorf("init activations = %d, want 1", byName["init"].Activations)
+	}
+	for _, tr := range res.Tasks {
+		if tr.Missed != 0 {
+			t.Errorf("task %s missed %d deadlines on a U=0.5 set", tr.Name, tr.Missed)
+		}
+	}
+	if res.Stats.ContextSwitches == 0 {
+		t.Error("no context switches in a multi-task run")
+	}
+	if res.Instructions == 0 {
+		t.Error("no instructions retired")
+	}
+}
+
+func TestSynthesizedOverloadMisses(t *testing.T) {
+	over := &taskset.Set{
+		Tasks: []taskset.Task{
+			{Name: "a", Type: "periodic", PeriodUs: 500, WcetUs: 350, Prio: 1},
+			{Name: "b", Type: "periodic", PeriodUs: 500, WcetUs: 350, Prio: 2},
+		},
+	}
+	fw, err := Generate(over, ukernel.DefaultCyclePeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Run(10*sim.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := int64(0)
+	for _, tr := range res.Tasks {
+		missed += tr.Missed
+	}
+	if missed == 0 {
+		t.Error("overloaded (U=1.4) synthesized set reported no misses")
+	}
+}
+
+// TestSynthesisMatchesArchitectureModel is the automated Table 1
+// cross-check: the synthesized implementation and the abstract
+// architecture model must agree on schedulability (misses) and roughly on
+// scheduling activity for the same task set.
+func TestSynthesisMatchesArchitectureModel(t *testing.T) {
+	s := feasibleSet()
+	s.TimeModel = "segmented"
+	s.HorizonMs = 10
+
+	archRes, err := taskset.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := Generate(s, ukernel.DefaultCyclePeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	implRes, err := fw.Run(10*sim.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	archMiss, implMiss := 0, int64(0)
+	archAct, implAct := 0, int64(0)
+	for _, tr := range archRes.Tasks {
+		archMiss += tr.Missed
+		archAct += tr.Activations
+	}
+	for _, tr := range implRes.Tasks {
+		implMiss += tr.Missed
+		implAct += tr.Activations
+	}
+	if archMiss != 0 || implMiss != 0 {
+		t.Errorf("misses arch=%d impl=%d, want 0/0", archMiss, implMiss)
+	}
+	da := implAct - int64(archAct)
+	if da < -2 || da > 2 {
+		t.Errorf("activations arch=%d impl=%d, want within ±2", archAct, implAct)
+	}
+	// Context switches agree within a small factor (kernel overheads
+	// shift exact positions but not the structure).
+	ca, ci := float64(archRes.Stats.ContextSwitches), float64(implRes.Stats.ContextSwitches)
+	if ci < 0.5*ca || ci > 2*ca+4 {
+		t.Errorf("context switches arch=%v impl=%v, want same order", ca, ci)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	used := map[string]bool{}
+	if n := sanitize("my task-2", used); n != "my_task_2" {
+		t.Errorf("sanitize = %q", n)
+	}
+	if n := sanitize("my task-2", used); n == "my_task_2" {
+		t.Error("duplicate name not uniquified")
+	}
+	if n := sanitize("2fast", used); !strings.HasPrefix(n, "t2") {
+		t.Errorf("leading digit not handled: %q", n)
+	}
+	if n := sanitize("", used); n == "" {
+		t.Error("empty name not defaulted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(&taskset.Set{}, ukernel.DefaultCyclePeriod); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Generate(feasibleSet(), 0); err == nil {
+		t.Error("zero cycle period accepted")
+	}
+}

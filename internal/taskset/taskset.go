@@ -1,0 +1,201 @@
+// Package taskset loads task-set descriptions (JSON) and simulates them
+// on the RTOS model — the engine behind cmd/rtossim. A set mixes periodic
+// tasks (run until the horizon or for a fixed number of cycles) and
+// aperiodic tasks (a start offset followed by compute segments).
+package taskset
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Task describes one task of the set. Times are in microseconds to keep
+// hand-written JSON readable.
+type Task struct {
+	Name      string  `json:"name"`
+	Type      string  `json:"type"` // "periodic" (default) or "aperiodic"
+	PeriodUs  float64 `json:"periodUs"`
+	WcetUs    float64 `json:"wcetUs"`
+	Prio      int     `json:"prio"`
+	StartUs   float64 `json:"startUs"`   // aperiodic: activation time
+	ComputeUs []int64 `json:"computeUs"` // aperiodic: compute segments
+	Cycles    int     `json:"cycles"`    // periodic: cycles to run (0 = until horizon)
+}
+
+// Set is the top-level task-set description.
+type Set struct {
+	Policy    string  `json:"policy"`
+	QuantumUs float64 `json:"quantumUs"`
+	TimeModel string  `json:"timeModel"` // "coarse" (default) or "segmented"
+	HorizonMs float64 `json:"horizonMs"`
+	Tasks     []Task  `json:"tasks"`
+}
+
+// Parse decodes and validates a JSON task set.
+func Parse(data []byte) (*Set, error) {
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("taskset: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the set for structural errors.
+func (s *Set) Validate() error {
+	if len(s.Tasks) == 0 {
+		return fmt.Errorf("taskset: no tasks")
+	}
+	seen := map[string]bool{}
+	for i, t := range s.Tasks {
+		if t.Name == "" {
+			return fmt.Errorf("taskset: task %d unnamed", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("taskset: duplicate task name %q", t.Name)
+		}
+		seen[t.Name] = true
+		switch t.Type {
+		case "periodic", "":
+			if t.PeriodUs <= 0 {
+				return fmt.Errorf("taskset: periodic task %q needs periodUs > 0", t.Name)
+			}
+			if t.WcetUs <= 0 {
+				return fmt.Errorf("taskset: periodic task %q needs wcetUs > 0", t.Name)
+			}
+		case "aperiodic":
+			if len(t.ComputeUs) == 0 {
+				return fmt.Errorf("taskset: aperiodic task %q needs computeUs", t.Name)
+			}
+		default:
+			return fmt.Errorf("taskset: task %q has unknown type %q", t.Name, t.Type)
+		}
+	}
+	if s.TimeModel != "" && s.TimeModel != "coarse" && s.TimeModel != "segmented" {
+		return fmt.Errorf("taskset: unknown time model %q", s.TimeModel)
+	}
+	return nil
+}
+
+// TaskResult is one task's statistics after simulation.
+type TaskResult struct {
+	Name        string
+	Prio        int
+	Period      sim.Time
+	WCET        sim.Time
+	Activations int
+	Missed      int
+	CPUTime     sim.Time
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	Policy    string
+	TimeModel core.TimeModel
+	Horizon   sim.Time
+	End       sim.Time
+	Tasks     []TaskResult
+	Stats     core.Stats
+	Trace     *trace.Recorder
+}
+
+// Run simulates the set and returns per-task and OS-level statistics plus
+// the full trace.
+func Run(s *Set) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	policyName := s.Policy
+	if policyName == "" {
+		policyName = "priority"
+	}
+	quantum := sim.Time(s.QuantumUs * 1000)
+	if quantum == 0 {
+		quantum = sim.Millisecond
+	}
+	policy, err := core.PolicyByName(policyName, quantum)
+	if err != nil {
+		return nil, err
+	}
+	tm := core.TimeModelCoarse
+	if s.TimeModel == "segmented" {
+		tm = core.TimeModelSegmented
+	}
+	horizon := sim.Time(s.HorizonMs * 1e6)
+	if horizon <= 0 {
+		horizon = sim.Second
+	}
+
+	k := sim.NewKernel()
+	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
+	rec := trace.New("taskset")
+	rec.Attach(rtos)
+
+	var tasks []*core.Task
+	for _, tj := range s.Tasks {
+		tj := tj
+		switch tj.Type {
+		case "periodic", "":
+			task := rtos.TaskCreate(tj.Name, core.Periodic, us(tj.PeriodUs), us(tj.WcetUs), tj.Prio)
+			tasks = append(tasks, task)
+			p := k.Spawn(tj.Name, func(p *sim.Proc) {
+				rtos.TaskActivate(p, task)
+				for c := 0; tj.Cycles == 0 || c < tj.Cycles; c++ {
+					rtos.TimeWait(p, us(tj.WcetUs))
+					rtos.TaskEndCycle(p)
+				}
+				rtos.TaskTerminate(p)
+			})
+			if tj.Cycles == 0 {
+				p.SetDaemon(true)
+			}
+		case "aperiodic":
+			task := rtos.TaskCreate(tj.Name, core.Aperiodic, 0, us(tj.WcetUs), tj.Prio)
+			tasks = append(tasks, task)
+			k.Spawn(tj.Name, func(p *sim.Proc) {
+				if tj.StartUs > 0 {
+					p.WaitFor(us(tj.StartUs))
+				}
+				rtos.TaskActivate(p, task)
+				for _, c := range tj.ComputeUs {
+					rtos.TimeWait(p, us(float64(c)))
+				}
+				rtos.TaskTerminate(p)
+			})
+		}
+	}
+
+	rtos.Start(nil)
+	if err := k.RunUntil(horizon); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Policy:    policy.Name(),
+		TimeModel: tm,
+		Horizon:   horizon,
+		End:       k.Now(),
+		Stats:     rtos.StatsSnapshot(),
+		Trace:     rec,
+	}
+	for _, t := range tasks {
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name:        t.Name(),
+			Prio:        t.Priority(),
+			Period:      t.Period(),
+			WCET:        t.WCET(),
+			Activations: t.Activations(),
+			Missed:      t.MissedDeadlines(),
+			CPUTime:     t.CPUTime(),
+		})
+	}
+	return res, nil
+}
+
+// us converts microseconds to sim.Time.
+func us(v float64) sim.Time { return sim.Time(v * 1000) }

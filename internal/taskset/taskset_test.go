@@ -1,0 +1,170 @@
+package taskset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+const goodJSON = `{
+  "policy": "priority",
+  "timeModel": "coarse",
+  "horizonMs": 10,
+  "tasks": [
+    {"name": "ctrl",  "type": "periodic", "periodUs": 1000, "wcetUs": 250, "prio": 1},
+    {"name": "audio", "type": "periodic", "periodUs": 4000, "wcetUs": 1500, "prio": 2},
+    {"name": "init",  "type": "aperiodic", "prio": 0, "computeUs": [100, 100], "startUs": 50}
+  ]
+}`
+
+func TestParseAndRun(t *testing.T) {
+	s, err := Parse([]byte(goodJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "priority" || res.TimeModel != core.TimeModelCoarse {
+		t.Errorf("policy/tm = %s/%s", res.Policy, res.TimeModel)
+	}
+	if res.Horizon != 10*sim.Millisecond {
+		t.Errorf("horizon = %v, want 10ms", res.Horizon)
+	}
+	byName := map[string]TaskResult{}
+	for _, tr := range res.Tasks {
+		byName[tr.Name] = tr
+	}
+	// ctrl: 10ms horizon / 1ms period = ~10 activations.
+	if a := byName["ctrl"].Activations; a < 9 || a > 10 {
+		t.Errorf("ctrl activations = %d, want ≈10", a)
+	}
+	if a := byName["audio"].Activations; a < 2 || a > 3 {
+		t.Errorf("audio activations = %d, want ≈2-3", a)
+	}
+	if byName["init"].Activations != 1 {
+		t.Errorf("init activations = %d, want 1", byName["init"].Activations)
+	}
+	if byName["init"].CPUTime != 200*sim.Microsecond {
+		t.Errorf("init cpu = %v, want 200us", byName["init"].CPUTime)
+	}
+	// Under the paper's coarse time model audio's 1.5 ms delay chunk is
+	// non-preemptible, so ctrl (1 ms deadline) can be blocked past its
+	// deadline occasionally; audio itself must never miss.
+	if byName["audio"].Missed != 0 {
+		t.Errorf("audio missed %d, want 0", byName["audio"].Missed)
+	}
+	if byName["ctrl"].Missed > 3 {
+		t.Errorf("ctrl missed %d, want only occasional coarse-model blocking misses", byName["ctrl"].Missed)
+	}
+	if res.Trace.Len() == 0 {
+		t.Error("no trace recorded")
+	}
+	if res.Stats.Dispatches == 0 {
+		t.Error("no dispatches recorded")
+	}
+}
+
+func TestSegmentedModelRemovesBlockingMisses(t *testing.T) {
+	// The same set under the segmented time model: audio's chunk becomes
+	// preemptible and ctrl meets every deadline — the granularity effect
+	// of DESIGN.md experiment F8-PREC at task-set scale.
+	s, err := Parse([]byte(goodJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TimeModel = "segmented"
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Tasks {
+		if tr.Missed != 0 {
+			t.Errorf("task %s missed %d under segmented model, want 0", tr.Name, tr.Missed)
+		}
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, pol := range []string{"fcfs", "rr", "edf", "rm"} {
+		s, err := Parse([]byte(goodJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Policy = pol
+		if pol == "rr" {
+			s.QuantumUs = 500
+		}
+		if _, err := Run(s); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct{ name, json, want string }{
+		{"empty", `{"tasks": []}`, "no tasks"},
+		{"unnamed", `{"tasks": [{"type":"periodic","periodUs":1,"wcetUs":1}]}`, "unnamed"},
+		{"dup", `{"tasks": [
+			{"name":"a","periodUs":10,"wcetUs":1},
+			{"name":"a","periodUs":10,"wcetUs":1}]}`, "duplicate"},
+		{"no-period", `{"tasks": [{"name":"a","wcetUs":1}]}`, "periodUs"},
+		{"no-wcet", `{"tasks": [{"name":"a","periodUs":10}]}`, "wcetUs"},
+		{"no-compute", `{"tasks": [{"name":"a","type":"aperiodic"}]}`, "computeUs"},
+		{"bad-type", `{"tasks": [{"name":"a","type":"sporadic"}]}`, "unknown type"},
+		{"bad-tm", `{"timeModel":"loose","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "time model"},
+		{"bad-json", `{`, "unexpected end"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.json))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPeriodicWithCyclesTerminates(t *testing.T) {
+	s := &Set{
+		HorizonMs: 100,
+		Tasks: []Task{
+			{Name: "p", Type: "periodic", PeriodUs: 100, WcetUs: 10, Cycles: 5},
+		},
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks[0].Activations != 5 {
+		t.Errorf("activations = %d, want 5", res.Tasks[0].Activations)
+	}
+	// Ends after the 5th cycle, long before the horizon.
+	if res.End >= res.Horizon {
+		t.Errorf("end = %v, want < horizon %v", res.End, res.Horizon)
+	}
+}
+
+func TestOverloadDetected(t *testing.T) {
+	s := &Set{
+		HorizonMs: 5,
+		Tasks: []Task{
+			{Name: "a", Type: "periodic", PeriodUs: 100, WcetUs: 80, Prio: 1},
+			{Name: "b", Type: "periodic", PeriodUs: 100, WcetUs: 80, Prio: 2},
+		},
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missed := 0
+	for _, tr := range res.Tasks {
+		missed += tr.Missed
+	}
+	if missed == 0 {
+		t.Error("overloaded set reported no misses")
+	}
+}

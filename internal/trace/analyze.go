@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Interval is a half-open time span [Start, End) during which a task or
+// behavior was executing (modeled execution, i.e. delay or running state).
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Duration returns End-Start.
+func (iv Interval) Duration() sim.Time { return iv.End - iv.Start }
+
+// activeState reports whether an RTOS task state name counts as occupying
+// the CPU.
+func activeState(s string) bool { return s == "running" || s == "delay" }
+
+// ExecIntervals returns the merged execution intervals of a task or
+// behavior: for RTOS tasks, spans in the running/delay states; for
+// unscheduled behaviors, SegBegin/SegEnd pairs. Adjacent intervals that
+// touch are merged. A still-open interval at the end of the trace is
+// closed at the last record's timestamp.
+func (r *Recorder) ExecIntervals(task string) []Interval {
+	var out []Interval
+	var openAt sim.Time
+	open := false
+	begin := func(at sim.Time) {
+		if !open {
+			openAt, open = at, true
+		}
+	}
+	end := func(at sim.Time) {
+		if open {
+			open = false
+			if n := len(out); n > 0 && out[n-1].End == openAt {
+				out[n-1].End = at // merge touching intervals
+				return
+			}
+			out = append(out, Interval{openAt, at})
+		}
+	}
+	var last sim.Time
+	for _, rec := range r.recs {
+		last = rec.At
+		if rec.Task != task {
+			continue
+		}
+		switch rec.Kind {
+		case KindSegBegin:
+			begin(rec.At)
+		case KindSegEnd:
+			end(rec.At)
+		case KindTaskState:
+			wasActive, isActive := activeState(rec.From), activeState(rec.To)
+			switch {
+			case !wasActive && isActive:
+				begin(rec.At)
+			case wasActive && !isActive:
+				end(rec.At)
+			}
+		}
+	}
+	if open {
+		end(last)
+	}
+	return out
+}
+
+// Tasks returns the sorted set of task/behavior names appearing in the
+// trace.
+func (r *Recorder) Tasks() []string {
+	set := map[string]bool{}
+	for _, rec := range r.recs {
+		if rec.Task != "" {
+			set[rec.Task] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ContextSwitches counts dispatch records that hand the CPU to a task
+// different from the last task that ran (the Table 1 metric). Idle gaps do
+// not reset the last-ran task.
+func (r *Recorder) ContextSwitches() int {
+	n := 0
+	last := ""
+	for _, rec := range r.recs {
+		if rec.Kind != KindDispatch || rec.To == "-" || rec.To == "" {
+			continue
+		}
+		if last != "" && rec.To != last {
+			n++
+		}
+		last = rec.To
+	}
+	return n
+}
+
+// Latencies pairs each marker labeled from with the next marker labeled to
+// that carries the same Arg, returning the time differences in order of
+// the from markers. Markers with no matching partner are dropped. This
+// computes end-to-end latencies such as the vocoder's transcoding delay
+// (from "frame-in" to "frame-out" with Arg = frame number).
+func (r *Recorder) Latencies(from, to string) []sim.Time {
+	type pending struct {
+		arg int64
+		at  sim.Time
+	}
+	var starts []pending
+	ends := map[int64][]sim.Time{} // arg -> ascending to-marker times
+	seen := map[int64]bool{}
+	for _, rec := range r.recs {
+		if rec.Kind != KindMarker {
+			continue
+		}
+		switch rec.Label {
+		case from:
+			if !seen[rec.Arg] { // first from-marker per arg wins
+				seen[rec.Arg] = true
+				starts = append(starts, pending{rec.Arg, rec.At})
+			}
+		case to:
+			ends[rec.Arg] = append(ends[rec.Arg], rec.At)
+		}
+	}
+	var out []sim.Time
+	for _, p := range starts {
+		for _, at := range ends[p.arg] {
+			if at >= p.at {
+				out = append(out, at-p.at)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MarkerTimes returns the timestamps of all markers with the given label.
+func (r *Recorder) MarkerTimes(label string) []sim.Time {
+	var out []sim.Time
+	for _, rec := range r.recs {
+		if rec.Kind == KindMarker && rec.Label == label {
+			out = append(out, rec.At)
+		}
+	}
+	return out
+}
+
+// ResponseTimes returns, for a task, the delays between entering the ready
+// state and the next transition to running — the dispatch latencies the
+// paper's response-time discussion concerns.
+func (r *Recorder) ResponseTimes(task string) []sim.Time {
+	var out []sim.Time
+	var readyAt sim.Time
+	ready := false
+	for _, rec := range r.recs {
+		if rec.Kind != KindTaskState || rec.Task != task {
+			continue
+		}
+		switch {
+		case rec.To == "ready" && !ready:
+			readyAt, ready = rec.At, true
+		case rec.To == "running" && ready:
+			out = append(out, rec.At-readyAt)
+			ready = false
+		}
+	}
+	return out
+}
+
+// BusyTime sums the execution intervals of a task.
+func (r *Recorder) BusyTime(task string) sim.Time {
+	var total sim.Time
+	for _, iv := range r.ExecIntervals(task) {
+		total += iv.Duration()
+	}
+	return total
+}
+
+// End returns the timestamp of the last record (0 for an empty trace).
+func (r *Recorder) End() sim.Time {
+	if len(r.recs) == 0 {
+		return 0
+	}
+	return r.recs[len(r.recs)-1].At
+}
+
+// Overlap returns the total time during which two tasks' execution
+// intervals overlap. In a correctly serialized RTOS model this is zero for
+// tasks of the same OS instance; in the unscheduled model it is generally
+// positive (paper Figure 8(a) vs 8(b)).
+func (r *Recorder) Overlap(a, b string) sim.Time {
+	ia, ib := r.ExecIntervals(a), r.ExecIntervals(b)
+	var total sim.Time
+	i, j := 0, 0
+	for i < len(ia) && j < len(ib) {
+		lo := maxT(ia[i].Start, ib[j].Start)
+		hi := minT(ia[i].End, ib[j].End)
+		if hi > lo {
+			total += hi - lo
+		}
+		if ia[i].End < ib[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

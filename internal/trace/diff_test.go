@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDiffMarkers(t *testing.T) {
+	a := New("spec")
+	b := New("arch")
+	a.Marker(100, "frame-out", "", 0)
+	a.Marker(200, "frame-out", "", 1)
+	a.Marker(50, "start", "", 0)
+	b.Marker(150, "frame-out", "", 0)
+	b.Marker(290, "frame-out", "", 1)
+	b.Marker(50, "start", "", 0)
+	b.Marker(999, "only-in-b", "", 0)
+
+	diffs := DiffMarkers(a, b)
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %d, want 3 (unmatched milestones dropped)", len(diffs))
+	}
+	// Ordered by A's times: start@50, frame-out@100, frame-out@200.
+	if diffs[0].Label != "start" || diffs[0].Delta != 0 {
+		t.Errorf("diffs[0] = %+v", diffs[0])
+	}
+	if diffs[1].Label != "frame-out" || diffs[1].Delta != 50 {
+		t.Errorf("diffs[1] = %+v", diffs[1])
+	}
+	if diffs[2].Arg != 1 || diffs[2].Delta != 90 {
+		t.Errorf("diffs[2] = %+v", diffs[2])
+	}
+}
+
+func TestDiffMarkersPositionalRepeats(t *testing.T) {
+	a := New("a")
+	b := New("b")
+	for _, at := range []sim.Time{10, 20, 30} {
+		a.Marker(at, "tick", "", 7)
+	}
+	for _, at := range []sim.Time{12, 25} { // one fewer occurrence
+		b.Marker(at, "tick", "", 7)
+	}
+	diffs := DiffMarkers(a, b)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %d, want 2 (positional matching)", len(diffs))
+	}
+	if diffs[0].Delta != 2 || diffs[1].Delta != 5 {
+		t.Errorf("deltas = %v, %v", diffs[0].Delta, diffs[1].Delta)
+	}
+}
+
+func TestWriteMarkerDiff(t *testing.T) {
+	a := New("spec")
+	b := New("arch")
+	a.Marker(100, "out", "", 0)
+	b.Marker(160, "out", "", 0)
+	var sb strings.Builder
+	if err := WriteMarkerDiff(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"spec", "arch", "out", "+60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}

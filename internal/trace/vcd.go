@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// VCD writes the trace as a Value Change Dump file (IEEE 1364), the
+// standard waveform interchange format of EDA tooling, so schedules can
+// be inspected in GTKWave and friends alongside RTL signals. Each task or
+// behavior becomes a 1-bit wire that is high while the task occupies the
+// CPU (running or modeled delay); each interrupt line becomes a wire that
+// pulses during ISR service.
+func (r *Recorder) VCD(w io.Writer) error {
+	tasks := r.Tasks()
+	irqs := r.irqNames()
+
+	// Identifier codes: printable ASCII starting at '!'.
+	code := func(i int) string { return string(rune('!' + i)) }
+
+	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", ident(r.name)); err != nil {
+		return err
+	}
+	for i, t := range tasks {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", code(i), ident(t)); err != nil {
+			return err
+		}
+	}
+	for i, irq := range irqs {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", code(len(tasks)+i), ident(irq)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	// Collect value changes: (time, code, value).
+	type change struct {
+		at   sim.Time
+		code string
+		val  byte
+		seq  int
+	}
+	var changes []change
+	seq := 0
+	add := func(at sim.Time, c string, v byte) {
+		changes = append(changes, change{at, c, v, seq})
+		seq++
+	}
+	for i, t := range tasks {
+		add(0, code(i), '0')
+		for _, iv := range r.ExecIntervals(t) {
+			add(iv.Start, code(i), '1')
+			add(iv.End, code(i), '0')
+		}
+	}
+	for i, irq := range irqs {
+		c := code(len(tasks) + i)
+		add(0, c, '0')
+		for _, rec := range r.recs {
+			if rec.Kind == KindIRQ && rec.Label == irq {
+				if rec.Arg == 1 {
+					add(rec.At, c, '1')
+				} else {
+					add(rec.At, c, '0')
+				}
+			}
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool {
+		if changes[i].at != changes[j].at {
+			return changes[i].at < changes[j].at
+		}
+		return changes[i].seq < changes[j].seq
+	})
+
+	last := sim.Time(-1)
+	for _, c := range changes {
+		if c.at != last {
+			if _, err := fmt.Fprintf(w, "#%d\n", int64(c.at)); err != nil {
+				return err
+			}
+			last = c.at
+		}
+		if _, err := fmt.Fprintf(w, "%c%s\n", c.val, c.code); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// irqNames returns the sorted interrupt-line names in the trace.
+func (r *Recorder) irqNames() []string {
+	set := map[string]bool{}
+	for _, rec := range r.recs {
+		if rec.Kind == KindIRQ && rec.Label != "" {
+			set[rec.Label] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ident sanitizes a name into a VCD identifier (no whitespace).
+func ident(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "unnamed"
+	}
+	return string(out)
+}

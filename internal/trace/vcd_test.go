@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDStructure(t *testing.T) {
+	r := New("pe0")
+	r.SegBegin(0, "A")
+	r.SegEnd(50, "A")
+	r.SegBegin(50, "B")
+	r.SegEnd(100, "B")
+	r.Append(Record{At: 30, Kind: KindIRQ, Label: "irq0", Arg: 1})
+	r.Append(Record{At: 35, Kind: KindIRQ, Label: "irq0", Arg: 0})
+
+	var sb strings.Builder
+	if err := r.VCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module pe0 $end",
+		"$var wire 1 ! A $end",
+		"$var wire 1 \" B $end",
+		"$var wire 1 # irq0 $end",
+		"$enddefinitions $end",
+		"#0\n",
+		"#30\n",
+		"#50\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// A goes high at 0 and low at 50; B the reverse.
+	idx0 := strings.Index(out, "#0\n")
+	idx50 := strings.Index(out, "#50\n")
+	idx100 := strings.Index(out, "#100\n")
+	if idx0 < 0 || idx50 < 0 || idx100 < 0 {
+		t.Fatalf("missing timestamps:\n%s", out)
+	}
+	seg0 := out[idx0:idx50]
+	if !strings.Contains(seg0, "1!") {
+		t.Errorf("A not high at t=0:\n%s", seg0)
+	}
+	seg50 := out[idx50:idx100]
+	if !strings.Contains(seg50, "0!") || !strings.Contains(seg50, "1\"") {
+		t.Errorf("handover at t=50 wrong:\n%s", seg50)
+	}
+}
+
+func TestVCDChronological(t *testing.T) {
+	r := New("x")
+	r.SegBegin(10, "T")
+	r.SegEnd(90, "T")
+	var sb strings.Builder
+	if err := r.VCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int64
+			if _, err := fmtSscan(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts < last {
+				t.Fatalf("timestamps not monotonic: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+}
+
+func fmtSscan(s string, v *int64) (int, error) {
+	n := int64(0)
+	if s == "" {
+		return 0, errEmpty
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errEmpty
+		}
+		n = n*10 + int64(c-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errEmpty = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "parse error" }
+
+func TestVCDIdentSanitizes(t *testing.T) {
+	if got := ident("task B2 (main)"); strings.ContainsAny(got, " ()") {
+		t.Errorf("ident = %q still has forbidden characters", got)
+	}
+	if ident("") != "unnamed" {
+		t.Errorf("empty ident = %q", ident(""))
+	}
+}

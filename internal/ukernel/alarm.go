@@ -1,0 +1,104 @@
+package ukernel
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// The alarm service is the kernel's time base: tasks sleep until an
+// absolute cycle count (TrapSleepUntil), which is how generated periodic
+// task code waits for its next release (internal/synth). The platform
+// (Machine) drives the service by raising AlarmLine when the CPU's cycle
+// counter passes the earliest due alarm.
+
+// TrapSleepUntil blocks the calling task until the CPU cycle counter
+// reaches the absolute value in r0.
+const TrapSleepUntil = 10
+
+// AlarmLine is the interrupt line reserved for the alarm expiry signal
+// (one below the time-slice tick line).
+const AlarmLine = TickLine - 1
+
+// CostAlarmOp is the modeled cycle cost of arming or expiring an alarm.
+const CostAlarmOp = 15
+
+// alarmEntry is one sleeping task.
+type alarmEntry struct {
+	due  uint64
+	seq  uint64
+	task *Task
+}
+
+// alarmHeap orders by (due, seq).
+type alarmHeap []alarmEntry
+
+func (h alarmHeap) Len() int { return len(h) }
+func (h alarmHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h alarmHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *alarmHeap) Push(x interface{}) { *h = append(*h, x.(alarmEntry)) }
+func (h *alarmHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NextAlarm returns the earliest pending alarm's due cycle.
+func (k *Kernel) NextAlarm() (uint64, bool) {
+	if len(k.alarms) == 0 {
+		return 0, false
+	}
+	return k.alarms[0].due, true
+}
+
+// sleepUntil implements TrapSleepUntil.
+func (k *Kernel) sleepUntil(due uint64) uint64 {
+	cur := k.current
+	if cur == nil {
+		panic("ukernel: TrapSleepUntil from idle context")
+	}
+	cost := uint64(CostAlarmOp)
+	if due <= k.cpu.Cycles {
+		return cost // already past: no wait
+	}
+	cur.State = TaskSleeping
+	k.seq++
+	heap.Push(&k.alarms, alarmEntry{due: due, seq: k.seq, task: cur})
+	cost += k.dispatch()
+	return cost
+}
+
+// expireAlarms readies every task whose alarm is due; called from the
+// AlarmLine interrupt.
+func (k *Kernel) expireAlarms() uint64 {
+	cost := uint64(0)
+	woke := false
+	for len(k.alarms) > 0 && k.alarms[0].due <= k.cpu.Cycles {
+		e := heap.Pop(&k.alarms).(alarmEntry)
+		cost += CostAlarmOp
+		if e.task.State != TaskSleeping {
+			continue // task was killed/terminated meanwhile
+		}
+		e.task.State = TaskReady
+		k.seq++
+		e.task.readySeq = k.seq
+		woke = true
+	}
+	if woke {
+		cost += k.maybePreempt()
+	}
+	return cost
+}
+
+// validateAlarmSetup panics when the alarm ABI is misconfigured.
+func validateAlarmSetup() {
+	if AlarmLine == TickLine {
+		panic(fmt.Sprintf("ukernel: alarm line %d collides with tick line", AlarmLine))
+	}
+}

@@ -1,0 +1,109 @@
+package ukernel
+
+import (
+	"testing"
+
+	"repro/internal/iss"
+	"repro/internal/sim"
+)
+
+// alarmFixture: a periodic task sleeping on the alarm service, stamping
+// each release via the debug trap.
+func alarmFixture(t *testing.T, skipIdle bool) []sim.Time {
+	t.Helper()
+	prog := iss.MustAssemble(`
+	periodic:
+		trap 7          ; r0 = now
+		mov r7, r0      ; release time
+		ldi r6, 4       ; cycles to run
+	loop:
+		ldi r4, 100     ; compute
+	busy:
+		addi r4, -1
+		cmpi r4, 0
+		bne busy
+		mov r0, r7
+		trap 6          ; stamp
+		ld r0, period
+		add r7, r0      ; next release
+		mov r0, r7
+		trap 10         ; sleep until next release
+		addi r6, -1
+		cmpi r6, 0
+		bne loop
+		trap 0
+	idle:
+		jmp idle
+	.data
+	period: .word 60000 ; cycles (≈1.02 ms at 17 ns)
+	`)
+	cpu, _ := iss.NewCPU(prog, 512)
+	kern, err := New(cpu, prog, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := prog.Entry("periodic")
+	kern.AddTask("periodic", e, 512, 1)
+
+	k := sim.NewKernel()
+	m := NewMachine(cpu, kern)
+	m.SkipIdle = skipIdle
+	var stamps []sim.Time
+	kern.OnDebug = func(task *Task, v int64) {
+		stamps = append(stamps, m.Now())
+	}
+	kern.Start()
+	m.Spawn(k, "dsp")
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Err() != nil {
+		t.Fatal(cpu.Err())
+	}
+	return stamps
+}
+
+// TestAlarmPeriodicReleases: the task's activations are spaced by the
+// period within the batch-granularity skew, in both idle modes.
+func TestAlarmPeriodicReleases(t *testing.T) {
+	const period = sim.Time(60000) * DefaultCyclePeriod // 1.02 ms
+	for _, skip := range []bool{false, true} {
+		stamps := alarmFixture(t, skip)
+		if len(stamps) != 4 {
+			t.Fatalf("skip=%v: stamps = %v, want 4", skip, stamps)
+		}
+		for i := 1; i < len(stamps); i++ {
+			gap := stamps[i] - stamps[i-1]
+			if gap < period-20*sim.Microsecond || gap > period+20*sim.Microsecond {
+				t.Errorf("skip=%v: release gap %d = %v, want ≈%v", skip, i, gap, period)
+			}
+		}
+	}
+}
+
+// TestAlarmPastDeadlineReturnsImmediately: sleeping until an
+// already-passed cycle must not block.
+func TestAlarmPastDeadlineReturnsImmediately(t *testing.T) {
+	prog := iss.MustAssemble(`
+	main:
+		ldi r0, 1       ; cycle 1 is long gone after startup
+		trap 10
+		ldi r1, 1
+		st done, r1
+		trap 0
+	idle:
+		jmp idle
+	.data
+	done: .word 0
+	`)
+	cpu, _ := iss.NewCPU(prog, 128)
+	kern, _ := New(cpu, prog, "idle")
+	e, _ := prog.Entry("main")
+	kern.AddTask("main", e, 128, 1)
+	kern.Start()
+	stepAll(t, cpu, 1000)
+	done, _ := prog.Symbols["done"]
+	if cpu.Mem[done] != 1 {
+		t.Error("task did not continue past an expired alarm")
+	}
+}

@@ -1,0 +1,141 @@
+package ukernel
+
+import (
+	"fmt"
+
+	"repro/internal/iss"
+	"repro/internal/sim"
+)
+
+// DefaultCyclePeriod models a 60 MHz DSP-class clock (as in the paper's
+// Motorola DSP56600 era): one cycle ≈ 17 ns.
+const DefaultCyclePeriod sim.Time = 17
+
+// Machine embeds a CPU + kernel into the discrete-event simulation: the
+// ISS executes in batches and the consumed cycles advance logical time.
+// This is the co-simulation of the paper's implementation model
+// (Figure 2(c): "the compiled application linked against the real RTOS
+// libraries is running in an instruction set simulator as part of the
+// system co-simulation in the SLDL").
+type Machine struct {
+	CPU  *iss.CPU
+	Kern *Kernel
+
+	// CyclePeriod is the logical duration of one CPU cycle.
+	CyclePeriod sim.Time
+	// BatchInsts caps instructions interpreted per simulation step;
+	// devices raising interrupts are observed at batch boundaries, so the
+	// batch size bounds interrupt-delivery skew.
+	BatchInsts int
+	// SkipIdle, when set, parks the machine on a wake event instead of
+	// interpreting the idle loop (an extension; the paper's ISS
+	// interprets everything, which is why its implementation model needs
+	// 5 hours). The cycle counter is warped across skipped idle so the
+	// kernel's cycle-based time base (alarms, TrapTime) stays aligned
+	// with simulated time; only the interpretation work is saved.
+	SkipIdle bool
+	// TickCycles, when positive, generates the kernel's time-slice tick
+	// interrupt (ukernel.TickLine) every TickCycles CPU cycles. Pair with
+	// Kernel.EnableTimeSlice for round-robin scheduling.
+	TickCycles uint64
+
+	wake *sim.Event
+
+	// Batch-local time base: simulated time and cycle count at the start
+	// of the batch currently executing. Now() interpolates from these, so
+	// callbacks firing mid-batch (kernel debug traps) get correct
+	// simulated timestamps even when idle cycles are skipped.
+	baseSim    sim.Time
+	baseCycles uint64
+}
+
+// Now returns the machine's current simulated position: the simulation
+// time corresponding to the cycles executed so far, valid also from
+// within trap/IRQ callbacks that fire mid-batch.
+func (m *Machine) Now() sim.Time {
+	return m.baseSim + sim.Time(m.CPU.Cycles-m.baseCycles)*m.CyclePeriod
+}
+
+// NewMachine assembles a machine around an existing CPU and kernel.
+func NewMachine(cpu *iss.CPU, kern *Kernel) *Machine {
+	return &Machine{CPU: cpu, Kern: kern, CyclePeriod: DefaultCyclePeriod, BatchInsts: 64}
+}
+
+// Spawn starts the machine as a simulation process. Kern.Start must have
+// been called.
+func (m *Machine) Spawn(k *sim.Kernel, name string) *sim.Proc {
+	if m.CyclePeriod <= 0 || m.BatchInsts <= 0 {
+		panic(fmt.Sprintf("ukernel: bad machine parameters period=%v batch=%d",
+			m.CyclePeriod, m.BatchInsts))
+	}
+	m.wake = k.NewEvent(name + ".wake")
+	proc := k.Spawn(name, m.run)
+	if m.TickCycles > 0 {
+		ticker := k.Spawn(name+".tick", func(p *sim.Proc) {
+			period := sim.Time(m.TickCycles) * m.CyclePeriod
+			for !m.CPU.Halted {
+				p.WaitFor(period)
+				m.RaiseIRQ(p, TickLine)
+			}
+		})
+		ticker.SetDaemon(true)
+	}
+	return proc
+}
+
+// RaiseIRQ asserts a CPU interrupt line from a device process and, if the
+// machine is parked idle, wakes it.
+func (m *Machine) RaiseIRQ(p *sim.Proc, line int) {
+	m.CPU.RaiseIRQ(line)
+	p.Notify(m.wake)
+}
+
+func (m *Machine) run(p *sim.Proc) {
+	for !m.CPU.Halted {
+		if m.SkipIdle && m.Kern.Idle() && !m.CPU.IRQPending() {
+			m.parkIdle(p)
+			continue
+		}
+		m.baseSim = p.Now()
+		m.baseCycles = m.CPU.Cycles
+		cycles := m.CPU.RunBatch(m.BatchInsts)
+		if due, ok := m.Kern.NextAlarm(); ok && m.CPU.Cycles >= due {
+			m.CPU.RaiseIRQ(AlarmLine)
+		}
+		if cycles == 0 {
+			if m.CPU.Halted {
+				break
+			}
+			// Defensive: avoid a zero-time spin if the CPU makes no
+			// progress without being halted.
+			p.WaitFor(m.CyclePeriod)
+			continue
+		}
+		p.WaitFor(sim.Time(cycles) * m.CyclePeriod)
+	}
+}
+
+// parkIdle suspends the machine until a device wakes it or the earliest
+// kernel alarm is due, warping the cycle counter across the skipped idle
+// span either way.
+func (m *Machine) parkIdle(p *sim.Proc) {
+	start := p.Now()
+	if due, ok := m.Kern.NextAlarm(); ok {
+		if due <= m.CPU.Cycles {
+			m.CPU.RaiseIRQ(AlarmLine)
+			return
+		}
+		gap := sim.Time(due-m.CPU.Cycles) * m.CyclePeriod
+		if !p.WaitTimeout(m.wake, gap) {
+			// Alarm due first: warp exactly to it.
+			m.CPU.Cycles = due
+			m.CPU.RaiseIRQ(AlarmLine)
+			return
+		}
+	} else {
+		p.Wait(m.wake)
+	}
+	// Woken by a device: warp across the waited span.
+	waited := p.Now() - start
+	m.CPU.Cycles += uint64(waited / m.CyclePeriod)
+}

@@ -1,0 +1,109 @@
+package ukernel
+
+import "fmt"
+
+// Message queues are the second classic kernel IPC service after
+// semaphores (the paper's backend maps SLDL channels "to an equivalent
+// service of the actual RTOS"); the abstract model's channel.Queue maps
+// onto these in the implementation model. Queues carry single machine
+// words; payloads live in application memory and the queue moves their
+// addresses, as in any small RTOS.
+
+// Additional kernel ABI traps for message queues.
+const (
+	TrapQSend = 8 // r0 = queue id, r1 = value; blocks while full
+	TrapQRecv = 9 // r0 = queue id; blocks while empty, value -> r0
+)
+
+// CostQueueOp is the modeled cycle cost of a queue operation.
+const CostQueueOp = 18
+
+// msgq is a bounded FIFO with sender and receiver wait queues.
+type msgq struct {
+	buf      []int64
+	capacity int
+	sendWait []*Task
+	recvWait []*Task
+}
+
+// AddQueue creates a message queue with the given capacity (≥1) and
+// returns its id.
+func (k *Kernel) AddQueue(capacity int) int {
+	if capacity < 1 {
+		panic(fmt.Sprintf("ukernel: queue capacity %d < 1", capacity))
+	}
+	k.queues = append(k.queues, &msgq{capacity: capacity})
+	return len(k.queues) - 1
+}
+
+// queueAt validates and returns a queue.
+func (k *Kernel) queueAt(id int64) *msgq {
+	if id < 0 || id >= int64(len(k.queues)) {
+		panic(fmt.Sprintf("ukernel: bad queue id %d", id))
+	}
+	return k.queues[id]
+}
+
+// qSend implements TrapQSend. The sender blocks while the queue is full;
+// a blocked receiver is handed the value directly (its saved r0 is
+// patched in the TCB before it is readied).
+func (k *Kernel) qSend(id, v int64) uint64 {
+	q := k.queueAt(id)
+	cost := uint64(CostQueueOp)
+	cur := k.current
+	if len(q.recvWait) > 0 {
+		// Direct handoff to the first blocked receiver.
+		r := q.recvWait[0]
+		q.recvWait = q.recvWait[1:]
+		r.regs[0] = v
+		r.State = TaskReady
+		k.seq++
+		r.readySeq = k.seq
+		cost += k.maybePreempt()
+		return cost
+	}
+	if len(q.buf) < q.capacity {
+		q.buf = append(q.buf, v)
+		return cost
+	}
+	// Full: block the sender. Its PC is rewound to retry the trap when
+	// re-dispatched (the value still sits in its saved r1).
+	if cur == nil {
+		panic("ukernel: TrapQSend from idle context on a full queue")
+	}
+	cur.State = TaskBlocked
+	q.sendWait = append(q.sendWait, cur)
+	k.cpu.PC-- // re-execute the trap after wake-up
+	cost += k.dispatch()
+	return cost
+}
+
+// qRecv implements TrapQRecv.
+func (k *Kernel) qRecv(id int64) uint64 {
+	q := k.queueAt(id)
+	cost := uint64(CostQueueOp)
+	cur := k.current
+	if len(q.buf) > 0 {
+		k.cpu.Regs[0] = q.buf[0]
+		q.buf = q.buf[1:]
+		// Space opened: release one blocked sender to retry.
+		if len(q.sendWait) > 0 {
+			s := q.sendWait[0]
+			q.sendWait = q.sendWait[1:]
+			s.State = TaskReady
+			k.seq++
+			s.readySeq = k.seq
+			cost += k.maybePreempt()
+		}
+		return cost
+	}
+	// Empty: block the receiver and retry the trap on wake-up (a direct
+	// handoff in qSend patches r0 and skips the retry by advancing PC).
+	if cur == nil {
+		panic("ukernel: TrapQRecv from idle context on an empty queue")
+	}
+	cur.State = TaskBlocked
+	q.recvWait = append(q.recvWait, cur)
+	cost += k.dispatch()
+	return cost
+}

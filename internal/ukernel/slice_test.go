@@ -1,0 +1,135 @@
+package ukernel
+
+import (
+	"testing"
+
+	"repro/internal/iss"
+	"repro/internal/sim"
+)
+
+// sliceFixture builds two equal-priority compute-bound tasks that each
+// count loop iterations into memory, with a watchdog task that halts the
+// system after a fixed number of high-priority wakeups.
+func sliceFixture(t *testing.T, tickCycles uint64) (aCount, bCount int64, rotations uint64) {
+	t.Helper()
+	prog := iss.MustAssemble(`
+	taskA:
+		ld  r2, a_count
+	A_loop:
+		addi r2, 1
+		st  a_count, r2
+		jmp A_loop
+	taskB:
+		ld  r2, b_count
+	B_loop:
+		addi r2, 1
+		st  b_count, r2
+		jmp B_loop
+	idle:
+		jmp idle
+	.data
+	a_count: .word 0
+	b_count: .word 0
+	`)
+	cpu, err := iss.NewCPU(prog, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := New(cpu, prog, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aE, _ := prog.Entry("taskA")
+	bE, _ := prog.Entry("taskB")
+	kern.AddTask("A", aE, 1024, 5)
+	kern.AddTask("B", bE, 896, 5)
+	if tickCycles > 0 {
+		kern.EnableTimeSlice()
+	}
+
+	k := sim.NewKernel()
+	m := NewMachine(cpu, kern)
+	m.TickCycles = tickCycles
+	kern.Start()
+	m.Spawn(k, "dsp")
+	if err := k.RunUntil(2 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Err() != nil {
+		t.Fatal(cpu.Err())
+	}
+	a, _ := prog.Symbols["a_count"]
+	b, _ := prog.Symbols["b_count"]
+	return cpu.Mem[a], cpu.Mem[b], kern.Rotations()
+}
+
+// TestTimeSliceSharesCPU: with the tick enabled, two compute-bound
+// equal-priority tasks share the CPU roughly evenly; without it, the
+// first task starves the second.
+func TestTimeSliceSharesCPU(t *testing.T) {
+	a, b, rot := sliceFixture(t, 2000) // tick every 2000 cycles ≈ 34 µs
+	if b == 0 {
+		t.Fatal("task B starved despite time slicing")
+	}
+	if rot == 0 {
+		t.Fatal("no slice rotations recorded")
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("compute split a=%d b=%d (ratio %.2f), want roughly even", a, b, ratio)
+	}
+
+	a2, b2, rot2 := sliceFixture(t, 0) // no tick: strict priority+FIFO
+	if b2 != 0 {
+		t.Errorf("task B ran %d iterations without slicing; expected starvation", b2)
+	}
+	if a2 == 0 {
+		t.Error("task A made no progress")
+	}
+	if rot2 != 0 {
+		t.Errorf("rotations = %d without tick, want 0", rot2)
+	}
+}
+
+// TestTickWithoutPeerDoesNotRotate: a solo task keeps the CPU across
+// ticks; the tick only costs its ISR entry.
+func TestTickWithoutPeerDoesNotRotate(t *testing.T) {
+	prog := iss.MustAssemble(`
+	solo:
+		ldi r2, 0
+	loop:
+		addi r2, 1
+		cmpi r2, 5000
+		bne loop
+		st done, r2
+		trap 0
+	idle:
+		jmp idle
+	.data
+	done: .word 0
+	`)
+	cpu, _ := iss.NewCPU(prog, 512)
+	kern, _ := New(cpu, prog, "idle")
+	e, _ := prog.Entry("solo")
+	kern.AddTask("solo", e, 512, 1)
+	kern.EnableTimeSlice()
+
+	k := sim.NewKernel()
+	m := NewMachine(cpu, kern)
+	m.TickCycles = 500
+	kern.Start()
+	m.Spawn(k, "dsp")
+	if err := k.RunUntil(2 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	done, _ := prog.Symbols["done"]
+	if cpu.Mem[done] != 5000 {
+		t.Errorf("solo task result = %d, want 5000", cpu.Mem[done])
+	}
+	if rot := kern.Rotations(); rot != 0 {
+		t.Errorf("rotations = %d for solo task, want 0", rot)
+	}
+	if irqs := kern.StatsSnapshot().IRQs; irqs == 0 {
+		t.Error("no tick interrupts delivered")
+	}
+}

@@ -1,0 +1,354 @@
+package ukernel
+
+import (
+	"testing"
+
+	"repro/internal/iss"
+	"repro/internal/sim"
+)
+
+// stepAll runs the CPU until halt (or the step bound is hit).
+func stepAll(t *testing.T, c *iss.CPU, maxSteps int) {
+	t.Helper()
+	for i := 0; i < maxSteps && !c.Halted; i++ {
+		c.Step()
+	}
+	if !c.Halted {
+		t.Fatal("CPU did not halt")
+	}
+	if c.Err() != nil {
+		t.Fatalf("fault: %v", c.Err())
+	}
+}
+
+// TestContextSwitchPreservesRegisters: two equal-priority tasks yield back
+// and forth; their register-held loop state must survive every context
+// switch.
+func TestContextSwitchPreservesRegisters(t *testing.T) {
+	prog := iss.MustAssemble(`
+	taskA:
+		ldi r1, 0
+		ldi r2, 10
+	A_loop:
+		add r1, r2
+		trap 1          ; yield
+		addi r2, -1
+		cmpi r2, 0
+		bne A_loop
+		st sumA, r1     ; 10+9+...+1 = 55
+		trap 0
+	taskB:
+		ldi r1, 0
+		ldi r2, 7
+	B_loop:
+		add r1, r2
+		trap 1
+		addi r2, -1
+		cmpi r2, 0
+		bne B_loop
+		st sumB, r1     ; 7+6+...+1 = 28
+		trap 0
+	idle:
+		jmp idle
+	.data
+	sumA: .word 0
+	sumB: .word 0
+	`)
+	cpu, err := iss.NewCPU(prog, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(cpu, prog, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryA, _ := prog.Entry("taskA")
+	entryB, _ := prog.Entry("taskB")
+	k.AddTask("A", entryA, 1024, 5)
+	k.AddTask("B", entryB, 768, 5)
+	k.Start()
+	stepAll(t, cpu, 100000)
+	sumA, _ := prog.Symbols["sumA"]
+	sumB, _ := prog.Symbols["sumB"]
+	if cpu.Mem[sumA] != 55 {
+		t.Errorf("sumA = %d, want 55", cpu.Mem[sumA])
+	}
+	if cpu.Mem[sumB] != 28 {
+		t.Errorf("sumB = %d, want 28", cpu.Mem[sumB])
+	}
+	st := k.StatsSnapshot()
+	if st.ContextSwitches < 10 {
+		t.Errorf("context switches = %d, want ≥ 10 (interleaved yields)", st.ContextSwitches)
+	}
+}
+
+// TestSemaphoreProducerConsumer: a higher-priority consumer preempts the
+// producer on every signal; all tokens are delivered in order.
+func TestSemaphoreProducerConsumer(t *testing.T) {
+	prog := iss.MustAssemble(`
+	producer:
+		ldi r3, 5
+	p_loop:
+		ldi r4, 20
+	p_busy:
+		addi r4, -1
+		cmpi r4, 0
+		bne p_busy
+		ldi r0, 0
+		trap 5          ; signal sem 0
+		addi r3, -1
+		cmpi r3, 0
+		bne p_loop
+		trap 0
+	consumer:
+		ldi r5, 0
+	c_loop:
+		ldi r0, 0
+		trap 4          ; wait sem 0
+		addi r5, 1
+		mov r0, r5
+		trap 6          ; debug: delivered count
+		cmpi r5, 5
+		bne c_loop
+		st got, r5
+		trap 0
+	idle:
+		jmp idle
+	.data
+	got: .word 0
+	`)
+	cpu, _ := iss.NewCPU(prog, 1024)
+	k, err := New(cpu, prog, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := k.AddSem(0); id != 0 {
+		t.Fatalf("sem id = %d, want 0", id)
+	}
+	pEntry, _ := prog.Entry("producer")
+	cEntry, _ := prog.Entry("consumer")
+	k.AddTask("producer", pEntry, 1024, 2)
+	cons := k.AddTask("consumer", cEntry, 768, 1)
+	var deliveries []int64
+	k.OnDebug = func(task *Task, v int64) {
+		if task != cons {
+			t.Errorf("debug from %v, want consumer", task)
+		}
+		deliveries = append(deliveries, v)
+	}
+	k.Start()
+	stepAll(t, cpu, 200000)
+	if len(deliveries) != 5 {
+		t.Fatalf("deliveries = %v, want 5 entries", deliveries)
+	}
+	for i, v := range deliveries {
+		if v != int64(i+1) {
+			t.Errorf("delivery %d = %d, want %d", i, v, i+1)
+		}
+	}
+	got, _ := prog.Symbols["got"]
+	if cpu.Mem[got] != 5 {
+		t.Errorf("got = %d, want 5", cpu.Mem[got])
+	}
+	st := k.StatsSnapshot()
+	if st.ContextSwitches < 9 {
+		t.Errorf("context switches = %d, want ≈10", st.ContextSwitches)
+	}
+	if st.Preemptions < 4 {
+		t.Errorf("preemptions = %d, want ≥ 4 (consumer preempts each signal)", st.Preemptions)
+	}
+}
+
+// TestSleepActivate: a sleeping high-priority task is activated by a
+// low-priority one and preempts it immediately.
+func TestSleepActivate(t *testing.T) {
+	prog := iss.MustAssemble(`
+	hi:
+		trap 2          ; sleep
+		ldi r1, 1
+		st flag, r1
+		trap 0
+	lo:
+		ldi r0, 0       ; task id 0 = hi
+		trap 3          ; activate -> hi preempts here
+		ld r2, flag     ; must already be 1
+		st seen, r2
+		trap 0
+	idle:
+		jmp idle
+	.data
+	flag: .word 0
+	seen: .word 0
+	`)
+	cpu, _ := iss.NewCPU(prog, 512)
+	k, err := New(cpu, prog, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiE, _ := prog.Entry("hi")
+	loE, _ := prog.Entry("lo")
+	k.AddTask("hi", hiE, 512, 0)
+	k.AddTask("lo", loE, 384, 9)
+	k.Start()
+	stepAll(t, cpu, 10000)
+	seen, _ := prog.Symbols["seen"]
+	if cpu.Mem[seen] != 1 {
+		t.Errorf("seen = %d, want 1 (activation must preempt immediately)", cpu.Mem[seen])
+	}
+}
+
+// TestTrapTime returns monotonically increasing cycle counts.
+func TestTrapTime(t *testing.T) {
+	prog := iss.MustAssemble(`
+	main:
+		trap 7
+		mov r1, r0
+		ldi r2, 50
+	busy:
+		addi r2, -1
+		cmpi r2, 0
+		bne busy
+		trap 7
+		sub r0, r1
+		st delta, r0
+		trap 0
+	idle:
+		jmp idle
+	.data
+	delta: .word 0
+	`)
+	cpu, _ := iss.NewCPU(prog, 512)
+	k, _ := New(cpu, prog, "idle")
+	e, _ := prog.Entry("main")
+	k.AddTask("main", e, 512, 1)
+	k.Start()
+	stepAll(t, cpu, 10000)
+	delta, _ := prog.Symbols["delta"]
+	if cpu.Mem[delta] <= 0 {
+		t.Errorf("cycle delta = %d, want > 0", cpu.Mem[delta])
+	}
+}
+
+// machineFixture builds a machine whose single task waits on a semaphore
+// signalled by a device interrupt and records TrapTime debug stamps.
+func machineFixture(t *testing.T, skipIdle bool) (*sim.Kernel, *Machine, *[]sim.Time) {
+	t.Helper()
+	prog := iss.MustAssemble(`
+	driver:
+		ldi r6, 3       ; frames to serve
+	d_loop:
+		ldi r0, 0
+		trap 4          ; wait for device data
+		trap 6          ; debug stamp (host records sim time)
+		addi r6, -1
+		cmpi r6, 0
+		bne d_loop
+		trap 0
+	idle:
+		jmp idle
+	`)
+	cpu, err := iss.NewCPU(prog, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := New(cpu, prog, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := kern.AddSem(0)
+	e, _ := prog.Entry("driver")
+	kern.AddTask("driver", e, 1024, 1)
+	kern.SetDeviceIRQ(0, func() { kern.SemSignalFromISR(sem) })
+
+	k := sim.NewKernel()
+	m := NewMachine(cpu, kern)
+	m.SkipIdle = skipIdle
+	stamps := &[]sim.Time{}
+	kern.OnDebug = func(task *Task, v int64) {
+		*stamps = append(*stamps, m.Now())
+	}
+	kern.Start()
+	m.Spawn(k, "dsp")
+	// Device: raises an interrupt every 100 µs.
+	dev := k.Spawn("device", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			p.WaitFor(100 * sim.Microsecond)
+			m.RaiseIRQ(p, 0)
+		}
+	})
+	_ = dev
+	return k, m, stamps
+}
+
+// TestMachineCoSimulation: the implementation model runs inside the SLDL
+// co-simulation; interrupts from a device process reach the kernel and
+// wake the driver task with bounded latency.
+func TestMachineCoSimulation(t *testing.T) {
+	k, m, stamps := machineFixture(t, false)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.Err() != nil {
+		t.Fatalf("cpu fault: %v", m.CPU.Err())
+	}
+	if !m.CPU.Halted {
+		t.Fatal("machine did not halt after driver exit")
+	}
+	if len(*stamps) != 3 {
+		t.Fatalf("stamps = %v, want 3", *stamps)
+	}
+	for i, s := range *stamps {
+		expect := sim.Time(i+1) * 100 * sim.Microsecond
+		lat := s - expect
+		if lat < 0 || lat > 10*sim.Microsecond {
+			t.Errorf("frame %d served with latency %v (stamp %v), want within 10us", i, lat, s)
+		}
+	}
+	if got := m.Kern.StatsSnapshot().IRQs; got != 3 {
+		t.Errorf("IRQs = %d, want 3", got)
+	}
+}
+
+// TestMachineSkipIdleEquivalence: skipping the idle loop must not change
+// the functional outcome or the number of serviced interrupts.
+func TestMachineSkipIdleEquivalence(t *testing.T) {
+	k1, m1, s1 := machineFixture(t, false)
+	if err := k1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k2, m2, s2 := machineFixture(t, true)
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*s1) != len(*s2) {
+		t.Fatalf("stamp counts differ: %d vs %d", len(*s1), len(*s2))
+	}
+	if m1.Kern.StatsSnapshot().IRQs != m2.Kern.StatsSnapshot().IRQs {
+		t.Error("IRQ counts differ between idle modes")
+	}
+	// Idle interpretation burns far more instructions.
+	if m1.CPU.Insts <= m2.CPU.Insts {
+		t.Errorf("interpret-idle insts (%d) not greater than skip-idle (%d)",
+			m1.CPU.Insts, m2.CPU.Insts)
+	}
+}
+
+// TestKernelHaltsWhenAllTasksDone: with no runnable or blocked-forever
+// work, dispatch halts the CPU.
+func TestKernelHaltsWhenAllTasksDone(t *testing.T) {
+	prog := iss.MustAssemble(`
+	main:
+		trap 0
+	idle:
+		jmp idle
+	`)
+	cpu, _ := iss.NewCPU(prog, 128)
+	k, _ := New(cpu, prog, "idle")
+	e, _ := prog.Entry("main")
+	k.AddTask("main", e, 128, 1)
+	k.Start()
+	stepAll(t, cpu, 100)
+	if k.Alive() {
+		t.Error("kernel still alive after sole task exit")
+	}
+}

@@ -1,0 +1,71 @@
+package vocoder
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestImplCycleCalibration: the implementation model's busy cycles match
+// the abstract delay annotations — total CPU cycles spent in the busy
+// loops equal the sum the architecture model charges via TimeWait, within
+// the kernel-overhead margin.
+func TestImplCycleCalibration(t *testing.T) {
+	par := Small()
+	res, _, err := RunImpl(par, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modeled compute: frames × subframes × (enc + dec subframe times).
+	modeled := sim.Time(par.Frames*par.Subframes) * (par.EncSubTime + par.DecSubTime)
+	modeledCycles := uint64(modeled / 17) // DefaultCyclePeriod
+	// Total CPU cycles = compute + kernel services + idle-warp; the
+	// compute share must dominate and never undercut the model.
+	if res.KernelCycles < modeledCycles {
+		t.Errorf("total cycles %d below modeled compute %d", res.KernelCycles, modeledCycles)
+	}
+	// Per-frame transcoding delays are stable (no drift): max-min small.
+	min, max := trace.MinMax(res.Delays)
+	if max-min > 200*sim.Microsecond {
+		t.Errorf("delay jitter %v (min %v, max %v), want < 200us", max-min, min, max)
+	}
+}
+
+// TestArchDelaysDeterministic: repeated architecture runs produce
+// identical per-frame delays (bit-reproducible simulation).
+func TestArchDelaysDeterministic(t *testing.T) {
+	par := Small()
+	run := func() []sim.Time {
+		res, _, err := RunArch(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Delays
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSpecDelaysAllEqual: in the unscheduled model with headroom, every
+// frame's transcoding delay is identical — there is no scheduling noise
+// to accumulate.
+func TestSpecDelaysAllEqual(t *testing.T) {
+	res, _, err := RunSpec(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Delays); i++ {
+		if res.Delays[i] != res.Delays[0] {
+			t.Fatalf("delay %d = %v differs from %v", i, res.Delays[i], res.Delays[0])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package vocoder
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func smallMultiPE() MultiPEParams {
+	mp := DefaultMultiPE()
+	mp.Params = Small()
+	return mp
+}
+
+func TestMultiPETranscodesAllFrames(t *testing.T) {
+	mp := smallMultiPE()
+	res, rec, err := RunMultiPE(mp, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delays) != mp.Frames {
+		t.Fatalf("transcoded %d frames, want %d", len(res.Delays), mp.Frames)
+	}
+	// With one task per PE there is nothing to switch between.
+	if res.ContextSwitches != 0 {
+		t.Errorf("context switches = %d, want 0 (one task per PE)", res.ContextSwitches)
+	}
+	// Encoder and decoder overlap again: they run on different CPUs.
+	if ov := rec.Overlap("encoder", "decoder"); ov == 0 {
+		t.Error("no encoder/decoder overlap across PEs")
+	}
+}
+
+func TestMultiPERecoversPipelineOverlap(t *testing.T) {
+	// The two-PE mapping must beat the single-PE architecture model's
+	// transcoding delay and land near the unscheduled bound plus the bus
+	// communication cost.
+	mp := smallMultiPE()
+	single, _, err := RunArch(mp.Params, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, _, err := RunMultiPE(mp, core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _, err := RunSpec(mp.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(multi.TranscodingDelay < single.TranscodingDelay) {
+		t.Errorf("multi-PE delay %v not below single-PE %v",
+			multi.TranscodingDelay, single.TranscodingDelay)
+	}
+	if !(multi.TranscodingDelay >= spec.TranscodingDelay) {
+		t.Errorf("multi-PE delay %v below the unscheduled bound %v",
+			multi.TranscodingDelay, spec.TranscodingDelay)
+	}
+	// The gap to the unscheduled model is the communication cost: per
+	// subframe one bus transfer + ISR; bounded by a generous envelope.
+	gap := multi.TranscodingDelay - spec.TranscodingDelay
+	perSub := mp.BusArbDelay + sim.Time(mp.SubframeLen)*mp.BusPerByte + mp.ISRTime
+	maxGap := perSub*sim.Time(2*mp.Subframes) + 20000
+	if gap > maxGap {
+		t.Errorf("communication gap %v exceeds envelope %v", gap, maxGap)
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestUUniFastSumsToTotal(t *testing.T) {
+	f := func(seed uint64, n uint8, util uint8) bool {
+		nn := int(n%16) + 1
+		u := 0.1 + float64(util%80)/100
+		parts := UUniFast(NewRNG(seed), nn, u)
+		if len(parts) != nn {
+			return false
+		}
+		sum := 0.0
+		for _, p := range parts {
+			if p < -1e-9 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicSetProperties(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nn := int(n%10) + 2
+		specs := PeriodicSet(NewRNG(seed), nn, 0.7)
+		if len(specs) != nn {
+			return false
+		}
+		for _, s := range specs {
+			if s.WCET < 1 || s.WCET >= s.Period {
+				return false
+			}
+		}
+		// Total utilization near the target (clamping can shave a little).
+		u := Utilization(specs)
+		return u > 0.2 && u < 0.75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunFeasibleSetNoMisses(t *testing.T) {
+	specs := PeriodicSet(NewRNG(1), 4, 0.5)
+	res, err := Run(specs, core.EDFPolicy{}, core.TimeModelSegmented, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activations == 0 {
+		t.Fatal("no activations")
+	}
+	if res.Missed != 0 {
+		t.Errorf("missed = %d on U=%.2f set under EDF, want 0", res.Missed, res.Utilization)
+	}
+	if res.IdleTime == 0 {
+		t.Error("no idle time on a half-utilized processor")
+	}
+}
+
+func TestRunOverloadedSetMisses(t *testing.T) {
+	// U > 1: misses are inevitable under any policy.
+	specs := []TaskSpec{
+		{Name: "a", Period: 100, WCET: 70, Prio: 0},
+		{Name: "b", Period: 100, WCET: 70, Prio: 1},
+	}
+	res, err := Run(specs, core.EDFPolicy{}, core.TimeModelSegmented, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed == 0 {
+		t.Error("overloaded set reported no misses")
+	}
+	if res.MissRatio() <= 0 {
+		t.Errorf("miss ratio = %v, want > 0", res.MissRatio())
+	}
+}
+
+func TestRunPolicyComparison(t *testing.T) {
+	// On a harmonic high-utilization set, EDF (optimal) must not miss
+	// more than FCFS (non-preemptive, prone to priority inversion).
+	specs := []TaskSpec{
+		{Name: "fast", Period: 100, WCET: 40, Prio: 0},
+		{Name: "slow", Period: 400, WCET: 200, Prio: 1},
+	}
+	edf, err := Run(specs, core.EDFPolicy{}, core.TimeModelSegmented, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := Run(specs, core.FCFSPolicy{}, core.TimeModelSegmented, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf.Missed > fcfs.Missed {
+		t.Errorf("EDF missed %d > FCFS %d on a feasible set", edf.Missed, fcfs.Missed)
+	}
+	if edf.Missed != 0 {
+		t.Errorf("EDF missed %d on U=0.9 harmonic set, want 0", edf.Missed)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,17 @@
+; sum.asm — sum the array and report via the debug trap.
+	ldi r1, arr      ; base address
+	ldi r2, 5        ; length
+	ldi r0, 0        ; sum
+loop:
+	ldx r3, r1, 0
+	add r0, r3
+	addi r1, 1
+	addi r2, -1
+	cmpi r2, 0
+	bne loop
+	trap 6           ; print sum (debug console)
+	st result, r0
+	halt
+.data
+arr:    .word 3, 1, 4, 1, 5
+result: .word 0
