@@ -1,0 +1,26 @@
+# Convenience wrappers around the tier-1 verification gate
+# (scripts/check.sh). Everything is stdlib-only Go; there is no separate
+# build step beyond the toolchain's.
+
+.PHONY: check test build vet race fuzz soak
+
+check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./...
+
+fuzz: ## native Go fuzzing of the SDL parser (30s)
+	go test ./internal/sdl/ -fuzz FuzzParse -fuzztime 30s
+
+soak: ## long scheduler soak with the property-based harness
+	go run ./cmd/simfuzz -start 10000 -duration 10m

@@ -1,0 +1,202 @@
+package channel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestSemaphoreContentionPriorityWakeup: several tasks of different
+// priorities block on one semaphore; when the tokens arrive all at once,
+// the RTOS grants them in priority order, regardless of the order in
+// which the tasks queued up.
+func TestSemaphoreContentionPriorityWakeup(t *testing.T) {
+	h := newHarness("rtos")
+	sem := NewSemaphore(h.f, "sem", 0)
+	var order []string
+	// Spawn order (= blocking order) deliberately differs from priority
+	// order: mid (prio 2), low (prio 3), high (prio 1).
+	for _, w := range []struct {
+		name string
+		prio int
+	}{{"mid", 2}, {"low", 3}, {"high", 1}} {
+		w := w
+		h.spawn(w.name, w.prio, func(p *sim.Proc) {
+			sem.Acquire(p)
+			order = append(order, w.name)
+		})
+	}
+	h.spawn("releaser", 9, func(p *sim.Proc) {
+		h.f.Delay(p, 10)
+		for i := 0; i < 3; i++ {
+			sem.Release(p)
+		}
+	})
+	h.run(t)
+	want := []string{"high", "mid", "low"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("acquisition order = %v, want %v (priority order)", order, want)
+	}
+	if sem.Value() != 0 {
+		t.Errorf("final count = %d, want 0", sem.Value())
+	}
+}
+
+// TestSemaphoreContentionFIFOWakeupSpec: the same contention pattern on
+// the specification model (no RTOS, no priorities) resolves in the
+// kernel's deterministic FIFO order — the order the waiters arrived.
+func TestSemaphoreContentionFIFOWakeupSpec(t *testing.T) {
+	h := newHarness("spec")
+	sem := NewSemaphore(h.f, "sem", 0)
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		h.spawn(name, 0, func(p *sim.Proc) {
+			sem.Acquire(p)
+			order = append(order, name)
+		})
+	}
+	h.spawn("releaser", 0, func(p *sim.Proc) {
+		h.f.Delay(p, 10)
+		for i := 0; i < 3; i++ {
+			sem.Release(p)
+		}
+	})
+	h.run(t)
+	want := []string{"first", "second", "third"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("acquisition order = %v, want %v (FIFO arrival order)", order, want)
+	}
+}
+
+// TestSemaphoreWakeupPreemption: a high-priority task blocked on a
+// semaphore is woken by an ISR release while a low-priority task is
+// mid-delay. Under the segmented time model the wakeup preempts the
+// delay immediately; under the coarse model the acquire is deferred to
+// the delay boundary (the t4 -> t4' behavior at channel level).
+func TestSemaphoreWakeupPreemption(t *testing.T) {
+	cases := []struct {
+		name     string
+		tm       core.TimeModel
+		servedAt sim.Time
+	}{
+		{"segmented-immediate", core.TimeModelSegmented, 50},
+		{"coarse-delay-boundary", core.TimeModelCoarse, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel()
+			os := core.New(k, "PE", core.PriorityPolicy{}, core.WithTimeModel(tc.tm))
+			f := RTOSFactory{OS: os}
+			sem := NewSemaphore(f, "sem", 0)
+			var servedAt sim.Time
+			spawn := func(name string, prio int, body func(p *sim.Proc)) {
+				task := os.TaskCreate(name, core.Aperiodic, 0, 0, prio)
+				k.Spawn(name, func(p *sim.Proc) {
+					os.TaskActivate(p, task)
+					body(p)
+					os.TaskTerminate(p)
+				})
+			}
+			spawn("high", 1, func(p *sim.Proc) {
+				sem.Acquire(p)
+				servedAt = p.Now()
+			})
+			spawn("low", 2, func(p *sim.Proc) {
+				os.TimeWait(p, 100)
+			})
+			k.Spawn("isr", func(p *sim.Proc) {
+				p.WaitFor(50)
+				os.InterruptEnter(p, "irq")
+				sem.Release(p)
+				os.InterruptReturn(p, "irq")
+			})
+			os.Start(nil)
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if servedAt != tc.servedAt {
+				t.Errorf("high acquired at %v, want %v", servedAt, tc.servedAt)
+			}
+			if err := os.CheckConservation(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestBarrierContentionWithPreemption: tasks of different priorities
+// work their way to a barrier on one PE. Pre-barrier delays are modeled
+// CPU time, so execution serializes in priority order: the arrival
+// indices Await reports follow priority, the lowest-priority task trips
+// the barrier — and is immediately preempted inside Await by the
+// released higher-priority waiters, so it crosses the barrier last.
+func TestBarrierContentionWithPreemption(t *testing.T) {
+	h := newHarness("rtos")
+	bar := NewBarrier(h.f, "bar", 3)
+	arrival := map[string]int{}
+	var resumed []string
+	workers := []struct {
+		name string
+		prio int
+		work sim.Time
+	}{
+		{"low", 3, 0},
+		{"high", 1, 10},
+		{"mid", 2, 20},
+	}
+	for _, w := range workers {
+		w := w
+		h.spawn(w.name, w.prio, func(p *sim.Proc) {
+			if w.work > 0 {
+				h.f.Delay(p, w.work)
+			}
+			arrival[w.name] = bar.Await(p)
+			resumed = append(resumed, w.name)
+			h.f.Delay(p, 5) // post-barrier work: forces serialized resumption
+		})
+	}
+	h.run(t)
+	// high runs its work 0..10 and waits; mid runs 10..30 and waits; only
+	// then does low (no modeled work, but lowest priority) get the CPU.
+	wantArrival := map[string]int{"high": 0, "mid": 1, "low": 2}
+	if !reflect.DeepEqual(arrival, wantArrival) {
+		t.Errorf("arrival indices = %v, want %v", arrival, wantArrival)
+	}
+	// low trips the barrier; the Notify inside Await readies both waiters,
+	// which preempt low before it returns — priority order again.
+	wantResumed := []string{"high", "mid", "low"}
+	if !reflect.DeepEqual(resumed, wantResumed) {
+		t.Errorf("resume order = %v, want %v", resumed, wantResumed)
+	}
+}
+
+// TestBarrierRoundsUnderContention: the barrier must reset cleanly
+// between rounds even when parties of different priorities keep
+// re-arriving with interleaved delays.
+func TestBarrierRoundsUnderContention(t *testing.T) {
+	h := newHarness("rtos")
+	bar := NewBarrier(h.f, "bar", 2)
+	const rounds = 4
+	counts := map[string]int{}
+	for _, w := range []struct {
+		name  string
+		prio  int
+		pause sim.Time
+	}{{"fast", 1, 1}, {"slow", 2, 7}} {
+		w := w
+		h.spawn(w.name, w.prio, func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				h.f.Delay(p, w.pause)
+				bar.Await(p)
+				counts[w.name]++
+			}
+		})
+	}
+	h.run(t)
+	if counts["fast"] != rounds || counts["slow"] != rounds {
+		t.Errorf("rounds completed = %v, want %d each", counts, rounds)
+	}
+}

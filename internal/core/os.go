@@ -49,6 +49,11 @@ type Observer interface {
 
 // Stats aggregates the counters the paper's Table 1 reports (context
 // switches) plus supporting metrics.
+//
+// BusyTime, IdleTime and OverheadTime partition the wall-clock span of the
+// scheduler: from Start to any later instant, BusyTime + IdleTime +
+// OverheadTime equals the elapsed simulated time (CheckConservation
+// asserts exactly this).
 type Stats struct {
 	Dispatches      uint64   // CPU handovers to a task
 	ContextSwitches uint64   // handovers to a different task than last ran
@@ -56,6 +61,7 @@ type Stats struct {
 	IRQs            uint64   // InterruptReturn count
 	IdleTime        sim.Time // accumulated time with no task on the CPU
 	BusyTime        sim.Time // accumulated modeled execution time (all tasks)
+	OverheadTime    sim.Time // accumulated context-switch overhead (ctxCost)
 }
 
 // OS is one processing element's instance of the abstract RTOS model —
@@ -83,6 +89,17 @@ type OS struct {
 	seq       int // ready-queue FIFO sequence source
 	idleSince sim.Time
 	idleValid bool
+
+	startedAt sim.Time // Start() instant; origin of the conservation span
+
+	// In-flight accounting: a modeled delay (or context-switch overhead)
+	// whose time has partially elapsed but is not yet credited to the
+	// stats. CheckConservation adds these so it can be called while the
+	// simulation is paused mid-delay (e.g. at a RunUntil horizon).
+	delayStart sim.Time
+	delayValid bool
+	ovhStart   sim.Time
+	ovhValid   bool
 
 	stats     Stats
 	observers []Observer
@@ -144,6 +161,9 @@ func (os *OS) Init() {
 	os.seq = 0
 	os.stats = Stats{}
 	os.idleValid = false
+	os.delayValid = false
+	os.ovhValid = false
+	os.startedAt = 0
 }
 
 // Start begins multi-task scheduling (paper: start(sched_alg)). If policy
@@ -157,6 +177,7 @@ func (os *OS) Start(policy Policy) {
 		assignRateMonotonic(os.tasks)
 	}
 	os.started = true
+	os.startedAt = os.k.Now()
 	os.idleSince = os.k.Now()
 	os.idleValid = true
 }
@@ -357,7 +378,10 @@ func (os *OS) TimeWait(p *sim.Proc, d sim.Time) {
 // (the paper's model).
 func (os *OS) timeWaitCoarse(p *sim.Proc, t *Task, d sim.Time) {
 	os.setState(t, TaskWaitingTime)
+	os.delayStart = os.k.Now()
+	os.delayValid = true
 	p.WaitFor(d)
+	os.delayValid = false
 	t.cpuTime += d
 	t.sliceUsed += d
 	t.lastWorkDone = os.k.Now()
@@ -373,7 +397,10 @@ func (os *OS) timeWaitSegmented(p *sim.Proc, t *Task, d sim.Time) {
 	for remaining > 0 {
 		os.setState(t, TaskWaitingTime)
 		start := os.k.Now()
+		os.delayStart = start
+		os.delayValid = true
 		preempted := p.WaitTimeout(t.preempt, remaining)
+		os.delayValid = false
 		elapsed := os.k.Now() - start
 		t.cpuTime += elapsed
 		t.sliceUsed += elapsed
@@ -385,6 +412,41 @@ func (os *OS) timeWaitSegmented(p *sim.Proc, t *Task, d sim.Time) {
 			os.yieldCPU(p, t)
 		}
 	}
+}
+
+// CheckConservation verifies the scheduler's time accounting at the
+// current simulation instant: since Start, every unit of simulated time
+// must be attributed to exactly one of modeled task execution (BusyTime),
+// an empty ready queue (IdleTime) or context-switch overhead
+// (OverheadTime). A modeled delay (or overhead) still in flight — e.g.
+// when the simulation was paused at a RunUntil horizon mid-TimeWait — is
+// counted up to the current instant. A non-nil error indicates a
+// scheduler accounting bug, never an application error. Calling it before
+// Start returns nil.
+func (os *OS) CheckConservation() error {
+	if !os.started {
+		return nil
+	}
+	now := os.k.Now()
+	span := now - os.startedAt
+	busy := os.stats.BusyTime
+	if os.delayValid {
+		busy += now - os.delayStart
+	}
+	idle := os.stats.IdleTime
+	if os.idleValid {
+		idle += now - os.idleSince
+	}
+	ovh := os.stats.OverheadTime
+	if os.ovhValid {
+		ovh += now - os.ovhStart
+	}
+	if busy+idle+ovh != span {
+		return fmt.Errorf(
+			"core[%s]: time conservation violated at %v: busy %v + idle %v + overhead %v = %v, want span %v (start %v)",
+			os.name, now, busy, idle, ovh, busy+idle+ovh, span, os.startedAt)
+	}
+	return nil
 }
 
 // EventNew allocates an RTOS event (paper: event_new).
@@ -622,7 +684,11 @@ func (os *OS) waitUntilDispatched(p *sim.Proc, t *Task) {
 	}
 	if os.ctxCost > 0 && t.chargeSwitch {
 		t.chargeSwitch = false
+		os.ovhStart = os.k.Now()
+		os.ovhValid = true
 		p.WaitFor(os.ctxCost)
+		os.ovhValid = false
+		os.stats.OverheadTime += os.ctxCost
 	}
 }
 

@@ -169,6 +169,15 @@ func (t *Task) WCET() sim.Time { return t.wcet }
 // Deadline returns the task's current absolute deadline.
 func (t *Task) Deadline() sim.Time { return t.deadline }
 
+// Release returns the task's current release time (periodic tasks; 0
+// before the first activation).
+func (t *Task) Release() sim.Time { return t.release }
+
+// LastWorkDone returns the instant the task's last modeled delay
+// completed — the completion time TaskEndCycle charges deadlines against,
+// even when the task is preempted right at the delay boundary.
+func (t *Task) LastWorkDone() sim.Time { return t.lastWorkDone }
+
 // CPUTime returns the modeled execution time the task has consumed so far.
 func (t *Task) CPUTime() sim.Time { return t.cpuTime }
 

@@ -1,0 +1,89 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// figure3Trace runs the architecture model and returns its full event
+// list as bytes plus the OS instance, failing the test on any error.
+func figure3Trace(t *testing.T, par Figure3Params, tm core.TimeModel) ([]byte, *core.OS) {
+	t.Helper()
+	rec, rtos, err := Figure3Architecture(par, core.PriorityPolicy{}, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := rec.EventList(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), rtos
+}
+
+// TestFigure3ReplayDeterminism: running the same model twice must yield
+// byte-identical traces under both time models — the bit-reproducibility
+// contract of the simulation kernel, and the baseline the simcheck
+// determinism oracle generalizes to random task sets.
+func TestFigure3ReplayDeterminism(t *testing.T) {
+	for _, tm := range []core.TimeModel{core.TimeModelCoarse, core.TimeModelSegmented} {
+		a, _ := figure3Trace(t, DefaultFigure3(), tm)
+		b, _ := figure3Trace(t, DefaultFigure3(), tm)
+		if !bytes.Equal(a, b) {
+			t.Errorf("time model %v: two runs produced different traces (%d vs %d bytes)",
+				tm, len(a), len(b))
+		}
+		if len(a) == 0 {
+			t.Errorf("time model %v: empty trace", tm)
+		}
+	}
+}
+
+// TestFigure3Conservation: busy + idle + overhead time must exactly
+// partition the simulated span in the paper's own example, under both
+// time models.
+func TestFigure3Conservation(t *testing.T) {
+	for _, tm := range []core.TimeModel{core.TimeModelCoarse, core.TimeModelSegmented} {
+		_, rtos := figure3Trace(t, DefaultFigure3(), tm)
+		if err := rtos.CheckConservation(); err != nil {
+			t.Errorf("time model %v: %v", tm, err)
+		}
+	}
+}
+
+// TestCoarsePreemptionPinnedToDelayBoundary is the regression test for
+// the paper's t4 -> t4' behavior (Figure 8, Section 4.3): wherever the
+// external interrupt lands inside task B2's d6 delay annotation
+// (270..390), the coarse model must defer the switch to B3 to the
+// segment boundary at 390, while the segmented model serves it at the
+// interrupt time itself.
+func TestCoarsePreemptionPinnedToDelayBoundary(t *testing.T) {
+	for _, irqAt := range []sim.Time{271, 280, 350, 389} {
+		par := DefaultFigure3()
+		par.IRQAt = irqAt
+		rec, rtos, err := Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts := rec.MarkerTimes("ext-data"); len(ts) != 1 || ts[0] != 390 {
+			t.Errorf("coarse, irq at %v: ext-data at %v, want [390] (delay boundary)", irqAt, ts)
+		}
+		if err := rtos.CheckConservation(); err != nil {
+			t.Errorf("coarse, irq at %v: %v", irqAt, err)
+		}
+
+		rec, rtos, err = Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelSegmented)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts := rec.MarkerTimes("ext-data"); len(ts) != 1 || ts[0] != irqAt {
+			t.Errorf("segmented, irq at %v: ext-data at %v, want [%v] (immediate preemption)",
+				irqAt, ts, irqAt)
+		}
+		if err := rtos.CheckConservation(); err != nil {
+			t.Errorf("segmented, irq at %v: %v", irqAt, err)
+		}
+	}
+}

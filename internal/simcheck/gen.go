@@ -1,0 +1,126 @@
+package simcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Generate produces the random scenario for a seed. Generation is fully
+// deterministic: the same seed yields the same scenario in every process
+// (the replay contract cmd/simfuzz's reproduction instructions rely on).
+//
+// Roughly a third of the scenarios are pure periodic task sets (the
+// response-time-analysis oracle's domain, also eligible for the SMP
+// matrix); the rest mix periodic and aperiodic tasks with random queue
+// topologies and IRQ-released semaphores. Scenarios are valid by
+// construction — Generate panics if a generator bug produces an invalid
+// one.
+func Generate(seed int64) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Scenario{Seed: seed}
+
+	nTasks := 2 + rng.Intn(4) // 2..5
+	periodicOnly := rng.Intn(3) == 0
+	heavy := rng.Intn(5) == 0 // overloaded set: utilization may exceed 1
+
+	prios := rng.Perm(nTasks) // distinct priorities (RTA applicability)
+	var aperiodic []int
+	for i := 0; i < nTasks; i++ {
+		t := TaskSpec{Name: fmt.Sprintf("T%d", i), Prio: prios[i]}
+		if periodicOnly || rng.Intn(2) == 0 {
+			t.Type = "periodic"
+			t.Period = sim.Time(50+rng.Intn(450)) * sim.Microsecond
+			t.Cycles = 1 + rng.Intn(4)
+			nseg := 1 + rng.Intn(3)
+			// Per-segment budget keeps the set's total utilization below 1
+			// unless this is a deliberately overloaded scenario.
+			budget := t.Period / sim.Time(nseg*nTasks*2)
+			if heavy {
+				budget = t.Period / sim.Time(nseg)
+			}
+			if budget < sim.Microsecond {
+				budget = sim.Microsecond
+			}
+			for k := 0; k < nseg; k++ {
+				t.Segments = append(t.Segments, randTime(rng, sim.Microsecond, budget))
+			}
+		} else {
+			t.Type = "aperiodic"
+			t.Start = sim.Time(rng.Intn(300)) * sim.Microsecond
+			for k, n := 0, 1+rng.Intn(4); k < n; k++ {
+				t.Ops = append(t.Ops, Op{Kind: OpDelay, Dur: randTime(rng, sim.Microsecond, 80*sim.Microsecond)})
+			}
+			aperiodic = append(aperiodic, i)
+		}
+		s.Tasks = append(s.Tasks, t)
+	}
+
+	// Queue topology: messages flow from a lower- to a higher-indexed
+	// aperiodic task, capacity covering all sends (liveness by
+	// construction; see Scenario.Validate).
+	if len(aperiodic) >= 2 {
+		for q, nq := 0, rng.Intn(3); q < nq; q++ {
+			ai := rng.Intn(len(aperiodic) - 1)
+			bi := ai + 1 + rng.Intn(len(aperiodic)-ai-1)
+			prod, cons := aperiodic[ai], aperiodic[bi]
+			n := 1 + rng.Intn(3)
+			name := fmt.Sprintf("q%d", q)
+			s.Channels = append(s.Channels, ChannelSpec{Name: name, Kind: "queue", Arg: n})
+			for k := 0; k < n; k++ {
+				insertOp(rng, &s.Tasks[prod], Op{Kind: OpSend, Ch: name})
+				insertOp(rng, &s.Tasks[cons], Op{Kind: OpRecv, Ch: name})
+			}
+		}
+	}
+
+	// Semaphore released by an external IRQ pattern (or pre-charged), with
+	// a random acquirer — the paper's ISR-to-driver signalling path.
+	if len(aperiodic) >= 1 && rng.Intn(2) == 0 {
+		acq := aperiodic[rng.Intn(len(aperiodic))]
+		n := 1 + rng.Intn(2)
+		sem := ChannelSpec{Name: "sem0", Kind: "semaphore"}
+		if rng.Intn(4) == 0 {
+			sem.Arg = n // pre-charged: no IRQ needed
+		} else {
+			irq := IRQSpec{
+				Name:  "irq0",
+				Sem:   sem.Name,
+				At:    sim.Time(50+rng.Intn(350)) * sim.Microsecond,
+				Count: n,
+			}
+			if n > 1 {
+				irq.Every = sim.Time(20+rng.Intn(80)) * sim.Microsecond
+			}
+			s.IRQs = append(s.IRQs, irq)
+		}
+		s.Channels = append(s.Channels, sem)
+		for k := 0; k < n; k++ {
+			insertOp(rng, &s.Tasks[acq], Op{Kind: OpAcquire, Ch: sem.Name})
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("simcheck: generator produced invalid scenario for seed %d: %v", seed, err))
+	}
+	return s
+}
+
+// randTime returns a uniform time in [lo, hi] (microsecond granularity to
+// keep reproducer JSON readable).
+func randTime(rng *rand.Rand, lo, hi sim.Time) sim.Time {
+	if hi <= lo {
+		return lo
+	}
+	span := int64((hi-lo)/sim.Microsecond) + 1
+	return lo + sim.Time(rng.Int63n(span))*sim.Microsecond
+}
+
+// insertOp splices an op into a random position of a task's program.
+func insertOp(rng *rand.Rand, t *TaskSpec, op Op) {
+	pos := rng.Intn(len(t.Ops) + 1)
+	t.Ops = append(t.Ops, Op{})
+	copy(t.Ops[pos+1:], t.Ops[pos:])
+	t.Ops[pos] = op
+}

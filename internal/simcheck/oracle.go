@@ -1,0 +1,219 @@
+package simcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Failure ties the violations observed for one scenario/config pair
+// together (the unit cmd/simfuzz shrinks and reports).
+type Failure struct {
+	Config     Config
+	Violations []Violation
+}
+
+func (f Failure) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "config %s:", f.Config)
+	for _, v := range f.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// Check runs the scenario across the whole configuration matrix and
+// returns every invariant and oracle violation found. Each config is run
+// twice to enforce the replay-determinism oracle; coarse/segmented
+// siblings of the same policy are compared by the differential oracle;
+// all-periodic sets additionally face the response-time-analysis bound.
+func Check(s *Scenario) []Failure {
+	var fails []Failure
+	byKey := map[string]*RunResult{}
+	for _, cfg := range Matrix(s) {
+		r1 := safeRun(s, cfg)
+		r2 := safeRun(s, cfg)
+		vs := CheckRun(s, r1)
+		if !bytes.Equal(r1.Trace, r2.Trace) {
+			vs = append(vs, Violation{Kind: "determinism", At: r1.End,
+				Msg: fmt.Sprintf("two runs of seed %d under %s produced different traces (%d vs %d bytes)",
+					s.Seed, cfg, len(r1.Trace), len(r2.Trace))})
+		}
+		vs = append(vs, checkRTA(s, r1)...)
+		byKey[cfg.String()] = r1
+		if len(vs) > 0 {
+			fails = append(fails, Failure{Config: cfg, Violations: vs})
+		}
+	}
+	// Differential oracle: the time model changes when work happens, never
+	// how much of it there is. Pair each coarse run with its segmented
+	// sibling and compare drained totals.
+	for _, cfg := range Matrix(s) {
+		if cfg.TimeModel != "coarse" {
+			continue
+		}
+		seg := cfg
+		seg.TimeModel = "segmented"
+		if vs := diffRuns(byKey[cfg.String()], byKey[seg.String()]); len(vs) > 0 {
+			fails = append(fails, Failure{Config: cfg, Violations: vs})
+		}
+	}
+	return fails
+}
+
+// safeRun converts a panic on the caller's goroutine (builder bugs,
+// bad policy names) into a run error instead of killing a soak run.
+func safeRun(s *Scenario, cfg Config) (res *RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = &RunResult{Config: cfg, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	return Run(s, cfg)
+}
+
+// diffRuns compares the coarse and segmented runs of one policy: with the
+// horizon draining the full workload in every interleaving, total busy
+// time, per-task CPU time, activation counts and the completion set must
+// all agree between the two time models.
+func diffRuns(coarse, segmented *RunResult) []Violation {
+	if coarse == nil || segmented == nil || coarse.Err != nil || segmented.Err != nil {
+		return nil // run errors are already reported per config
+	}
+	var vs []Violation
+	add := func(format string, args ...interface{}) {
+		vs = append(vs, Violation{Kind: "differential", Msg: fmt.Sprintf(format, args...)})
+	}
+	busyC, busyS := coarse.Stats.BusyTime, segmented.Stats.BusyTime
+	if coarse.Config.CPUs > 1 {
+		busyC, busyS = coarse.SMP.BusyTime, segmented.SMP.BusyTime
+	}
+	if busyC != busyS {
+		add("%s busy time %v != %s busy time %v", coarse.Config, busyC, segmented.Config, busyS)
+	}
+	if len(coarse.Tasks) != len(segmented.Tasks) {
+		add("task count %d != %d", len(coarse.Tasks), len(segmented.Tasks))
+		return vs
+	}
+	for i := range coarse.Tasks {
+		c, g := coarse.Tasks[i], segmented.Tasks[i]
+		if c.Terminated != g.Terminated {
+			add("task %s terminated=%v coarse but %v segmented", c.Name, c.Terminated, g.Terminated)
+		}
+		if c.Activations != g.Activations {
+			add("task %s ran %d activations coarse but %d segmented", c.Name, c.Activations, g.Activations)
+		}
+		if c.CPUTime != g.CPUTime {
+			add("task %s consumed %v CPU coarse but %v segmented", c.Name, c.CPUTime, g.CPUTime)
+		}
+	}
+	return vs
+}
+
+// checkRTA asserts the response-time-analysis oracle on all-periodic,
+// single-PE, fixed-priority runs: if classic RTA
+//
+//	R_i = C_i + B_i + sum_{j in hp(i)} ceil(R_i/T_j) * C_j
+//
+// converges with R_i <= T_i, the observed worst response must not exceed
+// R_i and the task must not miss deadlines. B_i is zero under the
+// segmented (fully preemptive) model; under the coarse model every delay
+// segment runs to completion, so B_i is the longest single segment of any
+// lower-priority task (non-preemptive chunk blocking).
+//
+// The single-job fixpoint is only sound when the synchronous-release
+// (critical instant) job is the worst of its level-i active period; with
+// deferred preemption a later job can be worse (self-pushing). The bound
+// is therefore only asserted when the level-i active period
+//
+//	L_i = B_i + sum_{j in hp(i) + {i}} ceil(L_i/T_j) * C_j
+//
+// also converges within T_i, which limits the active period to a single
+// job of task i.
+func checkRTA(s *Scenario, res *RunResult) []Violation {
+	if res.Err != nil || res.Config.CPUs != 1 || !s.AllPeriodic() {
+		return nil
+	}
+	if res.Config.Policy != "priority" && res.Config.Policy != "rm" {
+		return nil
+	}
+	prios, ok := effectivePrios(s, res.Config)
+	if !ok {
+		return nil
+	}
+	var vs []Violation
+	for i := range s.Tasks {
+		ti := &s.Tasks[i]
+		C := ti.Work() / sim.Time(ti.Cycles)
+		T := ti.Period
+		var B sim.Time
+		if !res.Config.Segmented() {
+			for j := range s.Tasks {
+				if prios[s.Tasks[j].Name] <= prios[ti.Name] {
+					continue
+				}
+				for _, seg := range s.Tasks[j].Segments {
+					if seg > B {
+						B = seg
+					}
+				}
+			}
+		}
+		var hp []int
+		for j := range s.Tasks {
+			if prios[s.Tasks[j].Name] < prios[ti.Name] {
+				hp = append(hp, j)
+			}
+		}
+		interference := func(window sim.Time, includeSelf bool) sim.Time {
+			w := B
+			for _, j := range hp {
+				tj := &s.Tasks[j]
+				w += ceilDiv(window, tj.Period) * (tj.Work() / sim.Time(tj.Cycles))
+			}
+			if includeSelf {
+				w += ceilDiv(window, T) * C
+			}
+			return w
+		}
+		R, converged := fixpoint(C+B, T, func(r sim.Time) sim.Time { return C + interference(r, false) })
+		if !converged {
+			continue
+		}
+		if _, oneJob := fixpoint(C+B, T, func(l sim.Time) sim.Time { return interference(l, true) }); !oneJob {
+			continue
+		}
+		out := res.Tasks[i]
+		if out.MaxResp > R {
+			vs = append(vs, Violation{Kind: "rta", At: res.End,
+				Msg: fmt.Sprintf("task %s observed response %v exceeds analytic bound %v (C=%v B=%v T=%v, %s)",
+					ti.Name, out.MaxResp, R, C, B, T, res.Config)})
+		}
+		if out.Missed > 0 {
+			vs = append(vs, Violation{Kind: "rta", At: res.End,
+				Msg: fmt.Sprintf("task %s missed %d deadlines but RTA bounds its response at %v <= period %v",
+					ti.Name, out.Missed, R, T)})
+		}
+	}
+	return vs
+}
+
+// fixpoint iterates x = f(x) from x0 upward, reporting convergence only
+// if the fixed point stays within limit.
+func fixpoint(x0, limit sim.Time, f func(sim.Time) sim.Time) (sim.Time, bool) {
+	x := x0
+	for iter := 0; iter < 1000; iter++ {
+		next := f(x)
+		if next == x {
+			return x, x <= limit
+		}
+		if next > limit {
+			return next, false
+		}
+		x = next
+	}
+	return x, false
+}
+
+func ceilDiv(a, b sim.Time) sim.Time { return (a + b - 1) / b }

@@ -1,0 +1,330 @@
+package simcheck
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/smp"
+	"repro/internal/trace"
+)
+
+// Config selects one point of the scheduling matrix a scenario runs on.
+type Config struct {
+	Policy    string   // "priority","fcfs","rr","edf","rm" (CPUs=1); "g-fp","g-edf" (CPUs>1)
+	TimeModel string   // "coarse" or "segmented"
+	CPUs      int      // 1: core.OS single PE; >1: smp.OS global scheduler
+	Quantum   sim.Time // round-robin slice ("rr" only)
+}
+
+// Segmented reports whether the config uses the interruptible time model.
+func (c Config) Segmented() bool { return c.TimeModel == "segmented" }
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/%dcpu", c.Policy, c.TimeModel, c.CPUs)
+}
+
+// Matrix returns every configuration the scenario is eligible for: all
+// five uniprocessor policies under both time models, plus the global SMP
+// policies for channel-free scenarios (the SMP model's service surface).
+func Matrix(s *Scenario) []Config {
+	var out []Config
+	for _, tm := range []string{"coarse", "segmented"} {
+		for _, pol := range []string{"priority", "fcfs", "rr", "edf", "rm"} {
+			cfg := Config{Policy: pol, TimeModel: tm, CPUs: 1}
+			if pol == "rr" {
+				cfg.Quantum = 25 * sim.Microsecond
+			}
+			out = append(out, cfg)
+		}
+		if s.ChannelFree() {
+			for _, pol := range []string{"g-fp", "g-edf"} {
+				out = append(out, Config{Policy: pol, TimeModel: tm, CPUs: 2})
+			}
+		}
+	}
+	return out
+}
+
+// TaskOutcome is one task's observable result of a run.
+type TaskOutcome struct {
+	Name        string
+	Index       int
+	Terminated  bool
+	Activations int
+	Missed      int
+	CPUTime     sim.Time
+	MaxResp     sim.Time // periodic, single-PE: max(completion - release) over cycles
+}
+
+// RunResult is everything the invariant checker and oracles consume.
+type RunResult struct {
+	Config  Config
+	Err     error // simulation error (deadlock); invariants are skipped
+	End     sim.Time
+	Trace   []byte         // canonical serialization (determinism oracle)
+	Records []trace.Record // single-PE runs
+	Events  []SMPEvent     // SMP runs
+	Stats   core.Stats     // single-PE runs
+	SMP     smp.Stats      // SMP runs
+	Tasks   []TaskOutcome
+
+	conservation error // core.OS.CheckConservation result
+}
+
+// SMPEvent is one global-scheduler dispatch/release observation.
+type SMPEvent struct {
+	At      sim.Time
+	CPU     int
+	Task    string
+	Release bool // false: dispatch, true: slot vacated
+}
+
+func (e SMPEvent) String() string {
+	verb := "dispatch"
+	if e.Release {
+		verb = "release"
+	}
+	return fmt.Sprintf("%-10s %s cpu%d %s", e.At, verb, e.CPU, e.Task)
+}
+
+// Run simulates the scenario under the given config and returns the
+// collected trace, statistics and per-task outcomes.
+func Run(s *Scenario, cfg Config) *RunResult {
+	if cfg.CPUs > 1 {
+		return runSMP(s, cfg)
+	}
+	return runSingle(s, cfg)
+}
+
+// runSingle executes the scenario on one core.OS instance.
+func runSingle(s *Scenario, cfg Config) *RunResult {
+	res := &RunResult{Config: cfg}
+	policy, err := core.PolicyByName(cfg.Policy, cfg.Quantum)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	tm := core.TimeModelCoarse
+	if cfg.Segmented() {
+		tm = core.TimeModelSegmented
+	}
+	k := sim.NewKernel()
+	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
+	rec := trace.New("simcheck")
+	rec.Attach(rtos)
+
+	f := channel.RTOSFactory{OS: rtos}
+	queues := map[string]*channel.Queue[int]{}
+	sems := map[string]*channel.Semaphore{}
+	for _, c := range s.Channels {
+		switch c.Kind {
+		case "queue":
+			queues[c.Name] = channel.NewQueue[int](f, c.Name, c.Arg)
+		case "semaphore":
+			sems[c.Name] = channel.NewSemaphore(f, c.Name, c.Arg)
+		}
+	}
+
+	tasks := make([]*core.Task, len(s.Tasks))
+	resp := make([]sim.Time, len(s.Tasks))
+	for i := range s.Tasks {
+		i := i
+		spec := &s.Tasks[i]
+		switch spec.Type {
+		case "periodic":
+			task := rtos.TaskCreate(spec.Name, core.Periodic, spec.Period, spec.Work()/sim.Time(spec.Cycles), spec.Prio)
+			tasks[i] = task
+			k.Spawn(spec.Name, func(p *sim.Proc) {
+				rtos.TaskActivate(p, task)
+				for c := 0; c < spec.Cycles; c++ {
+					rel := task.Release()
+					for _, seg := range spec.Segments {
+						rtos.TimeWait(p, seg)
+					}
+					if done := task.LastWorkDone(); done > rel && done-rel > resp[i] {
+						resp[i] = done - rel
+					}
+					rtos.TaskEndCycle(p)
+				}
+				rtos.TaskTerminate(p)
+			})
+		case "aperiodic":
+			task := rtos.TaskCreate(spec.Name, core.Aperiodic, 0, spec.Work(), spec.Prio)
+			tasks[i] = task
+			k.Spawn(spec.Name, func(p *sim.Proc) {
+				if spec.Start > 0 {
+					p.WaitFor(spec.Start)
+				}
+				rtos.TaskActivate(p, task)
+				for _, op := range spec.Ops {
+					switch op.Kind {
+					case OpDelay:
+						rtos.TimeWait(p, op.Dur)
+					case OpSend:
+						queues[op.Ch].Send(p, 1)
+					case OpRecv:
+						queues[op.Ch].Recv(p)
+					case OpAcquire:
+						sems[op.Ch].Acquire(p)
+					}
+				}
+				rtos.TaskTerminate(p)
+			})
+		}
+	}
+
+	for _, irq := range s.IRQs {
+		irq := irq
+		sem := sems[irq.Sem]
+		p := k.Spawn("irq:"+irq.Name, func(p *sim.Proc) {
+			p.WaitFor(irq.At)
+			for i := 0; i < irq.Count; i++ {
+				if i > 0 {
+					p.WaitFor(irq.Every)
+				}
+				rtos.InterruptEnter(p, irq.Name)
+				sem.Release(p)
+				rtos.InterruptReturn(p, irq.Name)
+			}
+		})
+		p.SetDaemon(true)
+	}
+
+	rtos.Start(nil)
+	res.Err = k.RunUntil(s.Horizon())
+	res.End = k.Now()
+	res.Records = rec.Records()
+	res.Stats = rtos.StatsSnapshot()
+	res.conservation = rtos.CheckConservation()
+	for i, t := range tasks {
+		res.Tasks = append(res.Tasks, TaskOutcome{
+			Name:        t.Name(),
+			Index:       i,
+			Terminated:  t.State() == core.TaskTerminated,
+			Activations: t.Activations(),
+			Missed:      t.MissedDeadlines(),
+			CPUTime:     t.CPUTime(),
+			MaxResp:     resp[i],
+		})
+	}
+	res.Trace = serializeSingle(res)
+	return res
+}
+
+// smpRecorder collects SMPEvents via the smp.Observer hook.
+type smpRecorder struct{ events []SMPEvent }
+
+func (r *smpRecorder) OnDispatch(at sim.Time, cpu int, t *smp.Task) {
+	r.events = append(r.events, SMPEvent{At: at, CPU: cpu, Task: t.Name()})
+}
+
+func (r *smpRecorder) OnRelease(at sim.Time, cpu int, t *smp.Task) {
+	r.events = append(r.events, SMPEvent{At: at, CPU: cpu, Task: t.Name(), Release: true})
+}
+
+// runSMP executes a channel-free scenario on the global SMP scheduler.
+func runSMP(s *Scenario, cfg Config) *RunResult {
+	res := &RunResult{Config: cfg}
+	var policy smp.Policy
+	switch cfg.Policy {
+	case "g-fp":
+		policy = smp.FixedPriority{}
+	case "g-edf":
+		policy = smp.GEDF{}
+	default:
+		res.Err = fmt.Errorf("simcheck: unknown SMP policy %q", cfg.Policy)
+		return res
+	}
+	k := sim.NewKernel()
+	os := smp.New(k, "SMP", policy, cfg.CPUs, cfg.Segmented())
+	rec := &smpRecorder{}
+	os.Observe(rec)
+
+	tasks := make([]*smp.Task, len(s.Tasks))
+	for i := range s.Tasks {
+		spec := &s.Tasks[i]
+		switch spec.Type {
+		case "periodic":
+			task := os.TaskCreate(spec.Name, core.Periodic, spec.Period, spec.Work()/sim.Time(spec.Cycles), spec.Prio)
+			tasks[i] = task
+			k.Spawn(spec.Name, func(p *sim.Proc) {
+				os.TaskActivate(p, task)
+				for c := 0; c < spec.Cycles; c++ {
+					for _, seg := range spec.Segments {
+						os.TimeWait(p, seg)
+					}
+					os.TaskEndCycle(p)
+				}
+				os.TaskTerminate(p)
+			})
+		case "aperiodic":
+			task := os.TaskCreate(spec.Name, core.Aperiodic, 0, spec.Work(), spec.Prio)
+			tasks[i] = task
+			k.Spawn(spec.Name, func(p *sim.Proc) {
+				if spec.Start > 0 {
+					p.WaitFor(spec.Start)
+				}
+				os.TaskActivate(p, task)
+				for _, op := range spec.Ops {
+					if op.Kind == OpDelay {
+						os.TimeWait(p, op.Dur)
+					}
+				}
+				os.TaskTerminate(p)
+			})
+		}
+	}
+
+	res.Err = k.RunUntil(s.Horizon())
+	res.End = k.Now()
+	res.Events = rec.events
+	res.SMP = os.StatsSnapshot()
+	for i, t := range tasks {
+		res.Tasks = append(res.Tasks, TaskOutcome{
+			Name:        t.Name(),
+			Index:       i,
+			Terminated:  t.State() == core.TaskTerminated,
+			Activations: t.Activations(),
+			Missed:      t.MissedDeadlines(),
+			CPUTime:     t.CPUTime(),
+		})
+	}
+	res.Trace = serializeSMP(res)
+	return res
+}
+
+// serializeSingle renders a single-PE run to its canonical byte form: the
+// full record stream plus the counters and per-task outcomes. Two runs of
+// the same (scenario, config) must produce identical bytes.
+func serializeSingle(res *RunResult) []byte {
+	var b bytes.Buffer
+	for _, r := range res.Records {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "stats %+v end %v\n", res.Stats, res.End)
+	writeOutcomes(&b, res.Tasks)
+	return b.Bytes()
+}
+
+// serializeSMP renders an SMP run to its canonical byte form.
+func serializeSMP(res *RunResult) []byte {
+	var b bytes.Buffer
+	for _, e := range res.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "stats %+v end %v\n", res.SMP, res.End)
+	writeOutcomes(&b, res.Tasks)
+	return b.Bytes()
+}
+
+func writeOutcomes(b *bytes.Buffer, tasks []TaskOutcome) {
+	for _, t := range tasks {
+		fmt.Fprintf(b, "task %s terminated=%v act=%d missed=%d cpu=%v resp=%v\n",
+			t.Name, t.Terminated, t.Activations, t.Missed, t.CPUTime, t.MaxResp)
+	}
+}

@@ -1,0 +1,182 @@
+package simcheck
+
+import (
+	"encoding/json"
+
+	"repro/internal/sim"
+)
+
+// Shrink greedily minimizes a failing scenario: it tries structural
+// reductions in decreasing order of aggressiveness (drop a task, drop a
+// channel, cut cycles, drop ops, halve durations), adopts any candidate
+// for which failing still reports true, and repeats until no reduction
+// helps or the evaluation budget is spent. failing is typically
+// func(c *Scenario) bool { return len(Check(c)) > 0 } — each call runs
+// the whole matrix, so budget bounds total shrink cost.
+func Shrink(s *Scenario, failing func(*Scenario) bool, budget int) *Scenario {
+	cur := clone(s)
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for _, cand := range candidates(cur) {
+			if budget <= 0 {
+				break
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			budget--
+			if failing(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// candidates enumerates one-step reductions of the scenario, most
+// aggressive first.
+func candidates(s *Scenario) []*Scenario {
+	var out []*Scenario
+	for i := range s.Tasks {
+		out = append(out, removeTask(s, i))
+	}
+	for i := range s.Channels {
+		out = append(out, removeChannel(s, s.Channels[i].Name))
+	}
+	for i := range s.Tasks {
+		if s.Tasks[i].Cycles > 1 {
+			c := clone(s)
+			c.Tasks[i].Cycles--
+			out = append(out, c)
+		}
+		if len(s.Tasks[i].Segments) > 1 {
+			c := clone(s)
+			c.Tasks[i].Segments = c.Tasks[i].Segments[:len(c.Tasks[i].Segments)-1]
+			out = append(out, c)
+		}
+		for j, op := range s.Tasks[i].Ops {
+			if op.Kind == OpDelay && len(s.Tasks[i].Ops) > 1 {
+				c := clone(s)
+				c.Tasks[i].Ops = append(c.Tasks[i].Ops[:j:j], c.Tasks[i].Ops[j+1:]...)
+				out = append(out, c)
+			}
+		}
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		for j, seg := range t.Segments {
+			if h := halveTime(seg); h < seg {
+				c := clone(s)
+				c.Tasks[i].Segments[j] = h
+				out = append(out, c)
+			}
+		}
+		for j, op := range t.Ops {
+			if op.Kind == OpDelay {
+				if h := halveTime(op.Dur); h < op.Dur {
+					c := clone(s)
+					c.Tasks[i].Ops[j].Dur = h
+					out = append(out, c)
+				}
+			}
+		}
+		if t.Start > 0 {
+			c := clone(s)
+			c.Tasks[i].Start = halveTime(t.Start)
+			if c.Tasks[i].Start == t.Start {
+				c.Tasks[i].Start = 0
+			}
+			out = append(out, c)
+		}
+		if t.Type == "periodic" {
+			if h := halveTime(t.Period); h < t.Period {
+				c := clone(s)
+				c.Tasks[i].Period = h
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// removeTask drops task i together with every channel its program uses
+// (and those channels' ops and IRQs elsewhere), keeping the remainder
+// structurally valid. An aperiodic task left with an empty program gets a
+// minimal placeholder delay.
+func removeTask(s *Scenario, i int) *Scenario {
+	c := clone(s)
+	used := map[string]bool{}
+	for _, op := range c.Tasks[i].Ops {
+		if op.Ch != "" {
+			used[op.Ch] = true
+		}
+	}
+	c.Tasks = append(c.Tasks[:i:i], c.Tasks[i+1:]...)
+	for name := range used {
+		stripChannel(c, name)
+	}
+	return c
+}
+
+// removeChannel drops one channel and every reference to it.
+func removeChannel(s *Scenario, name string) *Scenario {
+	c := clone(s)
+	stripChannel(c, name)
+	return c
+}
+
+func stripChannel(c *Scenario, name string) {
+	chans := c.Channels[:0]
+	for _, ch := range c.Channels {
+		if ch.Name != name {
+			chans = append(chans, ch)
+		}
+	}
+	c.Channels = chans
+	irqs := c.IRQs[:0]
+	for _, irq := range c.IRQs {
+		if irq.Sem != name {
+			irqs = append(irqs, irq)
+		}
+	}
+	c.IRQs = irqs
+	for i := range c.Tasks {
+		t := &c.Tasks[i]
+		ops := t.Ops[:0]
+		for _, op := range t.Ops {
+			if op.Ch != name {
+				ops = append(ops, op)
+			}
+		}
+		t.Ops = ops
+		if t.Type == "aperiodic" && len(t.Ops) == 0 {
+			t.Ops = []Op{{Kind: OpDelay, Dur: sim.Microsecond}}
+		}
+	}
+}
+
+// halveTime halves a duration at microsecond granularity, never below
+// one microsecond.
+func halveTime(d sim.Time) sim.Time {
+	h := d / 2
+	h -= h % sim.Microsecond
+	if h < sim.Microsecond {
+		h = sim.Microsecond
+	}
+	return h
+}
+
+// clone deep-copies a scenario via its JSON form.
+func clone(s *Scenario) *Scenario {
+	var c Scenario
+	b, err := json.Marshal(s)
+	if err == nil {
+		err = json.Unmarshal(b, &c)
+	}
+	if err != nil {
+		panic(err) // plain data: cannot fail
+	}
+	return &c
+}

@@ -107,6 +107,17 @@ func (t *Task) MissedDeadlines() int { return t.missed }
 // Migrations returns how often the task resumed on a different CPU.
 func (t *Task) Migrations() int { return t.migrations }
 
+// Observer receives global-scheduler dispatch events; the simcheck
+// harness uses it to verify per-CPU occupancy invariants. All callbacks
+// run synchronously inside the simulation and must not block.
+type Observer interface {
+	// OnDispatch fires when a task is assigned to a CPU slot.
+	OnDispatch(at sim.Time, cpu int, t *Task)
+	// OnRelease fires when a task vacates its CPU slot (termination,
+	// end-of-cycle or preemption).
+	OnRelease(at sim.Time, cpu int, t *Task)
+}
+
 // Stats aggregates the scheduler's counters.
 type Stats struct {
 	Dispatches      uint64
@@ -131,6 +142,7 @@ type OS struct {
 
 	segmented bool
 	stats     Stats
+	observers []Observer
 }
 
 // New creates a global scheduler over ncpu identical CPUs. segmented
@@ -153,6 +165,9 @@ func New(k *sim.Kernel, name string, policy Policy, ncpu int, segmented bool) *O
 
 // NCPU returns the processor count.
 func (os *OS) NCPU() int { return os.ncpu }
+
+// Observe registers an observer for dispatch events.
+func (os *OS) Observe(o Observer) { os.observers = append(os.observers, o) }
 
 // Tasks returns all created tasks.
 func (os *OS) Tasks() []*Task { return os.tasks }
@@ -335,8 +350,12 @@ func (os *OS) removeReady(t *Task) {
 // freeSlot vacates the task's CPU slot.
 func (os *OS) freeSlot(t *Task) {
 	if t.cpu >= 0 {
-		os.running[t.cpu] = nil
+		cpu := t.cpu
+		os.running[cpu] = nil
 		t.cpu = -1
+		for _, o := range os.observers {
+			o.OnRelease(os.k.Now(), cpu, t)
+		}
 	}
 }
 
@@ -387,6 +406,9 @@ func (os *OS) dispatchInto(p *sim.Proc, cpu int, t *Task) {
 	}
 	t.lastCPU = cpu
 	os.lastRun[cpu] = t
+	for _, o := range os.observers {
+		o.OnDispatch(os.k.Now(), cpu, t)
+	}
 	if t.proc != p {
 		p.Notify(t.dispatch)
 	}

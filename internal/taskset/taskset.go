@@ -175,6 +175,11 @@ func Run(s *Set) (*Result, error) {
 	if err := k.RunUntil(horizon); err != nil {
 		return nil, err
 	}
+	// Busy/idle/overhead accounting must partition the simulated span;
+	// a violation is a scheduler bug, not a task-set property.
+	if err := rtos.CheckConservation(); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Policy:    policy.Name(),
 		TimeModel: tm,

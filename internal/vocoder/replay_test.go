@@ -1,0 +1,42 @@
+package vocoder
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunArchReplayDeterminism: two runs of the vocoder architecture
+// model with identical parameters must produce byte-identical traces and
+// identical simulated metrics (host wall time excluded) — the model-level
+// replay contract backing the simcheck determinism oracle.
+func TestRunArchReplayDeterminism(t *testing.T) {
+	for _, tm := range []core.TimeModel{core.TimeModelCoarse, core.TimeModelSegmented} {
+		run := func() (Results, []byte) {
+			res, rec, err := RunArch(Small(), core.PriorityPolicy{}, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b bytes.Buffer
+			if err := rec.EventList(&b); err != nil {
+				t.Fatal(err)
+			}
+			return res, b.Bytes()
+		}
+		r1, t1 := run()
+		r2, t2 := run()
+		if !bytes.Equal(t1, t2) {
+			t.Errorf("time model %v: two runs produced different traces (%d vs %d bytes)",
+				tm, len(t1), len(t2))
+		}
+		if len(t1) == 0 {
+			t.Errorf("time model %v: empty trace", tm)
+		}
+		r1.Wall, r2.Wall = 0, 0 // host time is the only legitimately varying field
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("time model %v: results differ:\n%+v\n%+v", tm, r1, r2)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification gate (see README.md "Verification"): vet, build,
+# the full test suite under the race detector, and a bounded simcheck
+# soak run. Every change must keep this script green.
+#
+#   ./scripts/check.sh              # full gate (~1 min)
+#   SIMFUZZ_DURATION=5s ./scripts/check.sh   # shorter soak
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+# Soak the scheduler with fresh seeds (offset so they do not just repeat
+# the seeds go test already covered).
+echo "== simfuzz soak (${SIMFUZZ_DURATION:-30s})"
+go run ./cmd/simfuzz -start 10000 -duration "${SIMFUZZ_DURATION:-30s}"
+
+echo "check.sh: all gates passed"
