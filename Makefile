@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race fuzz soak
+.PHONY: check test build vet race race-batch fuzz soak
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -19,8 +19,11 @@ vet:
 race:
 	go test -race ./...
 
+race-batch: ## extra race-detector passes over the concurrency-critical packages
+	go test -race -count=2 ./internal/runner ./internal/simcheck
+
 fuzz: ## native Go fuzzing of the SDL parser (30s)
 	go test ./internal/sdl/ -fuzz FuzzParse -fuzztime 30s
 
-soak: ## long scheduler soak with the property-based harness
-	go run ./cmd/simfuzz -start 10000 -duration 10m
+soak: ## long scheduler soak with the property-based harness (parallel seeds)
+	go run ./cmd/simfuzz -start 10000 -duration 10m -jobs 4

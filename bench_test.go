@@ -10,11 +10,13 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/synth"
@@ -380,6 +382,57 @@ func BenchmarkSynthesis(b *testing.B) {
 		insts = res.Instructions
 	}
 	b.ReportMetric(float64(insts), "iss-insts")
+}
+
+// sweepOnce runs the parallel-batch reference workload — 32 independent
+// periodic-set simulations (8 utilizations × 4 seeds) — on the given
+// worker count and folds the miss ratios so the compiler keeps the work.
+func sweepOnce(b *testing.B, jobs int) float64 {
+	type cell struct {
+		u    float64
+		seed uint64
+	}
+	var cells []cell
+	for _, u := range []float64{0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			cells = append(cells, cell{u: u, seed: seed})
+		}
+	}
+	results := runner.Map(len(cells), runner.Options{Jobs: jobs}, func(i int) (float64, error) {
+		c := cells[i]
+		specs := workload.PeriodicSet(workload.NewRNG(c.seed), 8, c.u)
+		res, err := workload.Run(specs, core.EDFPolicy{}, core.TimeModelSegmented, sim.Second)
+		if err != nil {
+			return 0, err
+		}
+		return res.MissRatio(), nil
+	})
+	total := 0.0
+	for _, r := range results {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		total += r.Value
+	}
+	return total
+}
+
+// BenchmarkSequentialSweep vs BenchmarkParallelSweep measure the batch
+// engine on the SCHED-style utilization sweep. On an N-core machine the
+// parallel variant should approach N× (≥2× on ≥4 cores); on a single
+// core the two are equivalent, which is itself the determinism story:
+// worker count changes wall-clock only, never results.
+func BenchmarkSequentialSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b, 1)
+	}
+}
+
+// BenchmarkParallelSweep is the same sweep on runtime.NumCPU() workers.
+func BenchmarkParallelSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b, runtime.NumCPU())
+	}
 }
 
 // BenchmarkISSThroughput measures raw interpreted instructions per second

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/loccount"
 	"repro/internal/models"
 	"repro/internal/refine"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/synth"
@@ -39,7 +41,11 @@ import (
 	"repro/internal/workload"
 )
 
-var quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
+var (
+	quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
+	jobs  = flag.Int("jobs", runtime.NumCPU(),
+		"concurrent simulations for the batch experiments (sched, dse); 1 = sequential")
+)
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|figure8|granularity|overhead|sched|refine|multipe|smp|all")
@@ -296,15 +302,40 @@ func sched() {
 		fmt.Printf(" %9s", p.Name())
 	}
 	fmt.Println()
+	// Every (utilization, policy, seed) cell is an independent kernel, so
+	// the sweep runs on the worker pool; results come back in submission
+	// order, which keeps the table byte-identical to a sequential run.
+	type cell struct {
+		u    float64
+		pol  core.Policy
+		seed uint64
+	}
+	var cells []cell
+	for _, u := range utils {
+		for _, pol := range policies {
+			for _, seed := range seeds {
+				cells = append(cells, cell{u: u, pol: pol, seed: seed})
+			}
+		}
+	}
+	results := runner.Map(len(cells), runner.Options{Jobs: *jobs}, func(i int) (float64, error) {
+		c := cells[i]
+		specs := workload.PeriodicSet(workload.NewRNG(c.seed), n, c.u)
+		res, err := workload.Run(specs, c.pol, core.TimeModelSegmented, horizon)
+		if err != nil {
+			return 0, err
+		}
+		return res.MissRatio(), nil
+	})
+	i := 0
 	for _, u := range utils {
 		fmt.Printf("%6.2f", u)
-		for _, pol := range policies {
+		for range policies {
 			total := 0.0
-			for _, seed := range seeds {
-				specs := workload.PeriodicSet(workload.NewRNG(seed), n, u)
-				res, err := workload.Run(specs, pol, core.TimeModelSegmented, horizon)
-				check(err)
-				total += res.MissRatio()
+			for range seeds {
+				check(results[i].Err)
+				total += results[i].Value
+				i++
 			}
 			fmt.Printf(" %8.1f%%", 100*total/float64(len(seeds)))
 		}
@@ -509,7 +540,7 @@ func designSpace() {
 		return float64(res.TranscodingDelay) / 1e6, map[string]float64{
 			"switches": float64(res.ContextSwitches),
 		}, nil
-	})
+	}, dse.WithJobs(*jobs))
 	fmt.Printf("cost = transcoding delay (ms), %d frames, %d configurations:\n\n",
 		par.Frames, len(points))
 	fmt.Print(dse.Table(points, "delay-ms"))

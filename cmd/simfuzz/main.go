@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
+	"repro/internal/runner"
 	"repro/internal/simcheck"
 )
 
@@ -33,7 +35,10 @@ func main() {
 		scenario = flag.String("scenario", "", "re-check a JSON reproducer file instead of generating")
 		out      = flag.String("out", "testdata/simcheck", "directory for shrunk reproducers")
 		budget   = flag.Int("shrink-budget", 300, "max candidate evaluations while shrinking")
-		verbose  = flag.Bool("v", false, "log every seed checked")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "seeds checked concurrently; 1 = sequential")
+		timeout  = flag.Duration("timeout", 0,
+			"per-seed wall-clock watchdog (0: none); a hung seed is reported as failed and abandoned")
+		verbose = flag.Bool("v", false, "log every seed checked")
 	)
 	flag.Parse()
 
@@ -55,25 +60,60 @@ func main() {
 		return
 	}
 
-	seeds := seedSequence(*seed, *start, *n, *duration)
-	checked, failed := 0, 0
-	for s := range seeds {
-		checked++
-		sc := simcheck.Generate(s)
-		fails := simcheck.Check(sc)
-		if *verbose || len(fails) > 0 {
-			fmt.Printf("seed %d: %d tasks, %d channels, %d irqs -> %d failing configs\n",
-				s, len(sc.Tasks), len(sc.Channels), len(sc.IRQs), len(fails))
+	// The soak parallelizes ACROSS seeds; each seed's matrix (and any
+	// shrinking) runs with one worker so the two levels don't multiply.
+	// Results stream back in seed order, so the log, the reproducer files
+	// and the exit status are identical to a sequential run. With a
+	// watchdog, a hung seed fails (and its goroutines are abandoned)
+	// instead of wedging the soak.
+	type outcome struct {
+		sc     *simcheck.Scenario
+		fails  []simcheck.Failure
+		shrunk *simcheck.Scenario
+	}
+	pool := runner.NewPool[outcome](runner.Options{Jobs: *jobs, Timeout: *timeout})
+	// seedOf carries each job's seed to the consumer in submission order
+	// (a timed-out job has no value to carry it). Submit's backpressure
+	// keeps the producer within the worker count, far below this buffer.
+	seedOf := make(chan int64, 4096)
+	go func() {
+		for s := range seedSequence(*seed, *start, *n, *duration) {
+			s := s
+			seedOf <- s
+			pool.Submit(func() (outcome, error) {
+				sc := simcheck.Generate(s)
+				o := outcome{sc: sc, fails: simcheck.CheckJobs(sc, 1)}
+				if len(o.fails) > 0 {
+					o.shrunk = simcheck.Shrink(sc, func(c *simcheck.Scenario) bool {
+						return len(simcheck.CheckJobs(c, 1)) > 0
+					}, *budget)
+				}
+				return o, nil
+			})
 		}
-		if len(fails) == 0 {
+		pool.Close()
+		close(seedOf)
+	}()
+	checked, failed := 0, 0
+	for r := range pool.Results() {
+		s := <-seedOf
+		checked++
+		if r.Err != nil {
+			failed++
+			fmt.Printf("seed %d: %v\n", s, r.Err)
+			continue
+		}
+		o := r.Value
+		if *verbose || len(o.fails) > 0 {
+			fmt.Printf("seed %d: %d tasks, %d channels, %d irqs -> %d failing configs\n",
+				s, len(o.sc.Tasks), len(o.sc.Channels), len(o.sc.IRQs), len(o.fails))
+		}
+		if len(o.fails) == 0 {
 			continue
 		}
 		failed++
-		report(sc, fails)
-		shrunk := simcheck.Shrink(sc, func(c *simcheck.Scenario) bool {
-			return len(simcheck.Check(c)) > 0
-		}, *budget)
-		writeReproducer(*out, s, shrunk)
+		report(o.sc, o.fails)
+		writeReproducer(*out, s, o.shrunk)
 	}
 	fmt.Printf("simfuzz: %d seeds checked, %d failed\n", checked, failed)
 	if failed > 0 {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/runner"
 )
 
 // Config is one point of the design space: a value per axis.
@@ -65,15 +67,44 @@ type Point struct {
 // EvalFunc evaluates one configuration: lower cost is better.
 type EvalFunc func(c Config) (cost float64, aux map[string]float64, err error)
 
+// Option configures an exploration.
+type Option func(*exploreOptions)
+
+type exploreOptions struct {
+	jobs int
+}
+
+// WithJobs sets the number of configurations evaluated concurrently
+// (default runtime.NumCPU(); 1 = sequential). Each evaluation must build
+// its own simulation kernel, which every model-running EvalFunc in this
+// repository does.
+func WithJobs(n int) Option { return func(o *exploreOptions) { o.jobs = n } }
+
 // Explore evaluates every configuration of the grid and returns the
 // points sorted by ascending cost; failed evaluations sort last and carry
-// their error.
-func Explore(axes []Axis, eval EvalFunc) []Point {
+// their error. Evaluations run concurrently on a bounded worker pool
+// (see WithJobs); results are collected in grid order before the stable
+// sort, so the ranking is deterministic and identical to a sequential
+// exploration. A panicking evaluation becomes that point's Err instead of
+// aborting the sweep.
+func Explore(axes []Axis, eval EvalFunc, opts ...Option) []Point {
+	o := exploreOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	configs := Grid(axes)
+	type out struct {
+		cost float64
+		aux  map[string]float64
+	}
+	results := runner.Map(len(configs), runner.Options{Jobs: o.jobs}, func(i int) (out, error) {
+		cost, aux, err := eval(configs[i])
+		return out{cost: cost, aux: aux}, err
+	})
 	points := make([]Point, 0, len(configs))
-	for _, c := range configs {
-		cost, aux, err := eval(c)
-		points = append(points, Point{Config: c, Cost: cost, Aux: aux, Err: err})
+	for i, c := range configs {
+		r := results[i]
+		points = append(points, Point{Config: c, Cost: r.Value.cost, Aux: r.Value.aux, Err: r.Err})
 	}
 	sort.SliceStable(points, func(i, j int) bool {
 		if (points[i].Err == nil) != (points[j].Err == nil) {

@@ -137,6 +137,7 @@ func BuildFigure3(pe *arch.PE, rec *trace.Recorder, par Figure3Params) *Figure3 
 // (paper Figure 8(a)); it returns the trace.
 func Figure3Unscheduled(par Figure3Params) (*trace.Recorder, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	pe := arch.NewHWPE(k, "PE") // no OS: behaviors run truly concurrently
 	rec := trace.New("figure3-unscheduled")
 	m := BuildFigure3(pe, rec, par)
@@ -149,6 +150,7 @@ func Figure3Unscheduled(par Figure3Params) (*trace.Recorder, error) {
 // the trace and the OS instance for its statistics.
 func Figure3Architecture(par Figure3Params, policy core.Policy, tm core.TimeModel) (*trace.Recorder, *core.OS, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	pe := arch.NewSWPE(k, "PE", policy, core.WithTimeModel(tm))
 	rec := trace.New("figure3-architecture")
 	rec.Attach(pe.OS())

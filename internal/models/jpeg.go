@@ -139,6 +139,7 @@ func jpegResults(model string, par JPEGParams, rec *trace.Recorder,
 // DCT).
 func JPEGSpec(par JPEGParams) (JPEGResults, *trace.Recorder, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	pe := arch.NewHWPE(k, "PE")
 	rec := trace.New("jpeg-spec")
 	root := buildJPEGPipeline(pe.Factory(), rec, par, par.DCTTimeSW)
@@ -152,6 +153,7 @@ func JPEGSpec(par JPEGParams) (JPEGResults, *trace.Recorder, error) {
 // RTOS model instance, so stage delays serialize.
 func JPEGSW(par JPEGParams, policy core.Policy, tm core.TimeModel) (JPEGResults, *trace.Recorder, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	pe := arch.NewSWPE(k, "CPU", policy, core.WithTimeModel(tm))
 	rec := trace.New("jpeg-sw")
 	rec.Attach(pe.OS())
@@ -175,6 +177,7 @@ func JPEGSW(par JPEGParams, policy core.Policy, tm core.TimeModel) (JPEGResults,
 // quantization and Huffman remain tasks on the CPU.
 func JPEGHWSW(par JPEGParams, policy core.Policy, tm core.TimeModel) (JPEGResults, *trace.Recorder, *arch.Bus, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	bus := arch.NewBus(k, "bus", par.BusArbDelay, par.BusPerByte)
 	cpu := arch.NewSWPE(k, "CPU", policy, core.WithTimeModel(tm))
 	acc := arch.NewHWPE(k, "DCT-ACC")

@@ -1,0 +1,238 @@
+// Package runner is a bounded worker-pool batch-execution engine for
+// running many independent simulations concurrently. The paper's whole
+// argument is simulation speed; every batch workload in this repository
+// (experiment sweeps, design-space exploration, the simcheck matrix,
+// simfuzz soaks) consists of thousands of mutually independent kernels,
+// which the runner spreads over the machine while keeping results
+// deterministic:
+//
+//   - jobs are submitted with an implicit submission index and results are
+//     delivered in submission order regardless of completion order, so any
+//     output derived from them is byte-identical to a sequential run;
+//   - a panicking job becomes a per-job error (PanicError) instead of a
+//     crashed sweep;
+//   - an optional per-job wall-clock watchdog turns a hung job into a
+//     TimeoutError (the stuck goroutine is abandoned, not killed — Go
+//     offers no way to preempt it — so a timed-out job may leak its
+//     kernel's goroutines; see sim.Kernel.Shutdown).
+//
+// Each job must build its own sim.Kernel (and RTOS model instances,
+// recorders, RNGs): kernels are single-threaded internally, and the
+// concurrency contract is one kernel per goroutine. Jobs should defer
+// Kernel.Shutdown so finished simulations release their process
+// goroutines.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options configures a Pool or a Map call.
+type Options struct {
+	// Jobs is the number of concurrent workers; <= 0 selects
+	// runtime.NumCPU(). Jobs = 1 executes strictly sequentially.
+	Jobs int
+	// Timeout, if positive, is the per-job wall-clock watchdog: a job
+	// running longer fails with a TimeoutError and its goroutine is
+	// abandoned.
+	Timeout time.Duration
+}
+
+func (o Options) workers() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.NumCPU()
+}
+
+// ErrTimeout is matched by errors.Is for watchdog failures.
+var ErrTimeout = errors.New("runner: job exceeded watchdog timeout")
+
+// TimeoutError reports that a job's wall-clock watchdog fired.
+type TimeoutError struct {
+	Index int
+	Limit time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("runner: job %d exceeded watchdog timeout %v", e.Index, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrTimeout) true for TimeoutErrors.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
+// PanicError is the per-job error a recovered panic becomes.
+type PanicError struct {
+	Index int
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Result is one job's outcome, tagged with its submission index.
+type Result[T any] struct {
+	Index int
+	Value T
+	Err   error
+	Wall  time.Duration // host execution time of the job
+}
+
+// job pairs a submission index with its work function.
+type job[T any] struct {
+	index int
+	fn    func() (T, error)
+}
+
+// Pool runs submitted jobs on a fixed set of workers and streams results
+// in submission order. Submit and Close must be called from one producer
+// goroutine; Results is consumed elsewhere (consuming from the submitting
+// goroutine after Close is also fine). Submit applies backpressure: it
+// blocks while all workers are busy, so the reorder buffer stays bounded
+// by the worker count.
+type Pool[T any] struct {
+	opts      Options
+	jobs      chan job[T]
+	collect   chan Result[T]
+	results   chan Result[T]
+	wg        sync.WaitGroup
+	submitted int
+}
+
+// NewPool starts the workers and the in-order result collector.
+func NewPool[T any](opts Options) *Pool[T] {
+	n := opts.workers()
+	p := &Pool[T]{
+		opts:    opts,
+		jobs:    make(chan job[T]),
+		collect: make(chan Result[T], n),
+		results: make(chan Result[T], n),
+	}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.collect)
+	}()
+	go p.reorder()
+	return p
+}
+
+// Submit enqueues a job and returns its submission index.
+func (p *Pool[T]) Submit(fn func() (T, error)) int {
+	idx := p.submitted
+	p.submitted++
+	p.jobs <- job[T]{index: idx, fn: fn}
+	return idx
+}
+
+// Close ends submission; Results delivers the remaining outcomes and is
+// then closed.
+func (p *Pool[T]) Close() { close(p.jobs) }
+
+// Results returns the in-submission-order result stream.
+func (p *Pool[T]) Results() <-chan Result[T] { return p.results }
+
+func (p *Pool[T]) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.collect <- p.runOne(j)
+	}
+}
+
+// reorder buffers out-of-order completions and emits results strictly by
+// submission index.
+func (p *Pool[T]) reorder() {
+	pending := map[int]Result[T]{}
+	next := 0
+	for r := range p.collect {
+		pending[r.Index] = r
+		for {
+			rdy, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			p.results <- rdy
+			next++
+		}
+	}
+	close(p.results)
+}
+
+// runOne executes one job with panic isolation and the optional watchdog.
+func (p *Pool[T]) runOne(j job[T]) Result[T] {
+	start := time.Now()
+	if p.opts.Timeout <= 0 {
+		r := guarded(j)
+		r.Wall = time.Since(start)
+		return r
+	}
+	done := make(chan Result[T], 1)
+	go func() { done <- guarded(j) }()
+	timer := time.NewTimer(p.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		r.Wall = time.Since(start)
+		return r
+	case <-timer.C:
+		return Result[T]{
+			Index: j.index,
+			Err:   &TimeoutError{Index: j.index, Limit: p.opts.Timeout},
+			Wall:  time.Since(start),
+		}
+	}
+}
+
+// guarded runs the job function, converting a panic into a PanicError.
+func guarded[T any](j job[T]) (res Result[T]) {
+	res.Index = j.index
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Index: j.index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = j.fn()
+	return res
+}
+
+// Map runs fn for every index 0..n-1 and returns the results indexed by
+// submission order — the batch counterpart of a sequential for loop.
+func Map[T any](n int, opts Options, fn func(i int) (T, error)) []Result[T] {
+	out := make([]Result[T], n)
+	if n == 0 {
+		return out
+	}
+	p := NewPool[T](opts)
+	go func() {
+		for i := 0; i < n; i++ {
+			i := i
+			p.Submit(func() (T, error) { return fn(i) })
+		}
+		p.Close()
+	}()
+	for r := range p.Results() {
+		out[r.Index] = r
+	}
+	return out
+}
+
+// FirstErr returns the first failed result's error, or nil.
+func FirstErr[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}

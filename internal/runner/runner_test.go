@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrder: results come back in submission order even when later
+// jobs finish first.
+func TestMapOrder(t *testing.T) {
+	const n = 64
+	results := Map(n, Options{Jobs: 8}, func(i int) (int, error) {
+		// Earlier jobs sleep longer, so completion order is roughly the
+		// reverse of submission order.
+		time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+		return i * i, nil
+	})
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Index != i || r.Value != i*i || r.Err != nil {
+			t.Fatalf("result %d = {Index:%d Value:%d Err:%v}, want {%d %d nil}",
+				i, r.Index, r.Value, r.Err, i, i*i)
+		}
+	}
+}
+
+// TestPoolStreamingOrder: the Pool's result stream is in submission order.
+func TestPoolStreamingOrder(t *testing.T) {
+	p := NewPool[int](Options{Jobs: 4})
+	const n = 40
+	go func() {
+		for i := 0; i < n; i++ {
+			i := i
+			p.Submit(func() (int, error) {
+				time.Sleep(time.Duration((i%5)*200) * time.Microsecond)
+				return i, nil
+			})
+		}
+		p.Close()
+	}()
+	next := 0
+	for r := range p.Results() {
+		if r.Index != next || r.Value != next {
+			t.Fatalf("stream out of order: got index %d value %d, want %d", r.Index, r.Value, next)
+		}
+		next++
+	}
+	if next != n {
+		t.Fatalf("stream delivered %d results, want %d", next, n)
+	}
+}
+
+// TestPanicIsolation: a panicking job fails alone; the sweep completes.
+func TestPanicIsolation(t *testing.T) {
+	results := Map(10, Options{Jobs: 4}, func(i int) (int, error) {
+		if i == 3 {
+			panic("kernel blew up")
+		}
+		return i, nil
+	})
+	for i, r := range results {
+		if i == 3 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("job 3: err = %v, want PanicError", r.Err)
+			}
+			if pe.Index != 3 || fmt.Sprint(pe.Value) != "kernel blew up" || len(pe.Stack) == 0 {
+				t.Fatalf("PanicError = {Index:%d Value:%v stack:%dB}", pe.Index, pe.Value, len(pe.Stack))
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Fatalf("job %d: value %d err %v", i, r.Value, r.Err)
+		}
+	}
+}
+
+// TestWatchdog: a hung job becomes a TimeoutError; others are unaffected.
+func TestWatchdog(t *testing.T) {
+	hung := make(chan struct{})
+	defer close(hung)
+	results := Map(4, Options{Jobs: 4, Timeout: 50 * time.Millisecond}, func(i int) (int, error) {
+		if i == 1 {
+			<-hung // never within the watchdog
+		}
+		return i, nil
+	})
+	if !errors.Is(results[1].Err, ErrTimeout) {
+		t.Fatalf("job 1: err = %v, want ErrTimeout", results[1].Err)
+	}
+	var te *TimeoutError
+	if !errors.As(results[1].Err, &te) || te.Index != 1 {
+		t.Fatalf("job 1: err = %#v, want TimeoutError{Index:1}", results[1].Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil || results[i].Value != i {
+			t.Fatalf("job %d: value %d err %v", i, results[i].Value, results[i].Err)
+		}
+	}
+}
+
+// TestBoundedWorkers: concurrency never exceeds Options.Jobs.
+func TestBoundedWorkers(t *testing.T) {
+	const limit = 3
+	var inFlight, peak int64
+	Map(30, Options{Jobs: limit}, func(i int) (struct{}, error) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&inFlight, -1)
+		return struct{}{}, nil
+	})
+	if p := atomic.LoadInt64(&peak); p > limit {
+		t.Fatalf("observed %d concurrent jobs, limit %d", p, limit)
+	}
+}
+
+// TestSequentialIsStrictlyOrdered: Jobs=1 runs jobs one at a time in
+// submission order (the degenerate sequential mode every consumer's
+// -jobs 1 maps to).
+func TestSequentialIsStrictlyOrdered(t *testing.T) {
+	var order []int
+	results := Map(10, Options{Jobs: 1}, func(i int) (int, error) {
+		order = append(order, i) // safe: single worker
+		return i, nil
+	})
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v not sequential", order)
+		}
+	}
+}
+
+func TestMapEmptyAndErrors(t *testing.T) {
+	if got := Map(0, Options{}, func(i int) (int, error) { return 0, nil }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(got))
+	}
+	boom := errors.New("boom")
+	results := Map(3, Options{Jobs: 2}, func(i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err := FirstErr(results); !errors.Is(err, boom) {
+		t.Fatalf("FirstErr = %v, want boom", err)
+	}
+}

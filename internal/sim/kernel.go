@@ -157,6 +157,24 @@ func (k *Kernel) RunUntil(limit Time) error {
 	return nil
 }
 
+// Shutdown terminates every remaining process so its goroutine exits, then
+// marks the kernel stopped. A kernel whose run has ended — at a RunUntil
+// horizon, by Stop, or by a propagated panic — still holds one parked
+// goroutine per unfinished process (daemons, blocked tasks); a batch
+// workload that creates thousands of kernels would accumulate them without
+// bound. Callers that own a kernel for a single run should defer Shutdown
+// right after NewKernel. Shutdown must not be called while the simulation
+// is running (i.e. from process code); it is idempotent and safe after a
+// deadlock, a horizon pause, or a re-raised process panic. Deferred
+// functions of killed processes run as for Kill and must not block on
+// simulation primitives.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		k.kill(p, nil)
+	}
+	k.stopped = true
+}
+
 // fireTimers pops every timer entry scheduled at exactly time t, waking
 // timed-out processes into the (fresh) current delta cycle and flushing
 // timed notifications.

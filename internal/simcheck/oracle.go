@@ -3,7 +3,9 @@ package simcheck
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -28,12 +30,25 @@ func (f Failure) String() string {
 // twice to enforce the replay-determinism oracle; coarse/segmented
 // siblings of the same policy are compared by the differential oracle;
 // all-periodic sets additionally face the response-time-analysis bound.
-func Check(s *Scenario) []Failure {
+// The matrix points run concurrently on all CPUs; use CheckJobs to bound
+// the worker count (e.g. when the caller already parallelizes across
+// scenarios, as cmd/simfuzz -jobs does).
+func Check(s *Scenario) []Failure { return CheckJobs(s, runtime.NumCPU()) }
+
+// CheckJobs is Check with an explicit worker count (1 = sequential). The
+// returned failures are in matrix order regardless of the worker count:
+// each configuration's runs are independent kernels and the results are
+// collected in submission order.
+func CheckJobs(s *Scenario, jobs int) []Failure {
+	cfgs := Matrix(s)
+	type pair struct{ r1, r2 *RunResult }
+	runs := runner.Map(len(cfgs), runner.Options{Jobs: jobs}, func(i int) (pair, error) {
+		return pair{r1: safeRun(s, cfgs[i]), r2: safeRun(s, cfgs[i])}, nil
+	})
 	var fails []Failure
 	byKey := map[string]*RunResult{}
-	for _, cfg := range Matrix(s) {
-		r1 := safeRun(s, cfg)
-		r2 := safeRun(s, cfg)
+	for i, cfg := range cfgs {
+		r1, r2 := runs[i].Value.r1, runs[i].Value.r2
 		vs := CheckRun(s, r1)
 		if !bytes.Equal(r1.Trace, r2.Trace) {
 			vs = append(vs, Violation{Kind: "determinism", At: r1.End,
@@ -49,7 +64,7 @@ func Check(s *Scenario) []Failure {
 	// Differential oracle: the time model changes when work happens, never
 	// how much of it there is. Pair each coarse run with its segmented
 	// sibling and compare drained totals.
-	for _, cfg := range Matrix(s) {
+	for _, cfg := range cfgs {
 		if cfg.TimeModel != "coarse" {
 			continue
 		}

@@ -113,6 +113,7 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 	}
 	k := sim.NewKernel()
 	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
+	defer k.Shutdown()
 	rec := trace.New("simcheck")
 	rec.Attach(rtos)
 
@@ -240,6 +241,7 @@ func runSMP(s *Scenario, cfg Config) *RunResult {
 	}
 	k := sim.NewKernel()
 	os := smp.New(k, "SMP", policy, cfg.CPUs, cfg.Segmented())
+	defer k.Shutdown()
 	rec := &smpRecorder{}
 	os.Observe(rec)
 

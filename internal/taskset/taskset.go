@@ -69,9 +69,21 @@ func (s *Set) Validate() error {
 			if t.WcetUs <= 0 {
 				return fmt.Errorf("taskset: periodic task %q needs wcetUs > 0", t.Name)
 			}
+			if t.WcetUs > t.PeriodUs {
+				return fmt.Errorf("taskset: periodic task %q has wcetUs %g > periodUs %g (utilization > 1, can never meet a deadline)",
+					t.Name, t.WcetUs, t.PeriodUs)
+			}
 		case "aperiodic":
 			if len(t.ComputeUs) == 0 {
 				return fmt.Errorf("taskset: aperiodic task %q needs computeUs", t.Name)
+			}
+			if t.StartUs < 0 {
+				return fmt.Errorf("taskset: aperiodic task %q has negative startUs %g", t.Name, t.StartUs)
+			}
+			for j, c := range t.ComputeUs {
+				if c < 0 {
+					return fmt.Errorf("taskset: aperiodic task %q has negative computeUs[%d] = %d", t.Name, j, c)
+				}
 			}
 		default:
 			return fmt.Errorf("taskset: task %q has unknown type %q", t.Name, t.Type)
@@ -79,6 +91,17 @@ func (s *Set) Validate() error {
 	}
 	if s.TimeModel != "" && s.TimeModel != "coarse" && s.TimeModel != "segmented" {
 		return fmt.Errorf("taskset: unknown time model %q", s.TimeModel)
+	}
+	if s.QuantumUs < 0 {
+		return fmt.Errorf("taskset: negative quantumUs %g", s.QuantumUs)
+	}
+	if s.Policy == "rr" && s.QuantumUs <= 0 {
+		return fmt.Errorf("taskset: policy \"rr\" needs quantumUs > 0")
+	}
+	if s.Policy != "" {
+		if _, err := core.PolicyByName(s.Policy, sim.Millisecond); err != nil {
+			return fmt.Errorf("taskset: %v", err)
+		}
 	}
 	return nil
 }
@@ -117,6 +140,8 @@ func Run(s *Set) (*Result, error) {
 	}
 	quantum := sim.Time(s.QuantumUs * 1000)
 	if quantum == 0 {
+		// Only "rr" consumes the quantum, and Validate guarantees it is
+		// set for "rr"; the default keeps PolicyByName happy elsewhere.
 		quantum = sim.Millisecond
 	}
 	policy, err := core.PolicyByName(policyName, quantum)
@@ -133,6 +158,7 @@ func Run(s *Set) (*Result, error) {
 	}
 
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
 	rec := trace.New("taskset")
 	rec.Attach(rtos)

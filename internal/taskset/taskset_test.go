@@ -117,6 +117,12 @@ func TestValidationErrors(t *testing.T) {
 		{"bad-type", `{"tasks": [{"name":"a","type":"sporadic"}]}`, "unknown type"},
 		{"bad-tm", `{"timeModel":"loose","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "time model"},
 		{"bad-json", `{`, "unexpected end"},
+		{"wcet-over-period", `{"tasks":[{"name":"a","periodUs":10,"wcetUs":11}]}`, "utilization > 1"},
+		{"neg-start", `{"tasks":[{"name":"a","type":"aperiodic","startUs":-5,"computeUs":[10]}]}`, "negative startUs"},
+		{"neg-compute", `{"tasks":[{"name":"a","type":"aperiodic","computeUs":[10,-1]}]}`, "negative computeUs[1]"},
+		{"neg-quantum", `{"quantumUs":-1,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "negative quantumUs"},
+		{"rr-no-quantum", `{"policy":"rr","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "quantumUs > 0"},
+		{"bad-policy", `{"policy":"lottery","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "lottery"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

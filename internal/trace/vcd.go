@@ -17,20 +17,19 @@ import (
 func (r *Recorder) VCD(w io.Writer) error {
 	tasks := r.Tasks()
 	irqs := r.irqNames()
-
-	// Identifier codes: printable ASCII starting at '!'.
-	code := func(i int) string { return string(rune('!' + i)) }
+	code := vcdID
 
 	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", ident(r.name)); err != nil {
 		return err
 	}
+	names := newIdentSet()
 	for i, t := range tasks {
-		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", code(i), ident(t)); err != nil {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", code(i), names.unique(t)); err != nil {
 			return err
 		}
 	}
 	for i, irq := range irqs {
-		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", code(len(tasks)+i), ident(irq)); err != nil {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", code(len(tasks)+i), names.unique(irq)); err != nil {
 			return err
 		}
 	}
@@ -107,6 +106,44 @@ func (r *Recorder) irqNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// vcdID maps a signal index to a unique VCD identifier code over the
+// printable ASCII alphabet '!'..'~' (94 symbols), using bijective base-94
+// for indexes past the single-character range: 0..93 -> "!".."~",
+// 94 -> "!!", 95 -> "!\"", ... A single-character scheme silently
+// overflows into unprintable or colliding codes once a trace holds more
+// than 94 tasks+IRQs, corrupting the dump for exactly the big SMP/DSE
+// sweeps where a waveform is most useful.
+func vcdID(i int) string {
+	const base = '~' - '!' + 1
+	buf := make([]byte, 0, 3)
+	for ; i >= 0; i = i/base - 1 {
+		buf = append(buf, byte('!'+i%base))
+	}
+	// Digits were emitted least-significant first.
+	for l, r := 0, len(buf)-1; l < r; l, r = l+1, r-1 {
+		buf[l], buf[r] = buf[r], buf[l]
+	}
+	return string(buf)
+}
+
+// identSet hands out sanitized signal names, de-duplicating collisions
+// (distinct task names can sanitize to the same identifier: "a b" and
+// "a?b" both become "a_b") with a numeric suffix so every $var in a
+// scope keeps a distinct reference name.
+type identSet struct{ used map[string]bool }
+
+func newIdentSet() *identSet { return &identSet{used: map[string]bool{}} }
+
+func (s *identSet) unique(name string) string {
+	base := ident(name)
+	out := base
+	for n := 2; s.used[out]; n++ {
+		out = fmt.Sprintf("%s_%d", base, n)
+	}
+	s.used[out] = true
+	return out
 }
 
 // ident sanitizes a name into a VCD identifier (no whitespace).

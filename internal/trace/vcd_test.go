@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestVCDStructure(t *testing.T) {
@@ -94,6 +96,96 @@ var errEmpty = &parseErr{}
 type parseErr struct{}
 
 func (*parseErr) Error() string { return "parse error" }
+
+// TestVCDManySignals is the regression test for the identifier-code
+// overflow: with a single-character code per signal, signal 94 and up
+// walked past '~' into unprintable/colliding territory. 100 signals must
+// yield 100 distinct codes, all made of printable ASCII '!'..'~'.
+func TestVCDManySignals(t *testing.T) {
+	r := New("big")
+	for i := 0; i < 100; i++ {
+		name := fmtName(i)
+		r.SegBegin(sim100(i), name)
+		r.SegEnd(sim100(i)+50, name)
+	}
+	var sb strings.Builder
+	if err := r.VCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	codes := map[string]string{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "$var wire 1 ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// $var wire 1 <code> <name> $end
+		if len(fields) != 6 {
+			t.Fatalf("malformed $var line %q", line)
+		}
+		code, name := fields[3], fields[4]
+		for _, c := range code {
+			if c < '!' || c > '~' {
+				t.Errorf("code %q for %s contains non-printable VCD character %q", code, name, c)
+			}
+		}
+		if prev, dup := codes[code]; dup {
+			t.Errorf("code %q assigned to both %s and %s", code, prev, name)
+		}
+		codes[code] = name
+	}
+	if len(codes) != 100 {
+		t.Fatalf("got %d distinct codes, want 100", len(codes))
+	}
+}
+
+// TestVCDIDBijective pins the multi-character extension: bijective
+// base-94, single chars through 93, two chars from 94.
+func TestVCDIDBijective(t *testing.T) {
+	cases := []struct {
+		i    int
+		want string
+	}{
+		{0, "!"}, {1, "\""}, {93, "~"}, {94, "!!"}, {95, "!\""},
+		{94 + 93, "!~"}, {94 + 94, "\"!"}, {94*94 + 94 - 1, "~~"}, {94*94 + 94, "!!!"},
+	}
+	for _, c := range cases {
+		if got := vcdID(c.i); got != c.want {
+			t.Errorf("vcdID(%d) = %q, want %q", c.i, got, c.want)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("vcdID(%d) = %q collides", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestVCDIdentCollision: two task names that sanitize identically must
+// still get distinct reference names in the dump.
+func TestVCDIdentCollision(t *testing.T) {
+	r := New("pe")
+	r.SegBegin(0, "t 1")
+	r.SegEnd(10, "t 1")
+	r.SegBegin(10, "t?1")
+	r.SegEnd(20, "t?1")
+	var sb strings.Builder
+	if err := r.VCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, " t_1 $end") || !strings.Contains(out, " t_1_2 $end") {
+		t.Errorf("colliding names not de-duplicated:\n%s", out)
+	}
+}
+
+func fmtName(i int) string {
+	return "task" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func sim100(i int) sim.Time { return sim.Time(i * 100) }
 
 func TestVCDIdentSanitizes(t *testing.T) {
 	if got := ident("task B2 (main)"); strings.ContainsAny(got, " ()") {

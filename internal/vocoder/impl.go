@@ -145,6 +145,7 @@ func RunImpl(par Params, skipIdle bool) (Results, *trace.Recorder, error) {
 	}
 
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	kern.Start()
 	m.Spawn(k, "DSP")
 	src := k.Spawn("speech-in", func(p *sim.Proc) {

@@ -37,6 +37,7 @@ func DefaultMultiPE() MultiPEParams {
 // back toward the unscheduled model's bound plus communication cost.
 func RunMultiPE(par MultiPEParams, policy core.Policy, tm core.TimeModel) (Results, *trace.Recorder, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	bus := arch.NewBus(k, "bus", par.BusArbDelay, par.BusPerByte)
 	pe0 := arch.NewSWPE(k, "DSP0", policy, core.WithTimeModel(tm))
 	pe1 := arch.NewSWPE(k, "DSP1", policy, core.WithTimeModel(tm))

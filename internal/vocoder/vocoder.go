@@ -164,6 +164,7 @@ func finish(model string, par Params, rec *trace.Recorder, wall time.Duration, e
 // RunSpec executes the unscheduled specification model.
 func RunSpec(par Params) (Results, *trace.Recorder, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	pe := arch.NewHWPE(k, "DSP")
 	rec := trace.New("vocoder-spec")
 	root := build(pe, rec, par)
@@ -178,6 +179,7 @@ func RunSpec(par Params) (Results, *trace.Recorder, error) {
 // into tasks on the abstract RTOS model.
 func RunArch(par Params, policy core.Policy, tm core.TimeModel) (Results, *trace.Recorder, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	var opts []core.Option
 	opts = append(opts, core.WithTimeModel(tm))
 	if par.ContextSwitchOv > 0 {

@@ -132,6 +132,7 @@ func (r Result) MissRatio() float64 {
 // release synchronously at t=0 (the critical instant).
 func Run(specs []TaskSpec, policy core.Policy, tm core.TimeModel, horizon sim.Time) (Result, error) {
 	k := sim.NewKernel()
+	defer k.Shutdown()
 	os := core.New(k, "PE", policy, core.WithTimeModel(tm))
 	tasks := make([]*core.Task, len(specs))
 	for i, s := range specs {

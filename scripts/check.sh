@@ -17,9 +17,16 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The batch engine and the property harness are the two packages whose
+# bugs only show up under contention; run them again with a higher
+# -count so the race detector sees more interleavings.
+echo "== go test -race -count=2 ./internal/runner ./internal/simcheck"
+go test -race -count=2 ./internal/runner ./internal/simcheck
+
 # Soak the scheduler with fresh seeds (offset so they do not just repeat
-# the seeds go test already covered).
-echo "== simfuzz soak (${SIMFUZZ_DURATION:-30s})"
-go run ./cmd/simfuzz -start 10000 -duration "${SIMFUZZ_DURATION:-30s}"
+# the seeds go test already covered); 4 seeds in flight exercises the
+# concurrent-kernel contract on every run of this gate.
+echo "== simfuzz soak (${SIMFUZZ_DURATION:-30s}, 4 jobs)"
+go run ./cmd/simfuzz -start 10000 -duration "${SIMFUZZ_DURATION:-30s}" -jobs 4
 
 echo "check.sh: all gates passed"
