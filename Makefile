@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz soak
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -24,6 +24,19 @@ race-batch: ## extra race-detector passes over the concurrency-critical packages
 
 fuzz: ## native Go fuzzing of the SDL parser (30s)
 	go test ./internal/sdl/ -fuzz FuzzParse -fuzztime 30s
+
+fuzz-telemetry: ## native Go fuzzing of the telemetry binary event codec (30s)
+	go test ./internal/telemetry/ -fuzz FuzzEventStream -fuzztime 30s
+
+golden: ## golden-trace diff against testdata/golden
+	go test -run 'TestGoldenTrace' -count=1 .
+
+golden-update: ## regenerate the golden traces (review the diff!)
+	go test -run 'TestGoldenTrace' -count=1 -update .
+
+overhead: ## telemetry overhead guard + benchmarks
+	TELEMETRY_OVERHEAD_GUARD=1 go test -run TestTelemetryOverheadGuard -count=1 -v .
+	go test -bench 'BenchmarkTelemetry' -benchmem -run '^$$' .
 
 soak: ## long scheduler soak with the property-based harness (parallel seeds)
 	go run ./cmd/simfuzz -start 10000 -duration 10m -jobs 4

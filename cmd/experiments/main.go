@@ -35,6 +35,7 @@ import (
 	"repro/internal/smp"
 	"repro/internal/synth"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/ukernel"
 	"repro/internal/vocoder"
@@ -45,6 +46,10 @@ var (
 	quick = flag.Bool("quick", false, "smaller workloads for a fast pass")
 	jobs  = flag.Int("jobs", runtime.NumCPU(),
 		"concurrent simulations for the batch experiments (sched, dse); 1 = sequential")
+	traceOut = flag.String("trace-out", "",
+		"write the table1 architecture run as Chrome trace-event JSON (Perfetto)")
+	metricsOut = flag.String("metrics-out", "",
+		"write scheduler metrics in Prometheus text format (table1: vocoder run; sched: merged sweep report; last writer wins under -exp all)")
 )
 
 func main() {
@@ -102,7 +107,8 @@ func table1(frames int) {
 
 	spec, _, err := vocoder.RunSpec(par)
 	check(err)
-	arch, _, err := vocoder.RunArch(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	tel := telemetry.NewCapture()
+	arch, _, err := vocoder.RunArch(par, core.PriorityPolicy{}, core.TimeModelCoarse, tel.Bus)
 	check(err)
 	impl, _, err := vocoder.RunImpl(par, false)
 	check(err)
@@ -119,6 +125,35 @@ func table1(frames int) {
 		arch.ContextSwitches, impl.ContextSwitches)
 	fmt.Printf("%-22s %15v %15v %15v\n", "Transcoding delay", spec.TranscodingDelay,
 		arch.TranscodingDelay, impl.TranscodingDelay)
+	// Table 1's architecture-model figures re-derived from the telemetry
+	// event stream alone (no core.Stats): the context-switch count comes
+	// from the aggregated dispatch events, the transcoding delay from the
+	// frame markers.
+	rep := tel.Report()
+	var telSwitches uint64
+	for _, pe := range rep.PEs {
+		telSwitches += pe.ContextSwitches
+	}
+	var telDelay sim.Time
+	if lats := telemetry.MarkerLatencies(tel.Collector.Events, "frame-in", "frame-out"); len(lats) > 0 {
+		var sum sim.Time
+		for _, d := range lats {
+			sum += d
+		}
+		telDelay = sum / sim.Time(len(lats))
+	}
+	fmt.Printf("\ntelemetry cross-check (architecture model, derived from the event stream):\n")
+	fmt.Printf("        context switches %d (stats: %d, match %v) · transcoding delay %v (match %v)\n",
+		telSwitches, arch.ContextSwitches, telSwitches == arch.ContextSwitches,
+		telDelay, telDelay == arch.TranscodingDelay)
+	if *traceOut != "" {
+		check(tel.WriteTraceFile(*traceOut))
+		fmt.Printf("        Chrome trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		check(tel.WriteMetricsFile(*metricsOut))
+		fmt.Printf("        metrics written to %s\n", *metricsOut)
+	}
 	fmt.Printf("\npaper:  LoC 13475/15552/79096 · time 24.0s/24.4s/5h · switches 0/327/326 ·\n")
 	fmt.Printf("        delay 9.7ms/12.5ms/11.7ms\n")
 	fmt.Printf("shape:  unsched < arch ≈ impl delay: %v; arch tracks impl switches: %v;\n",
@@ -318,14 +353,23 @@ func sched() {
 			}
 		}
 	}
-	results := runner.Map(len(cells), runner.Options{Jobs: *jobs}, func(i int) (float64, error) {
+	// Each job also aggregates its own telemetry; the per-cell reports are
+	// merged into one sweep-wide metrics report after the pool drains.
+	type cellResult struct {
+		miss float64
+		rep  *telemetry.Report
+	}
+	results := runner.Map(len(cells), runner.Options{Jobs: *jobs}, func(i int) (cellResult, error) {
 		c := cells[i]
 		specs := workload.PeriodicSet(workload.NewRNG(c.seed), n, c.u)
-		res, err := workload.Run(specs, c.pol, core.TimeModelSegmented, horizon)
+		agg := telemetry.NewAggregator()
+		res, err := workload.Run(specs, c.pol, core.TimeModelSegmented, horizon,
+			telemetry.NewBus(agg))
 		if err != nil {
-			return 0, err
+			return cellResult{}, err
 		}
-		return res.MissRatio(), nil
+		agg.SetEnd(horizon)
+		return cellResult{miss: res.MissRatio(), rep: agg.Report()}, nil
 	})
 	i := 0
 	for _, u := range utils {
@@ -334,12 +378,22 @@ func sched() {
 			total := 0.0
 			for range seeds {
 				check(results[i].Err)
-				total += results[i].Value
+				total += results[i].Value.miss
 				i++
 			}
 			fmt.Printf(" %8.1f%%", 100*total/float64(len(seeds)))
 		}
 		fmt.Println()
+	}
+	if *metricsOut != "" {
+		vals, err := runner.Values(results)
+		check(err)
+		reps := make([]*telemetry.Report, len(vals))
+		for j, v := range vals {
+			reps[j] = v.rep
+		}
+		check(telemetry.WriteMetricsFile(*metricsOut, telemetry.Merge(reps...)))
+		fmt.Printf("\nmerged sweep metrics (%d runs) written to %s\n", len(reps), *metricsOut)
 	}
 	fmt.Println("\nshape: EDF ≈ RM ≈ 0 up to high utilization (EDF optimal, RM near-optimal")
 	fmt.Println("for these sets); FCFS degrades earliest (non-preemptive blocking);")

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/iss"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	dump := flag.String("dump", "", "memory range to dump at exit, e.g. 0:16")
 	memWords := flag.Int("mem", 65536, "memory size in words")
 	regs := flag.Bool("regs", true, "print final register state")
+	metricsOut := flag.String("metrics-out", "", "write execution counters in Prometheus text format")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -80,6 +82,20 @@ func main() {
 		for a := lo; a < hi && a < int64(len(cpu.Mem)); a++ {
 			fmt.Printf("mem[%4d] = %d\n", a, cpu.Mem[a])
 		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		exitOn(err)
+		err = telemetry.WriteProm(f, []telemetry.PromMetric{
+			{Name: "iss_instructions_total", Help: "Instructions executed.",
+				Type: "counter", Samples: []telemetry.PromSample{{Value: float64(cpu.Insts)}}},
+			{Name: "iss_cycles_total", Help: "Cycles consumed.",
+				Type: "counter", Samples: []telemetry.PromSample{{Value: float64(cpu.Cycles)}}},
+		})
+		if err == nil {
+			err = f.Close()
+		}
+		exitOn(err)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/synth"
 	"repro/internal/taskset"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/ukernel"
 	"repro/internal/workload"
@@ -48,6 +49,8 @@ func main() {
 	vcdOut := flag.String("vcd", "", "write the trace as a VCD waveform to a file")
 	doSynth := flag.Bool("synth", false, "also synthesize implementation-model firmware, run it on the ISS and compare")
 	asmOut := flag.String("asm", "", "write the synthesized assembly to a file (implies work of -synth generation)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open with Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write scheduler metrics in Prometheus text format")
 	flag.Parse()
 
 	var set *taskset.Set
@@ -84,8 +87,24 @@ func main() {
 		set.QuantumUs = *quantumUs
 	}
 
-	res, err := taskset.Run(set)
+	var tel *telemetry.Capture
+	var bus []*telemetry.Bus
+	if *traceOut != "" || *metricsOut != "" {
+		tel = telemetry.NewCapture()
+		bus = append(bus, tel.Bus)
+	}
+
+	res, err := taskset.Run(set, bus...)
 	exitOn(err)
+	if tel != nil {
+		tel.SetEnd(res.End)
+		if *traceOut != "" {
+			exitOn(tel.WriteTraceFile(*traceOut))
+		}
+		if *metricsOut != "" {
+			exitOn(tel.WriteMetricsFile(*metricsOut))
+		}
+	}
 
 	fmt.Printf("policy %s, time model %s, horizon %v\n\n", res.Policy, res.TimeModel, res.Horizon)
 	fmt.Printf("%-10s %5s %10s %10s %8s %10s %12s\n",

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/simcheck"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,7 +39,9 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.NumCPU(), "seeds checked concurrently; 1 = sequential")
 		timeout  = flag.Duration("timeout", 0,
 			"per-seed wall-clock watchdog (0: none); a hung seed is reported as failed and abandoned")
-		verbose = flag.Bool("v", false, "log every seed checked")
+		verbose    = flag.Bool("v", false, "log every seed checked")
+		metricsOut = flag.String("metrics-out", "",
+			"write soak statistics in Prometheus text format")
 	)
 	flag.Parse()
 
@@ -116,6 +119,24 @@ func main() {
 		writeReproducer(*out, s, o.shrunk)
 	}
 	fmt.Printf("simfuzz: %d seeds checked, %d failed\n", checked, failed)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = telemetry.WriteProm(f, []telemetry.PromMetric{
+			{Name: "simfuzz_seeds_checked_total", Help: "Seeds checked by the soak.",
+				Type: "counter", Samples: []telemetry.PromSample{{Value: float64(checked)}}},
+			{Name: "simfuzz_seeds_failed_total", Help: "Seeds with failing configs.",
+				Type: "counter", Samples: []telemetry.PromSample{{Value: float64(failed)}}},
+		})
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

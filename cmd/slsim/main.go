@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sdl"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,8 @@ func main() {
 	gantt := flag.Bool("gantt", true, "print ASCII Gantt charts")
 	events := flag.Bool("events", false, "print event lists")
 	vcdOut := flag.String("vcd", "", "write the architecture trace as VCD")
+	traceOut := flag.String("trace-out", "", "write the architecture run as Chrome trace-event JSON (Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write architecture scheduler metrics in Prometheus text format")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -68,11 +71,17 @@ func main() {
 		if *tmFlag == "segmented" {
 			tm = core.TimeModelSegmented
 		}
+		var tel *telemetry.Capture
+		var bus []*telemetry.Bus
+		if *traceOut != "" || *metricsOut != "" {
+			tel = telemetry.NewCapture()
+			bus = append(bus, tel.Bus)
+		}
 		var rec *trace.Recorder
 		if m.MultiPE() {
 			// Models with pe declarations run the mapped architecture:
 			// one RTOS instance per software PE, links over buses.
-			mappedRec, oss, err := m.RunMapped(policy, tm)
+			mappedRec, oss, err := m.RunMapped(policy, tm, bus...)
 			exitOn(err)
 			rec = mappedRec
 			show(rec, fmt.Sprintf("mapped architecture model (%s, %s time)", policy.Name(), tm))
@@ -82,7 +91,7 @@ func main() {
 					name, st.Dispatches, st.ContextSwitches, st.Preemptions, st.IdleTime)
 			}
 		} else {
-			archRec, osm, err := m.RunArchitecture(policy, tm)
+			archRec, osm, err := m.RunArchitecture(policy, tm, bus...)
 			exitOn(err)
 			rec = archRec
 			show(rec, fmt.Sprintf("architecture model (%s, %s time)", policy.Name(), tm))
@@ -99,6 +108,14 @@ func main() {
 			exitOn(err)
 			exitOn(rec.VCD(io.Writer(f)))
 			exitOn(f.Close())
+		}
+		if tel != nil {
+			if *traceOut != "" {
+				exitOn(tel.WriteTraceFile(*traceOut))
+			}
+			if *metricsOut != "" {
+				exitOn(tel.WriteMetricsFile(*metricsOut))
+			}
 		}
 	}
 }

@@ -21,18 +21,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
 	events := flag.Bool("events", false, "print the full event lists")
+	traceOut := flag.String("trace-out", "", "write the architecture run as Chrome trace-event JSON (Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write architecture scheduler metrics in Prometheus text format")
 	flag.Parse()
 
 	par := models.DefaultFigure3()
 
 	specRec, err := models.Figure3Unscheduled(par)
 	check(err)
-	archRec, osm, err := models.Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	tel := telemetry.NewCapture()
+	archRec, osm, err := models.Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelCoarse, tel.Bus)
 	check(err)
 	segRec, _, err := models.Figure3Architecture(par, core.PriorityPolicy{}, core.TimeModelSegmented)
 	check(err)
@@ -61,6 +65,14 @@ func main() {
 	if *events {
 		fmt.Println("--- event list, architecture model ---")
 		check(archRec.EventList(os.Stdout))
+	}
+	if *traceOut != "" {
+		check(tel.WriteTraceFile(*traceOut))
+		fmt.Printf("Chrome trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		check(tel.WriteMetricsFile(*metricsOut))
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 }
 

@@ -16,12 +16,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loccount"
+	"repro/internal/telemetry"
 	"repro/internal/vocoder"
 )
 
 func main() {
 	frames := flag.Int("frames", 163, "speech frames to transcode")
 	skipIdle := flag.Bool("skipidle", false, "skip idle-loop interpretation in the implementation model")
+	traceOut := flag.String("trace-out", "", "write the architecture run as Chrome trace-event JSON (Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write architecture scheduler metrics in Prometheus text format")
 	flag.Parse()
 
 	par := vocoder.Default()
@@ -29,7 +32,8 @@ func main() {
 
 	spec, _, err := vocoder.RunSpec(par)
 	check(err)
-	arch, _, err := vocoder.RunArch(par, core.PriorityPolicy{}, core.TimeModelCoarse)
+	tel := telemetry.NewCapture()
+	arch, _, err := vocoder.RunArch(par, core.PriorityPolicy{}, core.TimeModelCoarse, tel.Bus)
 	check(err)
 	impl, _, err := vocoder.RunImpl(par, *skipIdle)
 	check(err)
@@ -49,6 +53,14 @@ func main() {
 	fmt.Printf("\nimplementation model: %d instructions retired, %d cycles\n", impl.Instructions, impl.KernelCycles)
 	fmt.Println("\npaper's values (Sun/DSP56600 testbed): LoC 13475/15552/79096,")
 	fmt.Println("execution 24.0s/24.4s/5h, switches 0/327/326, delay 9.7ms/12.5ms/11.7ms")
+	if *traceOut != "" {
+		check(tel.WriteTraceFile(*traceOut))
+		fmt.Printf("\nChrome trace (architecture model) written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		check(tel.WriteMetricsFile(*metricsOut))
+		fmt.Printf("metrics (architecture model) written to %s\n", *metricsOut)
+	}
 }
 
 func check(err error) {

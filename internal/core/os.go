@@ -47,6 +47,87 @@ type Observer interface {
 	OnIRQ(at sim.Time, name string, enter bool)
 }
 
+// BlockReason classifies the waiting state a task enters when it gives up
+// the CPU (reported by ObserverExt.OnBlock/OnUnblock).
+type BlockReason uint8
+
+const (
+	// BlockNone: the transition is not a blocking one.
+	BlockNone BlockReason = iota
+	// BlockEvent: blocked in EventWait.
+	BlockEvent
+	// BlockMutex: blocked in Mutex.Lock.
+	BlockMutex
+	// BlockChildren: suspended between ParStart and ParEnd.
+	BlockChildren
+	// BlockPeriod: a periodic task waiting for its next release.
+	BlockPeriod
+	// BlockSleep: suspended by TaskSleep until re-activation.
+	BlockSleep
+)
+
+// String returns a short lower-case reason name.
+func (r BlockReason) String() string {
+	switch r {
+	case BlockEvent:
+		return "event"
+	case BlockMutex:
+		return "mutex"
+	case BlockChildren:
+		return "children"
+	case BlockPeriod:
+		return "period"
+	case BlockSleep:
+		return "sleep"
+	default:
+		return "none"
+	}
+}
+
+// blockReasonFor maps a waiting state onto its BlockReason (BlockNone for
+// non-waiting states; TaskWaitingTime is modeled execution, not blocking).
+func blockReasonFor(s TaskState) BlockReason {
+	switch s {
+	case TaskWaitingEvent:
+		return BlockEvent
+	case TaskWaitingMutex:
+		return BlockMutex
+	case TaskWaitingChildren:
+		return BlockChildren
+	case TaskWaitingPeriod:
+		return BlockPeriod
+	case TaskSuspended:
+		return BlockSleep
+	default:
+		return BlockNone
+	}
+}
+
+// ObserverExt extends Observer with the remaining scheduler lifecycle
+// edges, so that a complete event stream — every job release, preemption,
+// block/unblock with reason, and ready-queue change — can be reconstructed
+// without polling Stats. The telemetry layer (internal/telemetry) is the
+// primary consumer. Observers registered via Observe that also implement
+// ObserverExt receive these callbacks automatically.
+type ObserverExt interface {
+	Observer
+	// OnRelease fires when a new job of t arrives: first activation, a
+	// periodic task's next release, or re-activation after TaskSleep. The
+	// callback instant is the job's release time.
+	OnRelease(at sim.Time, t *Task)
+	// OnPreempt fires when t involuntarily loses the CPU (a preferred
+	// task became ready, or its round-robin slice expired). by is the
+	// best ready task at that instant and may be nil.
+	OnPreempt(at sim.Time, t *Task, by *Task)
+	// OnBlock fires when t leaves the CPU for a waiting state.
+	OnBlock(at sim.Time, t *Task, reason BlockReason)
+	// OnUnblock fires when t re-enters the ready queue from a waiting
+	// state, with the reason it had been waiting.
+	OnUnblock(at sim.Time, t *Task, reason BlockReason)
+	// OnReadyQueue fires whenever the ready-queue length changes.
+	OnReadyQueue(at sim.Time, n int)
+}
+
 // Stats aggregates the counters the paper's Table 1 reports (context
 // switches) plus supporting metrics.
 //
@@ -103,6 +184,7 @@ type OS struct {
 
 	stats     Stats
 	observers []Observer
+	extObs    []ObserverExt
 }
 
 // Option configures an OS at construction.
@@ -147,8 +229,15 @@ func (os *OS) Tasks() []*Task { return os.tasks }
 // StatsSnapshot returns a copy of the accumulated counters.
 func (os *OS) StatsSnapshot() Stats { return os.stats }
 
-// Observe registers an observer for scheduling events.
-func (os *OS) Observe(o Observer) { os.observers = append(os.observers, o) }
+// Observe registers an observer for scheduling events. Observers that
+// also implement ObserverExt additionally receive the extended lifecycle
+// callbacks.
+func (os *OS) Observe(o Observer) {
+	os.observers = append(os.observers, o)
+	if e, ok := o.(ObserverExt); ok {
+		os.extObs = append(os.extObs, e)
+	}
+}
 
 // Init (re)initializes the kernel data structures (paper: init). New calls
 // it implicitly; calling it again discards all tasks and counters.
@@ -536,15 +625,40 @@ func (os *OS) mustCurrent(p *sim.Proc, op string) *Task {
 	return t
 }
 
-// setState transitions a task and notifies observers.
+// setState transitions a task and notifies observers, including the
+// extended lifecycle edges derived from the transition: entering a
+// waiting state is a block, leaving one for the ready queue is an
+// unblock, and becoming ready from created/end-of-period/suspended marks
+// a new job release.
 func (os *OS) setState(t *Task, s TaskState) {
 	if t.state == s {
 		return
 	}
 	old := t.state
 	t.state = s
+	now := os.k.Now()
 	for _, o := range os.observers {
-		o.OnTaskState(os.k.Now(), t, old, s)
+		o.OnTaskState(now, t, old, s)
+	}
+	if len(os.extObs) == 0 {
+		return
+	}
+	if r := blockReasonFor(s); r != BlockNone {
+		for _, o := range os.extObs {
+			o.OnBlock(now, t, r)
+		}
+	}
+	if s == TaskReady {
+		if r := blockReasonFor(old); r != BlockNone {
+			for _, o := range os.extObs {
+				o.OnUnblock(now, t, r)
+			}
+		}
+		if old == TaskCreated || old == TaskWaitingPeriod || old == TaskSuspended {
+			for _, o := range os.extObs {
+				o.OnRelease(now, t)
+			}
+		}
 	}
 }
 
@@ -557,6 +671,7 @@ func (os *OS) makeReady(t *Task) {
 	os.seq++
 	t.readySeq = os.seq
 	os.ready = append(os.ready, t)
+	os.emitReadyQueue()
 }
 
 // removeReady drops t from the ready queue if present.
@@ -564,6 +679,7 @@ func (os *OS) removeReady(t *Task) {
 	for i, x := range os.ready {
 		if x == t {
 			os.ready = append(os.ready[:i], os.ready[i+1:]...)
+			os.emitReadyQueue()
 			return
 		}
 	}
@@ -596,6 +712,12 @@ func (os *OS) releaseCPU(p *sim.Proc) {
 // until the caller is re-dispatched.
 func (os *OS) yieldCPU(p *sim.Proc, t *Task) {
 	os.stats.Preemptions++
+	if len(os.extObs) > 0 {
+		by := os.pickBest() // the caller is not in the queue yet
+		for _, o := range os.extObs {
+			o.OnPreempt(os.k.Now(), t, by)
+		}
+	}
 	os.makeReady(t)
 	os.current = nil
 	os.dispatchBest(p, t)
@@ -701,5 +823,16 @@ func (os *OS) emitDispatch(prev, next *Task) {
 func (os *OS) emitIRQ(name string, enter bool) {
 	for _, o := range os.observers {
 		o.OnIRQ(os.k.Now(), name, enter)
+	}
+}
+
+func (os *OS) emitReadyQueue() {
+	if len(os.extObs) == 0 {
+		return
+	}
+	now := os.k.Now()
+	n := len(os.ready)
+	for _, o := range os.extObs {
+		o.OnReadyQueue(now, n)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/refine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -147,13 +148,18 @@ func Figure3Unscheduled(par Figure3Params) (*trace.Recorder, error) {
 
 // Figure3Architecture builds and runs the RTOS-based architecture model
 // under the given policy and time model (paper Figure 8(b)); it returns
-// the trace and the OS instance for its statistics.
-func Figure3Architecture(par Figure3Params, policy core.Policy, tm core.TimeModel) (*trace.Recorder, *core.OS, error) {
+// the trace and the OS instance for its statistics. An optional telemetry
+// bus is attached to the RTOS instance.
+func Figure3Architecture(par Figure3Params, policy core.Policy, tm core.TimeModel, bus ...*telemetry.Bus) (*trace.Recorder, *core.OS, error) {
 	k := sim.NewKernel()
 	defer k.Shutdown()
 	pe := arch.NewSWPE(k, "PE", policy, core.WithTimeModel(tm))
 	rec := trace.New("figure3-architecture")
 	rec.Attach(pe.OS())
+	for _, b := range bus {
+		b.Attach(pe.OS())
+		rec.TeeMarkers(b)
+	}
 	m := BuildFigure3(pe, rec, par)
 	mapping := refine.Mapping{
 		"PE": {Priority: par.PrioPE},

@@ -227,6 +227,21 @@ func Map[T any](n int, opts Options, fn func(i int) (T, error)) []Result[T] {
 	return out
 }
 
+// Values unwraps results into their values, preserving submission order.
+// It returns the first error encountered, if any, alongside the values
+// collected so far — convenient for merging per-job artifacts (e.g.
+// telemetry reports) after a sweep.
+func Values[T any](results []Result[T]) ([]T, error) {
+	out := make([]T, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return out, r.Err
+		}
+		out = append(out, r.Value)
+	}
+	return out, nil
+}
+
 // FirstErr returns the first failed result's error, or nil.
 func FirstErr[T any](results []Result[T]) error {
 	for _, r := range results {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/refine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -169,12 +170,17 @@ func (m *Model) RunUnscheduled() (*trace.Recorder, error) {
 }
 
 // RunArchitecture elaborates and simulates the RTOS-based architecture
-// model under the given policy and time model.
-func (m *Model) RunArchitecture(policy core.Policy, tm core.TimeModel) (*trace.Recorder, *core.OS, error) {
+// model under the given policy and time model. An optional telemetry bus
+// is attached to the RTOS instance.
+func (m *Model) RunArchitecture(policy core.Policy, tm core.TimeModel, bus ...*telemetry.Bus) (*trace.Recorder, *core.OS, error) {
 	k := sim.NewKernel()
 	pe := arch.NewSWPE(k, "PE", policy, core.WithTimeModel(tm))
 	rec := trace.New("sdl-arch")
 	rec.Attach(pe.OS())
+	for _, b := range bus {
+		b.Attach(pe.OS())
+		rec.TeeMarkers(b)
+	}
 	root, err := m.build(pe, rec)
 	if err != nil {
 		return nil, nil, err

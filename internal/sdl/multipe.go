@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/refine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -17,13 +18,17 @@ import (
 // PEs run unscheduled), with inter-PE communication over the declared
 // buses and links — the mapping step of the design flow, driven from the
 // model file. It returns the shared trace and the per-PE OS instances
-// (software PEs only).
-func (m *Model) RunMapped(policy core.Policy, tm core.TimeModel) (*trace.Recorder, map[string]*core.OS, error) {
+// (software PEs only). An optional telemetry bus is attached to every
+// software PE's RTOS instance, so its events carry per-PE names.
+func (m *Model) RunMapped(policy core.Policy, tm core.TimeModel, bus ...*telemetry.Bus) (*trace.Recorder, map[string]*core.OS, error) {
 	if !m.MultiPE() {
 		return nil, nil, fmt.Errorf("sdl: RunMapped on a model without pe declarations")
 	}
 	k := sim.NewKernel()
 	rec := trace.New("sdl-mapped")
+	for _, b := range bus {
+		rec.TeeMarkers(b)
+	}
 
 	pes := map[string]*arch.PE{}
 	oss := map[string]*core.OS{}
@@ -31,6 +36,9 @@ func (m *Model) RunMapped(policy core.Policy, tm core.TimeModel) (*trace.Recorde
 		if pd.SW {
 			pe := arch.NewSWPE(k, pd.Name, policy, core.WithTimeModel(tm))
 			rec.Attach(pe.OS())
+			for _, b := range bus {
+				b.Attach(pe.OS())
+			}
 			pes[pd.Name] = pe
 			oss[pd.Name] = pe.OS()
 		} else {

@@ -118,6 +118,17 @@ type Observer interface {
 	OnRelease(at sim.Time, cpu int, t *Task)
 }
 
+// ObserverExt extends Observer with the involuntary-preemption edge, so
+// the telemetry layer can count preemptions without polling Stats.
+// Observers registered via Observe that also implement ObserverExt
+// receive it automatically.
+type ObserverExt interface {
+	Observer
+	// OnPreempt fires when t involuntarily loses its CPU slot; the slot
+	// release follows as a separate OnRelease callback.
+	OnPreempt(at sim.Time, cpu int, t *Task)
+}
+
 // Stats aggregates the scheduler's counters.
 type Stats struct {
 	Dispatches      uint64
@@ -143,6 +154,7 @@ type OS struct {
 	segmented bool
 	stats     Stats
 	observers []Observer
+	extObs    []ObserverExt
 }
 
 // New creates a global scheduler over ncpu identical CPUs. segmented
@@ -163,11 +175,20 @@ func New(k *sim.Kernel, name string, policy Policy, ncpu int, segmented bool) *O
 	}
 }
 
+// Name returns the scheduler instance name.
+func (os *OS) Name() string { return os.name }
+
 // NCPU returns the processor count.
 func (os *OS) NCPU() int { return os.ncpu }
 
-// Observe registers an observer for dispatch events.
-func (os *OS) Observe(o Observer) { os.observers = append(os.observers, o) }
+// Observe registers an observer for dispatch events. Observers that also
+// implement ObserverExt additionally receive preemption callbacks.
+func (os *OS) Observe(o Observer) {
+	os.observers = append(os.observers, o)
+	if e, ok := o.(ObserverExt); ok {
+		os.extObs = append(os.extObs, e)
+	}
+}
 
 // Tasks returns all created tasks.
 func (os *OS) Tasks() []*Task { return os.tasks }
@@ -470,6 +491,9 @@ func (os *OS) maybeYield(p *sim.Proc, t *Task) {
 // re-dispatched.
 func (os *OS) yieldCPU(p *sim.Proc, t *Task) {
 	os.stats.Preemptions++
+	for _, o := range os.extObs {
+		o.OnPreempt(os.k.Now(), t.cpu, t)
+	}
 	os.freeSlot(t)
 	os.makeReady(t)
 	os.decide(p)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -129,8 +130,9 @@ type Result struct {
 }
 
 // Run simulates the set and returns per-task and OS-level statistics plus
-// the full trace.
-func Run(s *Set) (*Result, error) {
+// the full trace. An optional telemetry bus is attached to the RTOS
+// instance.
+func Run(s *Set, bus ...*telemetry.Bus) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,6 +164,10 @@ func Run(s *Set) (*Result, error) {
 	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
 	rec := trace.New("taskset")
 	rec.Attach(rtos)
+	for _, b := range bus {
+		b.Attach(rtos)
+		rec.TeeMarkers(b)
+	}
 
 	var tasks []*core.Task
 	for _, tj := range s.Tasks {

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// Capture bundles the standard sink set behind the command-line tools'
+// -trace-out/-metrics-out flags: one bus feeding a full event collector
+// (for the Chrome trace export) and a metrics aggregator.
+type Capture struct {
+	Bus       *Bus
+	Collector *Collector
+	Agg       *Aggregator
+}
+
+// NewCapture creates a bus with a collector and an aggregator attached.
+func NewCapture() *Capture {
+	c := &Capture{Collector: &Collector{}, Agg: NewAggregator()}
+	c.Bus = NewBus(c.Collector, c.Agg)
+	return c
+}
+
+// SetEnd fixes the observation end time (see Aggregator.SetEnd).
+func (c *Capture) SetEnd(t sim.Time) { c.Agg.SetEnd(t) }
+
+// Report returns the aggregated metrics.
+func (c *Capture) Report() *Report { return c.Agg.Report() }
+
+// WriteTraceFile writes the collected events as Chrome trace-event JSON
+// (open with Perfetto / chrome://tracing).
+func (c *Capture) WriteTraceFile(path string) error {
+	return writeFile(path, func(w io.Writer) error {
+		return WriteChromeTrace(w, c.Collector.Events)
+	})
+}
+
+// WriteMetricsFile writes the aggregated metrics in the Prometheus text
+// exposition format.
+func (c *Capture) WriteMetricsFile(path string) error {
+	return WriteMetricsFile(path, c.Report())
+}
+
+// WriteMetricsFile writes a report in the Prometheus text exposition
+// format (shared by tools that merge reports before writing).
+func WriteMetricsFile(path string, r *Report) error {
+	return writeFile(path, r.WriteProm)
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: write %s: %w", path, err)
+	}
+	return f.Close()
+}

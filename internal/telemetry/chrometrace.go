@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (Perfetto's legacy JSON ingestion). Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	chromeTidSched = 0 // per-process scheduler/IRQ track
+	chromeAppPE    = "app"
+)
+
+// chromeBuilder assigns stable pid/tid numbers and accumulates events.
+type chromeBuilder struct {
+	out  []chromeEvent
+	pids map[string]int
+	tids map[string]map[string]int
+}
+
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+func (b *chromeBuilder) pid(pe string) int {
+	if pe == "" {
+		pe = chromeAppPE
+	}
+	id, ok := b.pids[pe]
+	if !ok {
+		id = len(b.pids) + 1
+		b.pids[pe] = id
+		b.out = append(b.out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: id,
+			Args: map[string]any{"name": pe},
+		}, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: id, Tid: chromeTidSched,
+			Args: map[string]any{"name": "scheduler"},
+		})
+	}
+	return id
+}
+
+func (b *chromeBuilder) tid(pe, task string) int {
+	if pe == "" {
+		pe = chromeAppPE
+	}
+	pid := b.pid(pe)
+	m, ok := b.tids[pe]
+	if !ok {
+		m = map[string]int{}
+		b.tids[pe] = m
+	}
+	id, ok := m[task]
+	if !ok {
+		id = len(m) + 1 // tid 0 is the scheduler track
+		m[task] = id
+		b.out = append(b.out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+			Args: map[string]any{"name": task},
+		})
+	}
+	return id
+}
+
+// occKey identifies one CPU slot of one PE.
+type occKey struct {
+	pe  string
+	cpu int
+}
+
+// WriteChromeTrace exports the event stream as Chrome trace-event JSON:
+// one process per PE, one thread per task plus a tid-0 scheduler track,
+// "X" slices for running intervals, async "b"/"e" slices for blocking,
+// "B"/"E" pairs for IRQ service, counters for the ready-queue length and
+// instants for releases, preemptions and application markers. Slices
+// still open at the end of the stream are closed at the last timestamp so
+// phase pairing stays valid.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	b := &chromeBuilder{pids: map[string]int{}, tids: map[string]map[string]int{}}
+
+	type slice struct {
+		task  string
+		start sim.Time
+	}
+	running := map[occKey]slice{} // open running slice per CPU slot
+	type blockState struct {
+		reason string
+		start  sim.Time
+	}
+	blocked := map[occKey]map[string]blockState{} // pe -> task -> open block
+	irq := map[string][]Event{}                   // pe -> open IRQ B stack
+
+	var end sim.Time
+	for _, e := range events {
+		if e.At > end {
+			end = e.At
+		}
+	}
+
+	closeRun := func(k occKey, s slice, at sim.Time) {
+		b.out = append(b.out, chromeEvent{
+			Name: s.task, Cat: "running", Ph: "X",
+			Ts: usec(s.start), Dur: usec(at - s.start),
+			Pid: b.pid(k.pe), Tid: b.tid(k.pe, s.task),
+			Args: map[string]any{"cpu": k.cpu},
+		})
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindDispatch:
+			k := occKey{e.PE, e.CPU}
+			if s, ok := running[k]; ok {
+				closeRun(k, s, e.At)
+				delete(running, k)
+			}
+			if e.Task != "" {
+				running[k] = slice{task: e.Task, start: e.At}
+			}
+		case KindBlock:
+			k := occKey{e.PE, 0}
+			m := blocked[k]
+			if m == nil {
+				m = map[string]blockState{}
+				blocked[k] = m
+			}
+			if _, open := m[e.Task]; !open {
+				m[e.Task] = blockState{reason: e.Reason.String(), start: e.At}
+				b.out = append(b.out, chromeEvent{
+					Name: "blocked:" + e.Reason.String(), Cat: "blocking", Ph: "b",
+					Ts: usec(e.At), Pid: b.pid(e.PE), Tid: b.tid(e.PE, e.Task),
+					ID: b.tid(e.PE, e.Task),
+				})
+			}
+		case KindUnblock:
+			k := occKey{e.PE, 0}
+			if m := blocked[k]; m != nil {
+				if st, open := m[e.Task]; open {
+					b.out = append(b.out, chromeEvent{
+						Name: "blocked:" + st.reason, Cat: "blocking", Ph: "e",
+						Ts: usec(e.At), Pid: b.pid(e.PE), Tid: b.tid(e.PE, e.Task),
+						ID: b.tid(e.PE, e.Task),
+					})
+					delete(m, e.Task)
+				}
+			}
+		case KindIRQEnter:
+			irq[e.PE] = append(irq[e.PE], e)
+			b.out = append(b.out, chromeEvent{
+				Name: e.Other, Cat: "irq", Ph: "B",
+				Ts: usec(e.At), Pid: b.pid(e.PE), Tid: chromeTidSched,
+			})
+		case KindIRQReturn:
+			if st := irq[e.PE]; len(st) > 0 {
+				irq[e.PE] = st[:len(st)-1]
+				b.out = append(b.out, chromeEvent{
+					Name: e.Other, Cat: "irq", Ph: "E",
+					Ts: usec(e.At), Pid: b.pid(e.PE), Tid: chromeTidSched,
+				})
+			}
+		case KindRelease:
+			b.out = append(b.out, chromeEvent{
+				Name: "release", Cat: "sched", Ph: "i", S: "t",
+				Ts: usec(e.At), Pid: b.pid(e.PE), Tid: b.tid(e.PE, e.Task),
+			})
+		case KindPreempt:
+			b.out = append(b.out, chromeEvent{
+				Name: "preempt", Cat: "sched", Ph: "i", S: "t",
+				Ts: usec(e.At), Pid: b.pid(e.PE), Tid: b.tid(e.PE, e.Task),
+				Args: map[string]any{"by": e.Other},
+			})
+		case KindReadyLen:
+			b.out = append(b.out, chromeEvent{
+				Name: "readyq", Ph: "C",
+				Ts: usec(e.At), Pid: b.pid(e.PE), Tid: chromeTidSched,
+				Args: map[string]any{"ready": e.Arg},
+			})
+		case KindMarker:
+			b.out = append(b.out, chromeEvent{
+				Name: e.Other, Cat: "marker", Ph: "i", S: "p",
+				Ts: usec(e.At), Pid: b.pid(e.PE), Tid: b.tid(e.PE, e.Task),
+				Args: map[string]any{"arg": e.Arg},
+			})
+		}
+	}
+
+	// Close anything still open at the end of the observed stream, in a
+	// deterministic order (maps iterate randomly).
+	runKeys := make([]occKey, 0, len(running))
+	for k := range running {
+		runKeys = append(runKeys, k)
+	}
+	sort.Slice(runKeys, func(i, j int) bool {
+		if runKeys[i].pe != runKeys[j].pe {
+			return runKeys[i].pe < runKeys[j].pe
+		}
+		return runKeys[i].cpu < runKeys[j].cpu
+	})
+	for _, k := range runKeys {
+		closeRun(k, running[k], end)
+	}
+	blockKeys := make([]occKey, 0, len(blocked))
+	for k := range blocked {
+		blockKeys = append(blockKeys, k)
+	}
+	sort.Slice(blockKeys, func(i, j int) bool { return blockKeys[i].pe < blockKeys[j].pe })
+	for _, k := range blockKeys {
+		m := blocked[k]
+		tasks := make([]string, 0, len(m))
+		for task := range m {
+			tasks = append(tasks, task)
+		}
+		sort.Strings(tasks)
+		for _, task := range tasks {
+			st := m[task]
+			b.out = append(b.out, chromeEvent{
+				Name: "blocked:" + st.reason, Cat: "blocking", Ph: "e",
+				Ts: usec(end), Pid: b.pid(k.pe), Tid: b.tid(k.pe, task),
+				ID: b.tid(k.pe, task),
+			})
+		}
+	}
+	irqPEs := make([]string, 0, len(irq))
+	for pe := range irq {
+		irqPEs = append(irqPEs, pe)
+	}
+	sort.Strings(irqPEs)
+	for _, pe := range irqPEs {
+		st := irq[pe]
+		for i := len(st) - 1; i >= 0; i-- {
+			b.out = append(b.out, chromeEvent{
+				Name: st[i].Other, Cat: "irq", Ph: "E",
+				Ts: usec(end), Pid: b.pid(pe), Tid: chromeTidSched,
+			})
+		}
+	}
+
+	if b.out == nil {
+		b.out = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: b.out, DisplayTimeUnit: "ns"}); err != nil {
+		return fmt.Errorf("chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// decodeChrome parses WriteChromeTrace output back into its envelope.
+func decodeChrome(t *testing.T, events []Event) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var tr chromeTrace
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		t.Fatalf("trace output is not schema-valid JSON: %v\n%s", err, buf.String())
+	}
+	return tr
+}
+
+// checkChromeWellFormed asserts the structural invariants Perfetto's
+// legacy JSON importer relies on: non-negative monotonically sane
+// timestamps, matched B/E pairs per (pid,tid), matched async b/e pairs
+// per (cat,id,name), and thread/process metadata for every (pid,tid)
+// that carries events.
+func checkChromeWellFormed(t *testing.T, tr chromeTrace) {
+	t.Helper()
+	type track struct{ pid, tid int }
+	named := map[track]bool{}
+	procNamed := map[int]bool{}
+	beDepth := map[track][]string{} // open B names per track
+	asyncOpen := map[string]int{}   // cat/id/name -> open count
+
+	for i, e := range tr.TraceEvents {
+		if e.Ts < 0 {
+			t.Errorf("event %d (%s %q): negative ts %v", i, e.Ph, e.Name, e.Ts)
+		}
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				procNamed[e.Pid] = true
+			case "thread_name":
+				named[track{e.Pid, e.Tid}] = true
+			default:
+				t.Errorf("event %d: unknown metadata record %q", i, e.Name)
+			}
+		case "X":
+			if e.Dur < 0 {
+				t.Errorf("event %d (X %q): negative dur %v", i, e.Name, e.Dur)
+			}
+		case "B":
+			k := track{e.Pid, e.Tid}
+			beDepth[k] = append(beDepth[k], e.Name)
+		case "E":
+			k := track{e.Pid, e.Tid}
+			st := beDepth[k]
+			if len(st) == 0 {
+				t.Errorf("event %d: E %q on pid=%d tid=%d with no open B", i, e.Name, e.Pid, e.Tid)
+				continue
+			}
+			if st[len(st)-1] != e.Name {
+				t.Errorf("event %d: E %q closes B %q (mismatched nesting)", i, e.Name, st[len(st)-1])
+			}
+			beDepth[k] = st[:len(st)-1]
+		case "b":
+			asyncOpen[fmt.Sprintf("%s/%d/%s", e.Cat, e.ID, e.Name)]++
+		case "e":
+			key := fmt.Sprintf("%s/%d/%s", e.Cat, e.ID, e.Name)
+			if asyncOpen[key] == 0 {
+				t.Errorf("event %d: async e %q with no matching b", i, key)
+				continue
+			}
+			asyncOpen[key]--
+		case "i", "C":
+			// instants and counters are self-contained
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, e.Ph)
+		}
+		if e.Ph != "M" {
+			if !procNamed[e.Pid] {
+				t.Errorf("event %d (%s %q): pid %d has no process_name metadata", i, e.Ph, e.Name, e.Pid)
+			}
+			if !named[track{e.Pid, e.Tid}] {
+				t.Errorf("event %d (%s %q): pid=%d tid=%d has no thread_name metadata",
+					i, e.Ph, e.Name, e.Pid, e.Tid)
+			}
+		}
+	}
+	for k, st := range beDepth {
+		if len(st) != 0 {
+			t.Errorf("pid=%d tid=%d: %d unclosed B events %v", k.pid, k.tid, len(st), st)
+		}
+	}
+	for key, n := range asyncOpen {
+		if n != 0 {
+			t.Errorf("async slice %q left open (%d unmatched b)", key, n)
+		}
+	}
+}
+
+func TestChromeTraceScenario(t *testing.T) {
+	col := &Collector{}
+	scenario(t, col)
+	tr := decodeChrome(t, col.Events)
+	checkChromeWellFormed(t, tr)
+
+	var xSlices, irqB, counters, instants int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xSlices++
+		case "B":
+			irqB++
+		case "C":
+			counters++
+		case "i":
+			instants++
+		}
+	}
+	if xSlices == 0 {
+		t.Error("no running (X) slices emitted")
+	}
+	if irqB != 1 {
+		t.Errorf("IRQ B events = %d, want 1", irqB)
+	}
+	if counters == 0 {
+		t.Error("no ready-queue counter events emitted")
+	}
+	if instants == 0 {
+		t.Error("no release/preempt instants emitted")
+	}
+	// ts is µs over a ns timeline: total X duration must stay under the
+	// simulated span.
+	var end float64
+	for _, e := range tr.TraceEvents {
+		if e.Ts+e.Dur > end {
+			end = e.Ts + e.Dur
+		}
+	}
+	var busy float64
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "X" {
+			busy += e.Dur
+		}
+	}
+	if busy > end+1e-9 {
+		t.Errorf("sum of X durations %v exceeds trace end %v on a single PE", busy, end)
+	}
+}
+
+func TestChromeTraceEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		tr := decodeChrome(t, nil)
+		if tr.TraceEvents == nil {
+			t.Fatal("traceEvents must encode as [] not null")
+		}
+		if len(tr.TraceEvents) != 0 {
+			t.Errorf("empty stream produced %d events", len(tr.TraceEvents))
+		}
+	})
+	t.Run("single-dispatch", func(t *testing.T) {
+		// One dispatch with no close: the X slice is closed at stream end
+		// (zero duration) and metadata still appears.
+		tr := decodeChrome(t, []Event{{At: 5, Kind: KindDispatch, PE: "PE", Task: "a"}})
+		checkChromeWellFormed(t, tr)
+		var x int
+		for _, e := range tr.TraceEvents {
+			if e.Ph == "X" {
+				x++
+				if e.Dur != 0 {
+					t.Errorf("lone dispatch slice dur = %v, want 0", e.Dur)
+				}
+			}
+		}
+		if x != 1 {
+			t.Errorf("got %d X slices, want 1", x)
+		}
+	})
+	t.Run("unclosed-block-and-irq", func(t *testing.T) {
+		tr := decodeChrome(t, []Event{
+			{At: 0, Kind: KindIRQEnter, PE: "PE", Other: "irq0"},
+			{At: 2, Kind: KindBlock, PE: "PE", Task: "a", Reason: core.BlockEvent},
+			{At: 9, Kind: KindDispatch, PE: "PE", Task: "b"},
+		})
+		checkChromeWellFormed(t, tr) // fails if close-out logic regresses
+	})
+	t.Run("deterministic", func(t *testing.T) {
+		evs := []Event{
+			{At: 0, Kind: KindDispatch, PE: "PE1", Task: "a"},
+			{At: 0, Kind: KindDispatch, PE: "PE0", Task: "b"},
+			{At: 1, Kind: KindBlock, PE: "PE1", Task: "a", Reason: core.BlockMutex},
+			{At: 1, Kind: KindBlock, PE: "PE0", Task: "b", Reason: core.BlockEvent},
+			{At: 2, Kind: KindIRQEnter, PE: "PE0", Other: "i0"},
+		}
+		var first bytes.Buffer
+		if err := WriteChromeTrace(&first, evs); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			var again bytes.Buffer
+			if err := WriteChromeTrace(&again, evs); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), again.Bytes()) {
+				t.Fatalf("trace output not deterministic (iteration %d)", i)
+			}
+		}
+	})
+}
+
+func TestPromRoundTrip(t *testing.T) {
+	agg := NewAggregator()
+	_, end := scenario(t, agg)
+	agg.SetEnd(end)
+	rep := agg.Report()
+
+	var buf bytes.Buffer
+	if err := rep.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	parsed, err := ParseProm(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseProm on our own output: %v\n%s", err, buf.String())
+	}
+
+	pe := rep.PEs[0]
+	checks := []struct {
+		metric string
+		labels map[string]string
+		want   float64
+	}{
+		{"rtos_dispatches_total", map[string]string{"pe": "PE"}, float64(pe.Dispatches)},
+		{"rtos_context_switches_total", map[string]string{"pe": "PE"}, float64(pe.ContextSwitches)},
+		{"rtos_preemptions_total", map[string]string{"pe": "PE"}, float64(pe.Preemptions)},
+		{"rtos_span_ns", map[string]string{"pe": "PE"}, float64(pe.Span)},
+		{"rtos_utilization_ratio", map[string]string{"pe": "PE"}, pe.Utilization},
+	}
+	for _, tr := range pe.Tasks {
+		checks = append(checks, struct {
+			metric string
+			labels map[string]string
+			want   float64
+		}{"rtos_task_jobs_total", map[string]string{"pe": "PE", "task": tr.Task}, float64(tr.Jobs)})
+	}
+	for _, c := range checks {
+		got, ok := findSample(parsed[c.metric], c.labels)
+		if !ok {
+			t.Errorf("metric %s%v missing after round trip", c.metric, c.labels)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("%s%v = %v after round trip, want %v", c.metric, c.labels, got, c.want)
+		}
+	}
+}
+
+func findSample(samples []PromSample, labels map[string]string) (float64, bool) {
+sample:
+	for _, s := range samples {
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue sample
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+func TestPromEscapingRoundTrip(t *testing.T) {
+	weird := "a\\b\"c\nd"
+	var buf bytes.Buffer
+	err := WriteProm(&buf, []PromMetric{{
+		Name: "weird_metric", Help: "label escaping", Type: "gauge",
+		Samples: []PromSample{{Labels: map[string]string{"task": weird, "pe": "PE"}, Value: 1.5}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseProm(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%q", err, buf.String())
+	}
+	got, ok := findSample(parsed["weird_metric"], map[string]string{"task": weird})
+	if !ok {
+		t.Fatalf("escaped label value did not survive round trip: %q", buf.String())
+	}
+	if got != 1.5 {
+		t.Errorf("value = %v, want 1.5", got)
+	}
+}
+
+func TestPromEdgeCases(t *testing.T) {
+	t.Run("empty-report", func(t *testing.T) {
+		agg := NewAggregator()
+		var buf bytes.Buffer
+		if err := agg.Report().WriteProm(&buf); err != nil {
+			t.Fatalf("WriteProm on empty report: %v", err)
+		}
+		if _, err := ParseProm(buf.Bytes()); err != nil {
+			t.Fatalf("ParseProm on empty report output: %v\n%q", err, buf.String())
+		}
+		if strings.Contains(buf.String(), "rtos_task_response_ns") {
+			t.Error("empty report must not emit response metrics")
+		}
+	})
+	t.Run("empty-sample-family-skipped", func(t *testing.T) {
+		var buf bytes.Buffer
+		err := WriteProm(&buf, []PromMetric{{Name: "nothing_here", Help: "h", Type: "gauge"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("family with no samples produced output: %q", buf.String())
+		}
+	})
+	t.Run("parse-errors", func(t *testing.T) {
+		for _, bad := range []string{
+			"not a metric line\n",
+			"x{y=\"unterminated} 1\n",
+			"metric 12x34\n",
+			"1leading_digit 5\n",
+		} {
+			if _, err := ParseProm([]byte(bad)); err == nil {
+				t.Errorf("ParseProm(%q) accepted malformed input", bad)
+			}
+		}
+	})
+	t.Run("comments-and-blanks", func(t *testing.T) {
+		parsed, err := ParseProm([]byte("# HELP m h\n# TYPE m counter\n\nm 3\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := findSample(parsed["m"], nil); !ok || v != 3 {
+			t.Errorf("parsed m = %v ok=%v, want 3", v, ok)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzEventStream fuzzes the binary ring-buffer codec: DecodeEvents must
+// never panic or over-allocate on arbitrary input, and on any input it
+// accepts, encode(decode(x)) must be a fixpoint — the re-encoded stream
+// decodes to the same events and re-encodes byte-identically.
+//
+// Seed corpus: testdata/fuzz/FuzzEventStream (valid streams plus
+// near-valid mutations); f.Add seeds below cover the structural corners.
+func FuzzEventStream(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TLM1"))
+	f.Add([]byte("TLM"))
+	f.Add(EncodeEvents(nil))
+	f.Add(EncodeEvents([]Event{{At: 42, Kind: KindMarker, Other: "frame-in", Task: "src", Arg: -7}}))
+	f.Add(EncodeEvents([]Event{
+		{At: 0, Kind: KindDispatch, PE: "PE", Task: "a"},
+		{At: 10, Kind: KindBlock, PE: "PE", Task: "a", Reason: core.BlockEvent},
+		{At: 20, Kind: KindState, PE: "PE", Task: "a",
+			From: core.TaskRunning, To: core.TaskTerminated},
+	}))
+	f.Add(EncodeEvents(mkEvents(40)))
+	// Adversarial shapes the decoder must reject gracefully.
+	f.Add(append([]byte("TLM1"), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40))
+	f.Add(append([]byte("TLM1"), 1, 0xC8, 0x01, 'x'))
+	f.Add(append([]byte("TLM1"), 0, 1, 0, 1, 5, 0, 0, 0, 0, 0, 0, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeEvents(data)
+		if err != nil {
+			return // rejected input is fine; panics/OOM are the bug
+		}
+		enc := EncodeEvents(evs)
+		again, err := DecodeEvents(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, evs) {
+			t.Fatalf("decode(encode(decode(x))) != decode(x):\n%v\nvs\n%v", again, evs)
+		}
+		if enc2 := EncodeEvents(again); !bytes.Equal(enc2, enc) {
+			t.Fatal("canonical encoding is not a byte-stable fixpoint")
+		}
+	})
+}

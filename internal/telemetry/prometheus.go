@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one labeled sample of a Prometheus metric family.
+type PromSample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// PromMetric is one metric family in the Prometheus text exposition
+// format (name, HELP/TYPE headers, samples).
+type PromMetric struct {
+	Name    string
+	Help    string
+	Type    string // "counter" or "gauge"
+	Samples []PromSample
+}
+
+// WriteProm renders metric families in the Prometheus text exposition
+// format. Labels are emitted sorted by key so output is deterministic.
+func WriteProm(w io.Writer, metrics []PromMetric) error {
+	for _, m := range metrics {
+		if len(m.Samples) == 0 {
+			continue
+		}
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if m.Type != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+		}
+		for _, s := range m.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, formatLabels(s.Labels),
+				strconv.FormatFloat(s.Value, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// PromMetrics converts the report into Prometheus metric families.
+func (r *Report) PromMetrics() []PromMetric {
+	peCounter := func(name, help string, get func(PEReport) float64) PromMetric {
+		m := PromMetric{Name: name, Help: help, Type: "counter"}
+		for _, pe := range r.PEs {
+			m.Samples = append(m.Samples, PromSample{
+				Labels: map[string]string{"pe": pe.PE}, Value: get(pe)})
+		}
+		return m
+	}
+	peGauge := func(name, help string, get func(PEReport) float64) PromMetric {
+		m := peCounter(name, help, get)
+		m.Type = "gauge"
+		return m
+	}
+	taskMetric := func(name, help, typ string, get func(TaskReport) float64) PromMetric {
+		m := PromMetric{Name: name, Help: help, Type: typ}
+		for _, pe := range r.PEs {
+			for _, t := range pe.Tasks {
+				m.Samples = append(m.Samples, PromSample{
+					Labels: map[string]string{"pe": pe.PE, "task": t.Task},
+					Value:  get(t)})
+			}
+		}
+		return m
+	}
+
+	metrics := []PromMetric{
+		peCounter("rtos_dispatches_total", "Task dispatches per PE.",
+			func(p PEReport) float64 { return float64(p.Dispatches) }),
+		peCounter("rtos_context_switches_total", "Context switches per PE.",
+			func(p PEReport) float64 { return float64(p.ContextSwitches) }),
+		peCounter("rtos_preemptions_total", "Preemptions per PE.",
+			func(p PEReport) float64 { return float64(p.Preemptions) }),
+		peCounter("rtos_irqs_total", "Serviced interrupts per PE.",
+			func(p PEReport) float64 { return float64(p.IRQReturns) }),
+		peGauge("rtos_span_ns", "Observed simulation span per PE.",
+			func(p PEReport) float64 { return float64(p.Span) }),
+		peGauge("rtos_busy_time_ns", "CPU busy time per PE.",
+			func(p PEReport) float64 { return float64(p.Busy) }),
+		peGauge("rtos_idle_time_ns", "CPU idle time per PE.",
+			func(p PEReport) float64 { return float64(p.Idle) }),
+		peGauge("rtos_utilization_ratio", "Busy fraction of the span per PE.",
+			func(p PEReport) float64 { return p.Utilization }),
+		peGauge("rtos_ready_queue_max", "Peak ready-queue length per PE.",
+			func(p PEReport) float64 { return float64(p.ReadyMax) }),
+		peGauge("rtos_ready_queue_mean", "Time-weighted mean ready-queue length per PE.",
+			func(p PEReport) float64 { return p.ReadyMean }),
+		taskMetric("rtos_task_dispatches_total", "Dispatches per task.", "counter",
+			func(t TaskReport) float64 { return float64(t.Dispatches) }),
+		taskMetric("rtos_task_preemptions_total", "Preemptions per task.", "counter",
+			func(t TaskReport) float64 { return float64(t.Preemptions) }),
+		taskMetric("rtos_task_jobs_total", "Completed jobs per task.", "counter",
+			func(t TaskReport) float64 { return float64(t.Jobs) }),
+		taskMetric("rtos_task_blocking_ns", "Resource blocking time per task.", "gauge",
+			func(t TaskReport) float64 { return float64(t.Blocking) }),
+		taskMetric("rtos_task_jitter_ns", "Response-time jitter per task.", "gauge",
+			func(t TaskReport) float64 { return float64(t.Jitter) }),
+		taskMetric("rtos_task_utilization_ratio", "Busy fraction of the span per task.", "gauge",
+			func(t TaskReport) float64 { return t.Utilization }),
+	}
+
+	resp := PromMetric{Name: "rtos_task_response_ns",
+		Help: "Response-time statistics per task.", Type: "gauge"}
+	for _, pe := range r.PEs {
+		for _, t := range pe.Tasks {
+			if t.Jobs == 0 {
+				continue
+			}
+			for _, s := range []struct {
+				stat string
+				v    float64
+			}{
+				{"min", float64(t.RespMin)},
+				{"mean", float64(t.RespMean)},
+				{"p99", float64(t.RespP99)},
+				{"max", float64(t.RespMax)},
+			} {
+				resp.Samples = append(resp.Samples, PromSample{
+					Labels: map[string]string{"pe": pe.PE, "task": t.Task, "stat": s.stat},
+					Value:  s.v})
+			}
+		}
+	}
+	metrics = append(metrics, resp)
+	return metrics
+}
+
+// WriteProm renders the report in the Prometheus text exposition format.
+func (r *Report) WriteProm(w io.Writer) error {
+	return WriteProm(w, r.PromMetrics())
+}
+
+// ParseProm is a minimal parser for the text exposition format, enough to
+// round-trip WriteProm output in tests: it returns samples grouped by
+// metric family name and validates names, label syntax and values.
+func ParseProm(data []byte) (map[string][]PromSample, error) {
+	out := map[string][]PromSample{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, labels, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q", lineno, rest)
+		}
+		out[name] = append(out[name], PromSample{Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parsePromLine(line string) (name, rest string, labels map[string]string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", nil, fmt.Errorf("no value on line %q", line)
+	}
+	name = line[:i]
+	if !validPromName(name) {
+		return "", "", nil, fmt.Errorf("bad metric name %q", name)
+	}
+	rest = line[i:]
+	if rest[0] != '{' {
+		return name, rest, nil, nil
+	}
+	labels = map[string]string{}
+	rest = rest[1:]
+	for {
+		rest = strings.TrimLeft(rest, " ,")
+		if rest == "" {
+			return "", "", nil, fmt.Errorf("unterminated label set")
+		}
+		if rest[0] == '}' {
+			return name, rest[1:], labels, nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", "", nil, fmt.Errorf("bad label in %q", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validPromName(key) {
+			return "", "", nil, fmt.Errorf("bad label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return "", "", nil, fmt.Errorf("label %s: value not quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", "", nil, fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if rest == "" {
+					return "", "", nil, fmt.Errorf("label %s: trailing escape", key)
+				}
+				switch rest[0] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", "", nil, fmt.Errorf("label %s: bad escape \\%c", key, rest[0])
+				}
+				rest = rest[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels[key] = val.String()
+	}
+}

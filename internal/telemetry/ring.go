@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Ring is a fixed-capacity event sink for always-on capture: the last
+// Cap events are kept, older ones are overwritten. Emit never allocates
+// after the buffer fills, which keeps observer overhead flat.
+type Ring struct {
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewRing creates a ring holding up to capacity events (capacity >= 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("telemetry: ring capacity must be >= 1")
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit records the event, overwriting the oldest once full.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// Len returns how many events are currently held.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns how many events were ever emitted.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.total - uint64(len(r.buf)) }
+
+// Events returns the retained events in emission order (oldest first).
+func (r *Ring) Events() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Encode serializes the retained events in the compact binary format.
+func (r *Ring) Encode() []byte { return EncodeEvents(r.Events()) }
+
+// Binary stream format (version TLM1):
+//
+//	magic "TLM1"
+//	uvarint nstrings; nstrings x (uvarint len, bytes)   -- string table
+//	uvarint nevents; nevents x event
+//
+// Each event is: zigzag-varint delta timestamp (vs previous event), one
+// kind byte, uvarint string refs for PE/Task/Other (0 = empty, else
+// 1-based table index), uvarint CPU, one byte each for Reason/From/To,
+// and a zigzag-varint Arg. Timestamps are delta-encoded because streams
+// are (nearly) time-ordered, making most deltas one byte.
+const ringMagic = "TLM1"
+
+type stringTable struct {
+	idx  map[string]uint64
+	strs []string
+}
+
+func (t *stringTable) ref(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	t.strs = append(t.strs, s)
+	i := uint64(len(t.strs))
+	t.idx[s] = i
+	return i
+}
+
+// EncodeEvents serializes events in the compact binary format. The
+// encoding is canonical for a given event slice: decode(encode(evs)) ==
+// evs, and re-encoding that result is byte-stable (fuzzed by
+// FuzzEventStream).
+func EncodeEvents(events []Event) []byte {
+	tab := &stringTable{idx: map[string]uint64{}}
+	var body []byte
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(dst *[]byte, v uint64) {
+		*dst = append(*dst, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	putVarint := func(dst *[]byte, v int64) {
+		*dst = append(*dst, tmp[:binary.PutVarint(tmp[:], v)]...)
+	}
+
+	var prev sim.Time
+	for _, e := range events {
+		putVarint(&body, int64(e.At-prev))
+		prev = e.At
+		body = append(body, byte(e.Kind))
+		putUvarint(&body, tab.ref(e.PE))
+		putUvarint(&body, tab.ref(e.Task))
+		putUvarint(&body, tab.ref(e.Other))
+		putUvarint(&body, uint64(uint32(e.CPU)))
+		body = append(body, byte(e.Reason), byte(e.From), byte(e.To))
+		putVarint(&body, e.Arg)
+	}
+
+	out := []byte(ringMagic)
+	putUvarint(&out, uint64(len(tab.strs)))
+	for _, s := range tab.strs {
+		putUvarint(&out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	putUvarint(&out, uint64(len(events)))
+	out = append(out, body...)
+	return out
+}
+
+type ringDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *ringDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("telemetry: truncated varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *ringDecoder) varint() (int64, error) {
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("telemetry: truncated varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *ringDecoder) byte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, fmt.Errorf("telemetry: truncated stream at offset %d", d.pos)
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// DecodeEvents deserializes a binary event stream produced by
+// EncodeEvents. It is hardened against arbitrary input: lengths and
+// counts are validated against the remaining data before any allocation,
+// so malformed streams return an error instead of panicking or
+// exhausting memory.
+func DecodeEvents(data []byte) ([]Event, error) {
+	if len(data) < len(ringMagic) || string(data[:len(ringMagic)]) != ringMagic {
+		return nil, fmt.Errorf("telemetry: bad magic")
+	}
+	d := &ringDecoder{data: data, pos: len(ringMagic)}
+
+	nstrings, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nstrings > uint64(len(data)-d.pos) {
+		return nil, fmt.Errorf("telemetry: string table count %d exceeds stream size", nstrings)
+	}
+	strs := make([]string, 0, nstrings)
+	for i := uint64(0); i < nstrings; i++ {
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(data)-d.pos) {
+			return nil, fmt.Errorf("telemetry: string %d length %d exceeds stream size", i, n)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("telemetry: empty string %d in table", i)
+		}
+		strs = append(strs, string(d.data[d.pos:d.pos+int(n)]))
+		d.pos += int(n)
+	}
+	str := func(ref uint64) (string, error) {
+		if ref == 0 {
+			return "", nil
+		}
+		if ref > uint64(len(strs)) {
+			return "", fmt.Errorf("telemetry: string ref %d out of range", ref)
+		}
+		return strs[ref-1], nil
+	}
+
+	nevents, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each event takes at least 8 bytes (4 varints + 4 fixed bytes).
+	if nevents > uint64(len(data)-d.pos)/8 {
+		return nil, fmt.Errorf("telemetry: event count %d exceeds stream size", nevents)
+	}
+	events := make([]Event, 0, nevents)
+	var prev sim.Time
+	for i := uint64(0); i < nevents; i++ {
+		var e Event
+		dt, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		e.At = prev + sim.Time(dt)
+		prev = e.At
+		kind, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.Kind = Kind(kind)
+		peRef, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		taskRef, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		otherRef, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if e.PE, err = str(peRef); err != nil {
+			return nil, err
+		}
+		if e.Task, err = str(taskRef); err != nil {
+			return nil, err
+		}
+		if e.Other, err = str(otherRef); err != nil {
+			return nil, err
+		}
+		cpu, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cpu > math.MaxUint32 {
+			return nil, fmt.Errorf("telemetry: cpu %d out of range", cpu)
+		}
+		e.CPU = int(int32(uint32(cpu)))
+		reason, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.Reason = core.BlockReason(reason)
+		from, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.From = core.TaskState(from)
+		to, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.To = core.TaskState(to)
+		if e.Arg, err = d.varint(); err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes", len(data)-d.pos)
+	}
+	return events, nil
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func mkEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			At:   sim.Time(i * 10),
+			Kind: KindDispatch,
+			PE:   "PE0",
+			Task: "t" + string(rune('a'+i%4)),
+			CPU:  i % 2,
+			Arg:  int64(i),
+		}
+	}
+	return evs
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("fresh ring: len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := mkEvents(10)
+	for _, e := range evs {
+		r.Emit(e)
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (capacity)", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", r.Dropped())
+	}
+	got := r.Events()
+	if !reflect.DeepEqual(got, evs[6:]) {
+		t.Errorf("Events() = %v\nwant last four emitted %v", got, evs[6:])
+	}
+	// Events() must be a copy, not a view into the buffer.
+	got[0].Task = "mutated"
+	if r.Events()[0].Task == "mutated" {
+		t.Error("Events() returned aliased storage")
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	evs := mkEvents(3)
+	for _, e := range evs {
+		r.Emit(e)
+	}
+	if !reflect.DeepEqual(r.Events(), evs) {
+		t.Errorf("partial ring Events() = %v, want %v", r.Events(), evs)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestNewRingPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := map[string][]Event{
+		"empty": {},
+		"one":   {{At: 42, Kind: KindMarker, Other: "frame-in", Task: "src", Arg: -7}},
+		"typical": {
+			{At: 0, Kind: KindDispatch, PE: "PE", Task: "a"},
+			{At: 10, Kind: KindPreempt, PE: "PE", Task: "a", Other: "b"},
+			{At: 10, Kind: KindDispatch, PE: "PE", Task: "b", Other: "a"},
+			{At: 15, Kind: KindBlock, PE: "PE", Task: "b", Reason: core.BlockMutex},
+			{At: 15, Kind: KindState, PE: "PE", Task: "b",
+				From: core.TaskRunning, To: core.TaskWaitingMutex},
+			{At: 20, Kind: KindIRQEnter, PE: "PE", Other: "irq0"},
+			{At: 21, Kind: KindIRQReturn, PE: "PE", Other: "irq0"},
+			{At: 30, Kind: KindReadyLen, PE: "PE", Arg: 2},
+		},
+		"negative-delta": {
+			{At: 100, Kind: KindMarker, Other: "m"},
+			{At: 50, Kind: KindMarker, Other: "m"}, // out of order is legal
+		},
+		"extremes": {
+			{At: sim.Time(1) << 60, Kind: Kind(255), CPU: -1,
+				Arg: -1 << 62, Reason: core.BlockReason(255)},
+		},
+		"large": mkEvents(500),
+	}
+	for name, evs := range cases {
+		t.Run(name, func(t *testing.T) {
+			enc := EncodeEvents(evs)
+			dec, err := DecodeEvents(enc)
+			if err != nil {
+				t.Fatalf("DecodeEvents: %v", err)
+			}
+			if len(dec) != len(evs) {
+				t.Fatalf("decoded %d events, want %d", len(dec), len(evs))
+			}
+			for i := range evs {
+				if !reflect.DeepEqual(dec[i], evs[i]) {
+					t.Errorf("event %d: decoded %+v, want %+v", i, dec[i], evs[i])
+				}
+			}
+			// Canonical: re-encoding the decoded stream is byte-stable.
+			if again := EncodeEvents(dec); !bytes.Equal(again, enc) {
+				t.Error("re-encode of decoded stream differs from original encoding")
+			}
+		})
+	}
+}
+
+func TestRingEncodeMatchesEvents(t *testing.T) {
+	r := NewRing(3)
+	for _, e := range mkEvents(7) {
+		r.Emit(e)
+	}
+	dec, err := DecodeEvents(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, r.Events()) {
+		t.Errorf("Encode/Decode = %v, want retained %v", dec, r.Events())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := EncodeEvents(mkEvents(3))
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"empty", nil, "bad magic"},
+		{"bad-magic", []byte("NOPE"), "bad magic"},
+		{"magic-only", []byte("TLM1"), "truncated"},
+		{"truncated", valid[:len(valid)-3], ""},
+		{"trailing", append(append([]byte{}, valid...), 0xFF), "trailing"},
+		// nstrings = 2^62: must be rejected before allocation.
+		{"huge-string-count", append([]byte("TLM1"), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40), "exceeds"},
+		// one string whose claimed length exceeds the stream.
+		{"huge-string-len", append([]byte("TLM1"), 1, 0xC8, 0x01, 'x'), "exceeds"},
+		// empty string in the table is non-canonical (ref 0 means empty).
+		{"empty-table-string", append([]byte("TLM1"), 1, 0), "empty string"},
+		// zero strings, nevents = 2^62 with no bytes behind it.
+		{"huge-event-count", append([]byte("TLM1"), 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40), "exceeds"},
+		// one event whose PE ref points past the (empty) string table:
+		// dt=0 kind=1 peRef=5 taskRef=0 otherRef=0 cpu=0 r/f/t + arg=0.
+		{"bad-string-ref", append([]byte("TLM1"), 0, 1, 0, 1, 5, 0, 0, 0, 0, 0, 0, 0), "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeEvents(c.data)
+			if err == nil {
+				t.Fatalf("DecodeEvents accepted malformed input %v", c.data)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}

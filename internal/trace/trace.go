@@ -88,11 +88,18 @@ func (r Record) String() string {
 	}
 }
 
+// MarkerSink receives a copy of every marker recorded on a Recorder
+// (telemetry.Bus implements it).
+type MarkerSink interface {
+	Marker(at sim.Time, label, task string, arg int64)
+}
+
 // Recorder accumulates trace records. It is not safe for use outside the
 // single-threaded simulation.
 type Recorder struct {
 	name string
 	recs []Record
+	tees []MarkerSink
 }
 
 // New creates an empty recorder.
@@ -110,10 +117,19 @@ func (r *Recorder) Len() int { return len(r.recs) }
 // Append adds an arbitrary record.
 func (r *Recorder) Append(rec Record) { r.recs = append(r.recs, rec) }
 
-// Marker records an instrumentation point.
+// Marker records an instrumentation point and forwards it to any teed
+// sinks.
 func (r *Recorder) Marker(at sim.Time, label, task string, arg int64) {
 	r.Append(Record{At: at, Kind: KindMarker, Task: task, Label: label, Arg: arg})
+	for _, s := range r.tees {
+		s.Marker(at, label, task, arg)
+	}
 }
+
+// TeeMarkers forwards every future marker to s as well, so instrumented
+// models need a single Marker call site to feed both the recorder and a
+// telemetry bus.
+func (r *Recorder) TeeMarkers(s MarkerSink) { r.tees = append(r.tees, s) }
 
 // SegBegin records the start of an execution segment of a behavior in the
 // unscheduled model.

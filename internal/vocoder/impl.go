@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/iss"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/ukernel"
 )
@@ -93,7 +94,9 @@ func FirmwareLines() int {
 // as an SLDL process. skipIdle selects the idle-skipping co-simulation
 // extension (the paper's ISS interprets idle loops, which is the default
 // here too).
-func RunImpl(par Params, skipIdle bool) (Results, *trace.Recorder, error) {
+// An optional telemetry bus receives the frame markers (the ISS kernel
+// has no scheduler observer hooks, so only markers are emitted).
+func RunImpl(par Params, skipIdle bool, bus ...*telemetry.Bus) (Results, *trace.Recorder, error) {
 	prog, err := iss.Assemble(firmware)
 	if err != nil {
 		return Results{}, nil, fmt.Errorf("vocoder: firmware: %v", err)
@@ -140,6 +143,9 @@ func RunImpl(par Params, skipIdle bool) (Results, *trace.Recorder, error) {
 	kern.SetDeviceIRQ(0, func() { kern.SemSignalFromISR(semFrame) })
 
 	rec := trace.New("vocoder-impl")
+	for _, b := range bus {
+		rec.TeeMarkers(b)
+	}
 	kern.OnDebug = func(t *ukernel.Task, v int64) {
 		rec.Marker(m.Now(), "frame-out", "decoder", v)
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/refine"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -161,12 +162,16 @@ func finish(model string, par Params, rec *trace.Recorder, wall time.Duration, e
 	return res
 }
 
-// RunSpec executes the unscheduled specification model.
-func RunSpec(par Params) (Results, *trace.Recorder, error) {
+// RunSpec executes the unscheduled specification model. An optional
+// telemetry bus receives the frame markers.
+func RunSpec(par Params, bus ...*telemetry.Bus) (Results, *trace.Recorder, error) {
 	k := sim.NewKernel()
 	defer k.Shutdown()
 	pe := arch.NewHWPE(k, "DSP")
 	rec := trace.New("vocoder-spec")
+	for _, b := range bus {
+		rec.TeeMarkers(b)
+	}
 	root := build(pe, rec, par)
 	refine.RunUnscheduled(k, rec, root)
 	start := time.Now()
@@ -176,8 +181,9 @@ func RunSpec(par Params) (Results, *trace.Recorder, error) {
 }
 
 // RunArch executes the architecture model: the codec's behaviors refined
-// into tasks on the abstract RTOS model.
-func RunArch(par Params, policy core.Policy, tm core.TimeModel) (Results, *trace.Recorder, error) {
+// into tasks on the abstract RTOS model. An optional telemetry bus is
+// attached to the RTOS instance and receives the frame markers.
+func RunArch(par Params, policy core.Policy, tm core.TimeModel, bus ...*telemetry.Bus) (Results, *trace.Recorder, error) {
 	k := sim.NewKernel()
 	defer k.Shutdown()
 	var opts []core.Option
@@ -188,6 +194,10 @@ func RunArch(par Params, policy core.Policy, tm core.TimeModel) (Results, *trace
 	pe := arch.NewSWPE(k, "DSP", policy, opts...)
 	rec := trace.New("vocoder-arch")
 	rec.Attach(pe.OS())
+	for _, b := range bus {
+		b.Attach(pe.OS())
+		rec.TeeMarkers(b)
+	}
 	root := build(pe, rec, par)
 	refine.RunArchitecture(k, pe.OS(), rec, root, refine.Mapping{
 		"vocoder": {Priority: 0},

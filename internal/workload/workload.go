@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // RNG is a small deterministic SplitMix64 generator, so experiments are
@@ -129,11 +130,15 @@ func (r Result) MissRatio() float64 {
 
 // Run simulates the task set on the RTOS model under the given policy and
 // time model until the horizon and returns deadline statistics. Tasks
-// release synchronously at t=0 (the critical instant).
-func Run(specs []TaskSpec, policy core.Policy, tm core.TimeModel, horizon sim.Time) (Result, error) {
+// release synchronously at t=0 (the critical instant). An optional
+// telemetry bus is attached to the RTOS instance.
+func Run(specs []TaskSpec, policy core.Policy, tm core.TimeModel, horizon sim.Time, bus ...*telemetry.Bus) (Result, error) {
 	k := sim.NewKernel()
 	defer k.Shutdown()
 	os := core.New(k, "PE", policy, core.WithTimeModel(tm))
+	for _, b := range bus {
+		b.Attach(os)
+	}
 	tasks := make([]*core.Task, len(specs))
 	for i, s := range specs {
 		s := s

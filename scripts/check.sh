@@ -23,6 +23,20 @@ go test -race ./...
 echo "== go test -race -count=2 ./internal/runner ./internal/simcheck"
 go test -race -count=2 ./internal/runner ./internal/simcheck
 
+# Golden-trace diff: the canonical telemetry event streams of the two
+# example designs must match testdata/golden/ byte-for-byte, sequentially
+# and under the parallel batch engine. (go test ./... above already ran
+# these; this explicit pass keeps the gate's contract visible and
+# survives future test-filtering in the step above.)
+echo "== golden-trace diff (testdata/golden)"
+go test -run 'TestGoldenTrace' -count=1 .
+
+# Telemetry overhead guard: an always-on ring sink must stay within a
+# generous multiple of the uninstrumented baseline (catches accidental
+# per-event allocation/formatting on the observer hot path).
+echo "== telemetry overhead guard"
+TELEMETRY_OVERHEAD_GUARD=1 go test -run TestTelemetryOverheadGuard -count=1 -v .
+
 # Soak the scheduler with fresh seeds (offset so they do not just repeat
 # the seeds go test already covered); 4 seeds in flight exercises the
 # concurrent-kernel contract on every run of this gate.

@@ -1,0 +1,113 @@
+// Telemetry overhead: benchmarks of the vocoder architecture model with
+// no observer, with the compact binary ring sink, with the metrics
+// aggregator, and with the full capture pipeline — plus a CI guard that
+// keeps the ring sink's overhead bounded relative to the uninstrumented
+// baseline.
+//
+//	go test -bench 'BenchmarkTelemetry' -benchmem
+//	TELEMETRY_OVERHEAD_GUARD=1 go test -run TestTelemetryOverheadGuard
+package repro
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/vocoder"
+)
+
+// overheadParams is the guard workload: the vocoder structure at enough
+// frames that the per-event hook path dominates fixed setup costs (the
+// ring's one-time buffer allocation amortizes away).
+func overheadParams() vocoder.Params {
+	p := vocoder.Small()
+	p.Frames = 64
+	return p
+}
+
+// vocoderArchOnce runs the reference workload, optionally instrumented.
+func vocoderArchOnce(tb testing.TB, bus *telemetry.Bus) {
+	var err error
+	if bus != nil {
+		_, _, err = vocoder.RunArch(overheadParams(), core.PriorityPolicy{},
+			core.TimeModelCoarse, bus)
+	} else {
+		_, _, err = vocoder.RunArch(overheadParams(), core.PriorityPolicy{},
+			core.TimeModelCoarse)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func BenchmarkTelemetryNoObserver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vocoderArchOnce(b, nil)
+	}
+}
+
+func BenchmarkTelemetryRingSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// A fresh fixed-capacity ring per run, as an always-on flight
+		// recorder would use: Emit stops allocating once the buffer fills.
+		vocoderArchOnce(b, telemetry.NewBus(telemetry.NewRing(4096)))
+	}
+}
+
+func BenchmarkTelemetryAggregator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vocoderArchOnce(b, telemetry.NewBus(telemetry.NewAggregator()))
+	}
+}
+
+func BenchmarkTelemetryFullCapture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vocoderArchOnce(b, telemetry.NewCapture().Bus)
+	}
+}
+
+// minWall returns the minimum wall time of `trials` runs — the standard
+// noise-robust estimator for a deterministic workload.
+func minWall(tb testing.TB, trials int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < trials; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	_ = tb
+	return best
+}
+
+// TestTelemetryOverheadGuard fails if the ring-sink-instrumented run
+// exceeds a generous multiple of the no-observer baseline. Wall-clock
+// comparisons are noisy in CI, so the guard is opt-in (scripts/check.sh
+// sets TELEMETRY_OVERHEAD_GUARD=1) and the threshold deliberately loose:
+// it catches accidental O(n) regressions in the hook path (per-event
+// allocation, formatting, locking), not small constant factors.
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if os.Getenv("TELEMETRY_OVERHEAD_GUARD") != "1" {
+		t.Skip("set TELEMETRY_OVERHEAD_GUARD=1 to run the overhead guard")
+	}
+	const trials = 5
+	const maxRatio = 3.0
+
+	// Warm up both paths once so lazy initialization is off the clock.
+	vocoderArchOnce(t, nil)
+	vocoderArchOnce(t, telemetry.NewBus(telemetry.NewRing(4096)))
+
+	base := minWall(t, trials, func() { vocoderArchOnce(t, nil) })
+	ring := minWall(t, trials, func() {
+		vocoderArchOnce(t, telemetry.NewBus(telemetry.NewRing(4096)))
+	})
+	ratio := float64(ring) / float64(base)
+	t.Logf("baseline %v, ring sink %v, ratio %.2fx (limit %.1fx)", base, ring, ratio, maxRatio)
+	if ratio > maxRatio {
+		t.Errorf("ring-sink telemetry overhead %.2fx exceeds %.1fx of the no-observer baseline (%v vs %v)",
+			ratio, maxRatio, ring, base)
+	}
+}
