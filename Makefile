@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -40,3 +40,6 @@ overhead: ## telemetry overhead guard + benchmarks
 
 soak: ## long scheduler soak with the property-based harness (parallel seeds)
 	go run ./cmd/simfuzz -start 10000 -duration 10m -jobs 4
+
+faults: ## fault-injection campaign with the diagnosis gates (seeds × plans)
+	go run ./cmd/simfuzz -faults -n 64 -jobs 8

@@ -13,6 +13,7 @@
 //	smp          EXT-SMP: global multiprocessor scheduling, Dhall's effect
 //	synth        EXT-SYNTH: software synthesis to generated ISS firmware
 //	dse          EXT-DSE: design-space exploration over the vocoder
+//	faults       FAULT: fault-injection campaign with runtime diagnosis
 //	all          everything above
 //
 // Run with: go run ./cmd/experiments -exp all [-frames 163] [-quick]
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/fault"
 	"repro/internal/loccount"
 	"repro/internal/models"
 	"repro/internal/refine"
@@ -68,9 +70,10 @@ func main() {
 		"smp":         func(int) { smpDhall() },
 		"synth":       func(int) { synthesis() },
 		"dse":         func(int) { designSpace() },
+		"faults":      func(int) { faultCampaign() },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "figure8", "granularity", "overhead", "sched", "refine", "multipe", "smp", "synth", "dse"} {
+		for _, name := range []string{"table1", "figure8", "granularity", "overhead", "sched", "refine", "multipe", "smp", "synth", "dse", "faults"} {
 			run[name](*frames)
 		}
 		return
@@ -605,6 +608,87 @@ func designSpace() {
 	fmt.Println("\nshape: every configuration evaluates in milliseconds on the abstract")
 	fmt.Println("model; the same sweep on the ISS implementation model would take hours —")
 	fmt.Println("the paper's case for RTOS modeling at high abstraction levels.")
+}
+
+// ---------------------------------------------------------------------------
+// FAULT: fault-injection campaign with runtime diagnosis.
+
+func faultCampaign() {
+	header("FAULT: fault-injection campaign with runtime diagnosis")
+	nSeeds := 24
+	if *quick {
+		nSeeds = 8
+	}
+	seeds := make([]int64, nSeeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	plans := fault.DefaultPlans()
+	c := &fault.Campaign{Seeds: seeds, Plans: plans, Jobs: *jobs}
+	start := time.Now()
+	cr := c.Run()
+	wall := time.Since(start)
+
+	fmt.Printf("%d generated scenarios × %d fault plans, %d workers, wall %v\n\n",
+		nSeeds, len(plans), *jobs, wall.Round(time.Millisecond))
+	type tally struct{ runs, deadlock, stall, starve, clean, injected int }
+	byPlan := map[string]*tally{}
+	for _, r := range cr.Results {
+		t := byPlan[r.Plan]
+		if t == nil {
+			t = &tally{}
+			byPlan[r.Plan] = t
+		}
+		t.runs++
+		t.injected += r.Injected
+		switch d := r.Diagnosed(); {
+		case d == nil:
+			t.clean++
+		case d.Kind == core.DiagDeadlock:
+			t.deadlock++
+		case d.Kind == core.DiagStarvation:
+			t.starve++
+		default:
+			t.stall++
+		}
+	}
+	fmt.Printf("%-12s %6s %9s %10s %7s %7s %7s %6s\n",
+		"plan", "runs", "injected", "deadlocks", "stalls", "starve", "clean", "ok")
+	for _, p := range plans {
+		t := byPlan[p.Name]
+		expect := "-"
+		if p.ExpectClean {
+			expect = fmt.Sprintf("%v", t.clean == t.runs)
+		}
+		fmt.Printf("%-12s %6d %9d %10d %7d %7d %7d %6s\n",
+			p.Name, t.runs, t.injected, t.deadlock, t.stall, t.starve, t.clean, expect)
+	}
+	fmt.Printf("\ntotal: %s\n", cr.Summary())
+	for _, v := range cr.Violations {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+
+	// The must-detect case: a lost-interrupt fault closes a three-task
+	// semaphore ring; the wait-for-graph detector names the exact cycle.
+	s, plan := fault.DeadlockScenario()
+	res := fault.RunScenario(s, plan, s.Seed, fault.Options{})
+	fmt.Println("\nseeded deadlock (drop refill IRQs of a three-task semaphore ring):")
+	if d := res.Diagnosed(); d != nil {
+		fmt.Printf("  %s diagnosed at %v:\n", d.Kind, d.At)
+		for _, e := range d.Cycle {
+			fmt.Printf("    %s\n", e)
+		}
+	} else {
+		fmt.Println("  NOT DETECTED — detector regression")
+	}
+	if *metricsOut != "" {
+		check(telemetry.WriteMetricsFile(*metricsOut, cr.Report))
+		fmt.Printf("\nmerged campaign metrics written to %s\n", *metricsOut)
+	}
+	fmt.Println("\nshape: the fault-free and benign plans stay diagnosis-clean (no false")
+	fmt.Println("positives), hostile plans produce structured diagnoses instead of hangs,")
+	fmt.Println("and the same seeds replay to a byte-identical diagnostic stream on any")
+	fmt.Println("worker count (verified continuously by simfuzz -faults).")
 }
 
 // ---------------------------------------------------------------------------

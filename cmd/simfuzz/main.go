@@ -10,11 +10,14 @@
 //	simfuzz -n 5000                  check seeds 1..5000
 //	simfuzz -duration 30s            soak from -start until the clock runs out
 //	simfuzz -scenario repro.json     re-check a written reproducer
+//	simfuzz -faults -n 16            fault-injection campaign: seeds × plans
+//	                                 with the runtime-diagnosis gates
 //
 // Exit status is 1 if any scenario failed, 0 otherwise.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +25,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/simcheck"
 	"repro/internal/telemetry"
@@ -42,8 +47,16 @@ func main() {
 		verbose    = flag.Bool("v", false, "log every seed checked")
 		metricsOut = flag.String("metrics-out", "",
 			"write soak statistics in Prometheus text format")
+		faults = flag.Bool("faults", false,
+			"fault-injection campaign: run seeds (-start/-n) × fault plans with the diagnosis gates")
+		planPath = flag.String("plan", "",
+			"with -faults: run only this JSON fault plan instead of the built-in battery")
 	)
 	flag.Parse()
+
+	if *faults {
+		os.Exit(faultCampaign(*start, *n, *jobs, *planPath, *verbose))
+	}
 
 	if *scenario != "" {
 		data, err := os.ReadFile(*scenario)
@@ -140,6 +153,77 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// faultCampaign is the -faults mode: a seeds × plans fault-injection
+// sweep with the three release gates — (1) no ExpectClean plan may
+// produce a diagnosis (detector false positive), (2) the campaign's
+// diagnostic stream must be byte-identical on 1 worker and -jobs workers,
+// (3) the seeded three-task semaphore deadlock must be detected with its
+// exact wait-for cycle. Returns the process exit code.
+func faultCampaign(start, n int64, jobs int, planPath string, verbose bool) int {
+	plans := fault.DefaultPlans()
+	if planPath != "" {
+		data, err := os.ReadFile(planPath)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := fault.ParsePlan(data)
+		if err != nil {
+			fatal(err)
+		}
+		plans = []*fault.Plan{p}
+	}
+	seeds := make([]int64, 0, n)
+	for s := start; s < start+n; s++ {
+		seeds = append(seeds, s)
+	}
+	failed := 0
+
+	t0 := time.Now()
+	cr := (&fault.Campaign{Seeds: seeds, Plans: plans, Jobs: jobs}).Run()
+	fmt.Printf("faults: %s (%d seeds × %d plans, %d workers, wall %v)\n",
+		cr.Summary(), len(seeds), len(plans), jobs, time.Since(t0).Round(time.Millisecond))
+	for _, v := range cr.Violations {
+		failed++
+		fmt.Printf("faults: VIOLATION %s\n", v)
+	}
+	if verbose {
+		os.Stdout.Write(cr.DiagnosticStream())
+	}
+
+	// Gate 2: worker-count independence of the diagnostic stream.
+	if jobs != 1 {
+		seq := (&fault.Campaign{Seeds: seeds, Plans: plans, Jobs: 1}).Run()
+		if !bytes.Equal(cr.DiagnosticStream(), seq.DiagnosticStream()) {
+			failed++
+			fmt.Printf("faults: VIOLATION diagnostic stream differs between -jobs %d and -jobs 1\n", jobs)
+		} else {
+			fmt.Printf("faults: diagnostic stream byte-identical at -jobs %d and -jobs 1\n", jobs)
+		}
+	}
+
+	// Gate 3: the seeded deadlock must be detected with its exact cycle.
+	s, plan := fault.DeadlockScenario()
+	res := fault.RunScenario(s, plan, s.Seed, fault.Options{})
+	d := res.Diagnosed()
+	switch {
+	case d == nil:
+		failed++
+		fmt.Println("faults: VIOLATION seeded deadlock not detected")
+	case d.Kind != core.DiagDeadlock || len(d.Cycle) != 3:
+		failed++
+		fmt.Printf("faults: VIOLATION seeded deadlock misdiagnosed: %v\n", d)
+	default:
+		fmt.Printf("faults: seeded deadlock detected at %v; cycle:\n", d.At)
+		for _, e := range d.Cycle {
+			fmt.Printf("faults:   %s\n", e)
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // seedSequence streams the seeds to check: a single -seed, a -duration

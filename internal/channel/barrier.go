@@ -3,6 +3,7 @@ package channel
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -15,6 +16,7 @@ type Barrier struct {
 	parties    int
 	arrived    int
 	generation uint64
+	res        *core.Resource
 }
 
 // NewBarrier creates a barrier for the given number of parties (≥ 1).
@@ -22,7 +24,8 @@ func NewBarrier(f Factory, name string, parties int) *Barrier {
 	if parties < 1 {
 		panic(fmt.Sprintf("channel: barrier %q parties %d < 1", name, parties))
 	}
-	return &Barrier{name: name, cond: f.NewCond(name + ".bar"), parties: parties}
+	return &Barrier{name: name, cond: f.NewCond(name + ".bar"), parties: parties,
+		res: monitored(f, name, "barrier", false)}
 }
 
 // Name returns the barrier's name.
@@ -44,9 +47,11 @@ func (b *Barrier) Await(p *sim.Proc) int {
 		return idx
 	}
 	gen := b.generation
+	b.res.Block(p)
 	for gen == b.generation {
 		b.cond.Wait(p)
 	}
+	b.res.Unblock(p)
 	return idx
 }
 
@@ -58,11 +63,13 @@ type Handshake struct {
 	name    string
 	cond    Cond
 	pending int
+	res     *core.Resource
 }
 
 // NewHandshake creates a handshake with no pending signal.
 func NewHandshake(f Factory, name string) *Handshake {
-	return &Handshake{name: name, cond: f.NewCond(name + ".hs")}
+	return &Handshake{name: name, cond: f.NewCond(name + ".hs"),
+		res: monitored(f, name, "handshake", false)}
 }
 
 // Name returns the handshake's name.
@@ -76,8 +83,12 @@ func (h *Handshake) Signal(p *sim.Proc) {
 
 // WaitSig blocks until a signal is (or was) delivered and consumes it.
 func (h *Handshake) WaitSig(p *sim.Proc) {
-	for h.pending == 0 {
-		h.cond.Wait(p)
+	if h.pending == 0 {
+		h.res.Block(p)
+		for h.pending == 0 {
+			h.cond.Wait(p)
+		}
+		h.res.Unblock(p)
 	}
 	h.pending--
 }

@@ -3,6 +3,7 @@ package channel
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -15,6 +16,7 @@ type Queue[T any] struct {
 	cond     Cond // single condition: senders and receivers re-check state
 	buf      []T
 	capacity int
+	res      *core.Resource
 
 	sent, received uint64
 }
@@ -24,7 +26,8 @@ func NewQueue[T any](f Factory, name string, capacity int) *Queue[T] {
 	if capacity < 1 {
 		panic(fmt.Sprintf("channel: queue %q capacity %d < 1", name, capacity))
 	}
-	return &Queue[T]{name: name, cond: f.NewCond(name + ".q"), capacity: capacity}
+	return &Queue[T]{name: name, cond: f.NewCond(name + ".q"), capacity: capacity,
+		res: monitored(f, name, "queue", false)}
 }
 
 // Name returns the queue's name.
@@ -44,8 +47,12 @@ func (q *Queue[T]) Received() uint64 { return q.received }
 
 // Send enqueues v, blocking while the queue is full.
 func (q *Queue[T]) Send(p *sim.Proc, v T) {
-	for len(q.buf) == q.capacity {
-		q.cond.Wait(p)
+	if len(q.buf) == q.capacity {
+		q.res.Block(p)
+		for len(q.buf) == q.capacity {
+			q.cond.Wait(p)
+		}
+		q.res.Unblock(p)
 	}
 	q.buf = append(q.buf, v)
 	q.sent++
@@ -65,8 +72,12 @@ func (q *Queue[T]) TrySend(p *sim.Proc, v T) bool {
 
 // Recv dequeues the oldest element, blocking while the queue is empty.
 func (q *Queue[T]) Recv(p *sim.Proc) T {
-	for len(q.buf) == 0 {
-		q.cond.Wait(p)
+	if len(q.buf) == 0 {
+		q.res.Block(p)
+		for len(q.buf) == 0 {
+			q.cond.Wait(p)
+		}
+		q.res.Unblock(p)
 	}
 	v := q.buf[0]
 	q.buf = q.buf[1:]
@@ -97,11 +108,13 @@ type Mailbox[T any] struct {
 	full bool
 	data T
 	acks int // completed transfers awaiting sender wake-up
+	res  *core.Resource
 }
 
 // NewMailbox creates an empty mailbox.
 func NewMailbox[T any](f Factory, name string) *Mailbox[T] {
-	return &Mailbox[T]{name: name, cond: f.NewCond(name + ".mbox")}
+	return &Mailbox[T]{name: name, cond: f.NewCond(name + ".mbox"),
+		res: monitored(f, name, "rendezvous", false)}
 }
 
 // Name returns the mailbox's name.
@@ -110,22 +123,34 @@ func (m *Mailbox[T]) Name() string { return m.name }
 // Send transfers v to exactly one receiver and returns only after the
 // receiver has taken it (rendezvous semantics).
 func (m *Mailbox[T]) Send(p *sim.Proc, v T) {
-	for m.full {
-		m.cond.Wait(p) // another sender's value still in the slot
+	if m.full {
+		m.res.Block(p)
+		for m.full {
+			m.cond.Wait(p) // another sender's value still in the slot
+		}
+		m.res.Unblock(p)
 	}
 	m.full = true
 	m.data = v
 	m.cond.Notify(p)
-	for m.acks == 0 {
-		m.cond.Wait(p)
+	if m.acks == 0 {
+		m.res.Block(p)
+		for m.acks == 0 {
+			m.cond.Wait(p)
+		}
+		m.res.Unblock(p)
 	}
 	m.acks--
 }
 
 // Recv blocks until a sender provides a value and returns it.
 func (m *Mailbox[T]) Recv(p *sim.Proc) T {
-	for !m.full {
-		m.cond.Wait(p)
+	if !m.full {
+		m.res.Block(p)
+		for !m.full {
+			m.cond.Wait(p)
+		}
+		m.res.Unblock(p)
 	}
 	v := m.data
 	var zero T

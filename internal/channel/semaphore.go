@@ -3,6 +3,7 @@ package channel
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -14,6 +15,7 @@ type Semaphore struct {
 	name  string
 	cond  Cond
 	count int
+	res   *core.Resource
 }
 
 // NewSemaphore creates a semaphore with the given initial count.
@@ -21,7 +23,8 @@ func NewSemaphore(f Factory, name string, initial int) *Semaphore {
 	if initial < 0 {
 		panic(fmt.Sprintf("channel: semaphore %q initial count %d < 0", name, initial))
 	}
-	return &Semaphore{name: name, cond: f.NewCond(name + ".sem"), count: initial}
+	return &Semaphore{name: name, cond: f.NewCond(name + ".sem"), count: initial,
+		res: monitored(f, name, "semaphore", false)}
 }
 
 // Name returns the semaphore's name.
@@ -32,10 +35,14 @@ func (s *Semaphore) Value() int { return s.count }
 
 // Acquire decrements the count, blocking while it is zero.
 func (s *Semaphore) Acquire(p *sim.Proc) {
-	for s.count == 0 {
-		s.cond.Wait(p)
+	if s.count == 0 {
+		s.res.Block(p)
+		for s.count == 0 {
+			s.cond.Wait(p)
+		}
 	}
 	s.count--
+	s.res.Acquire(p)
 }
 
 // TryAcquire decrements the count if positive and reports success.
@@ -44,6 +51,7 @@ func (s *Semaphore) TryAcquire(p *sim.Proc) bool {
 		return false
 	}
 	s.count--
+	s.res.Acquire(p)
 	return true
 }
 
@@ -51,6 +59,7 @@ func (s *Semaphore) TryAcquire(p *sim.Proc) bool {
 // interrupt handlers (the paper's ISR-to-driver signalling path).
 func (s *Semaphore) Release(p *sim.Proc) {
 	s.count++
+	s.res.Release(p)
 	s.cond.Notify(p)
 }
 
@@ -60,11 +69,13 @@ type Mutex struct {
 	cond   Cond
 	locked bool
 	owner  *sim.Proc
+	res    *core.Resource
 }
 
 // NewMutex creates an unlocked mutex.
 func NewMutex(f Factory, name string) *Mutex {
-	return &Mutex{name: name, cond: f.NewCond(name + ".mtx")}
+	return &Mutex{name: name, cond: f.NewCond(name + ".mtx"),
+		res: monitored(f, name, "mutex", true)}
 }
 
 // Name returns the mutex's name.
@@ -76,11 +87,15 @@ func (m *Mutex) Lock(p *sim.Proc) {
 	if m.locked && m.owner == p {
 		panic(fmt.Sprintf("channel: recursive Lock of %q by %s", m.name, p.Name()))
 	}
-	for m.locked {
-		m.cond.Wait(p)
+	if m.locked {
+		m.res.Block(p)
+		for m.locked {
+			m.cond.Wait(p)
+		}
 	}
 	m.locked = true
 	m.owner = p
+	m.res.Acquire(p)
 }
 
 // Unlock releases the mutex; only the owner may unlock.
@@ -90,6 +105,7 @@ func (m *Mutex) Unlock(p *sim.Proc) {
 	}
 	m.locked = false
 	m.owner = nil
+	m.res.Release(p)
 	m.cond.Notify(p)
 }
 

@@ -1,0 +1,281 @@
+package core
+
+// Tests for the runtime-diagnosis layer (diagnosis.go): immediate mutex
+// cycle detection, stall diagnosis at kernel stall time, the watchdog, and
+// the round-robin quantum-expiry regression the diagnosis work rides on.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestMutexCycleImmediateDetection pins the exact wait-for cycle reported
+// for a classic AB-BA mutex deadlock, detected the instant the second
+// task blocks — the simulation fails with a structured DiagnosisError
+// instead of a generic kernel deadlock.
+func TestMutexCycleImmediateDetection(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", PriorityPolicy{})
+	m1 := os.MutexNew("m1", false)
+	m2 := os.MutexNew("m2", false)
+
+	a := os.TaskCreate("A", Aperiodic, 0, 0, 1) // high priority
+	b := os.TaskCreate("B", Aperiodic, 0, 0, 5)
+	k.Spawn("A", taskBody(os, a, func(p *sim.Proc) {
+		m1.Lock(p)
+		os.TaskSleep(p) // let B run and take m2
+		m2.Lock(p)      // blocks: B holds m2
+		m2.Unlock(p)
+		m1.Unlock(p)
+	}))
+	k.Spawn("B", taskBody(os, b, func(p *sim.Proc) {
+		m2.Lock(p)
+		os.TaskActivate(p, a) // A preempts, blocks on m2, CPU returns here
+		m1.Lock(p)            // closes the cycle: A holds m1
+		m1.Unlock(p)
+		m2.Unlock(p)
+	}))
+	os.Start(nil)
+
+	var d *DiagnosisError
+	if err := k.Run(); !errors.As(err, &d) {
+		t.Fatalf("Run = %v, want *DiagnosisError", err)
+	}
+	if d.Kind != DiagDeadlock {
+		t.Fatalf("Kind = %v, want deadlock", d.Kind)
+	}
+	want := []string{
+		"A waits on mutex:m2 held by B",
+		"B waits on mutex:m1 held by A",
+	}
+	if len(d.Cycle) != len(want) {
+		t.Fatalf("cycle = %v, want %d edges", d.Cycle, len(want))
+	}
+	for i, e := range d.Cycle {
+		if e.String() != want[i] {
+			t.Errorf("cycle[%d] = %q, want %q", i, e, want[i])
+		}
+	}
+	if os.Diagnosis() != d {
+		t.Errorf("Diagnosis() did not record the reported error")
+	}
+	if !strings.Contains(d.Error(), "deadlock diagnosed") {
+		t.Errorf("Error() = %q, want it to mention the deadlock", d.Error())
+	}
+}
+
+// TestStallDiagnosisLostSignal: a task waiting on an event nobody will
+// notify is reported as a stall naming the blocking site, replacing the
+// generic sim.DeadlockError.
+func TestStallDiagnosisLostSignal(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", PriorityPolicy{})
+	ev := os.EventNew("go")
+	a := os.TaskCreate("A", Aperiodic, 0, 0, 1)
+	k.Spawn("A", taskBody(os, a, func(p *sim.Proc) {
+		os.TimeWait(p, 10)
+		os.EventWait(p, ev) // never notified
+	}))
+	os.Start(nil)
+
+	var d *DiagnosisError
+	if err := k.Run(); !errors.As(err, &d) {
+		t.Fatalf("Run = %v, want *DiagnosisError", err)
+	}
+	if d.Kind != DiagStall || len(d.Cycle) != 0 {
+		t.Fatalf("diagnosis = %v, want a cycle-free stall", d)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0].Task != "A" ||
+		d.Blocked[0].Resource != "event:go" {
+		t.Fatalf("Blocked = %v, want A blocked on event:go", d.Blocked)
+	}
+	if d.At != 10 {
+		t.Errorf("diagnosed at %v, want 10", d.At)
+	}
+}
+
+// TestWatchdogStarvation: under non-preemptive FCFS a task that never
+// reaches a blocking call starves the rest of the ready queue; the
+// watchdog reports it (the kernel alone never would — time keeps
+// advancing).
+func TestWatchdogStarvation(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", FCFSPolicy{})
+	hog := os.TaskCreate("hog", Aperiodic, 0, 0, 1)
+	starved := os.TaskCreate("starved", Aperiodic, 0, 0, 2)
+	k.Spawn("hog", taskBody(os, hog, func(p *sim.Proc) {
+		for { // runs forever without a blocking call
+			os.TimeWait(p, 10)
+		}
+	}))
+	k.Spawn("starved", taskBody(os, starved, func(p *sim.Proc) {
+		os.TimeWait(p, 1)
+	}))
+	os.Start(nil)
+	os.EnableWatchdog(100)
+
+	var d *DiagnosisError
+	if err := k.RunUntil(10_000); !errors.As(err, &d) {
+		t.Fatalf("RunUntil = %v, want *DiagnosisError", err)
+	}
+	if d.Kind != DiagStarvation || d.Window != 100 {
+		t.Fatalf("diagnosis = %v, want starvation with window 100", d)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0].Task != "starved" ||
+		d.Blocked[0].Holder != "hog" {
+		t.Fatalf("Blocked = %v, want starved waiting on cpu held by hog", d.Blocked)
+	}
+}
+
+// TestWatchdogDoesNotMaskStall: with the watchdog armed, its own periodic
+// timer keeps simulated time advancing past a total blockage, so the
+// kernel's stall detection can never fire — the watchdog must diagnose
+// the hidden stall itself.
+func TestWatchdogDoesNotMaskStall(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", PriorityPolicy{})
+	ev := os.EventNew("never")
+	a := os.TaskCreate("A", Aperiodic, 0, 0, 1)
+	k.Spawn("A", taskBody(os, a, func(p *sim.Proc) {
+		os.EventWait(p, ev)
+	}))
+	os.Start(nil)
+	os.EnableWatchdog(50)
+
+	var d *DiagnosisError
+	if err := k.RunUntil(10_000); !errors.As(err, &d) {
+		t.Fatalf("RunUntil = %v, want *DiagnosisError", err)
+	}
+	if d.Kind != DiagStall {
+		t.Fatalf("Kind = %v, want stall", d.Kind)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0].Resource != "event:never" {
+		t.Fatalf("Blocked = %v, want A on event:never", d.Blocked)
+	}
+}
+
+// TestWatchdogCleanRun: the watchdog stays silent on a healthy workload
+// and does not keep the simulation from finishing.
+func TestWatchdogCleanRun(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", PriorityPolicy{})
+	a := os.TaskCreate("A", Aperiodic, 0, 0, 1)
+	var end sim.Time
+	k.Spawn("A", taskBody(os, a, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			os.TimeWait(p, 40)
+		}
+		end = p.Now()
+	}))
+	os.Start(nil)
+	os.EnableWatchdog(30) // shorter than the delays: progress stamp must save us
+	if err := k.RunUntil(1_000); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if end != 200 {
+		t.Errorf("task finished at %v, want 200", end)
+	}
+	if d := os.Diagnosis(); d != nil {
+		t.Errorf("clean run diagnosed: %v", d)
+	}
+}
+
+// TestMutexContentionNoFalsePositive: heavy (but live) lock contention
+// with priority inheritance must never be diagnosed.
+func TestMutexContentionNoFalsePositive(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", PriorityPolicy{})
+	m := os.MutexNew("shared", true)
+	for i, name := range []string{"hi", "mid", "lo"} {
+		task := os.TaskCreate(name, Aperiodic, 0, 0, i+1)
+		k.Spawn(name, taskBody(os, task, func(p *sim.Proc) {
+			for j := 0; j < 4; j++ {
+				m.Lock(p)
+				os.TimeWait(p, 7)
+				m.Unlock(p)
+				os.TimeWait(p, 3)
+			}
+		}))
+	}
+	os.Start(nil)
+	run(t, k)
+	if d := os.Diagnosis(); d != nil {
+		t.Fatalf("contention diagnosed as %v", d)
+	}
+	if d := os.DiagnoseNow(); d != nil {
+		t.Fatalf("post-mortem diagnosis on finished run: %v", d)
+	}
+}
+
+// TestRRQuantumEqualsCompletion is the regression for the round-robin
+// edge case: quantum expiry coinciding exactly with the end of a task's
+// compute must not rotate the ready queue or emit a preemption — the task
+// just completes.
+func TestRRQuantumEqualsCompletion(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", RoundRobinPolicy{Quantum: 40})
+	var order []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		task := os.TaskCreate(name, Aperiodic, 0, 0, 1)
+		k.Spawn(name, taskBody(os, task, func(p *sim.Proc) {
+			os.TimeWait(p, 40) // remaining compute == quantum
+			order = append(order, name)
+		}))
+	}
+	os.Start(nil)
+	run(t, k)
+	if got := strings.Join(order, ","); got != "a,b" {
+		t.Errorf("completion order = %s, want a,b", got)
+	}
+	if now := k.Now(); now != 80 {
+		t.Errorf("finished at %v, want 80", now)
+	}
+	st := os.StatsSnapshot()
+	if st.Preemptions != 0 {
+		t.Errorf("Preemptions = %d, want 0 (no spurious slice rotation)", st.Preemptions)
+	}
+	if st.Dispatches != 2 {
+		t.Errorf("Dispatches = %d, want 2", st.Dispatches)
+	}
+}
+
+// TestRRExpiredSliceKeepsCPUOverWorseTasks: an expired quantum must not
+// hand the CPU to a strictly lower-priority task; rotation only happens
+// among equal-or-better ready tasks.
+func TestRRExpiredSliceKeepsCPUOverWorseTasks(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "PE", RoundRobinPolicy{Quantum: 10})
+	var hiDone, loDone sim.Time
+	hi := os.TaskCreate("hi", Aperiodic, 0, 0, 1)
+	lo := os.TaskCreate("lo", Aperiodic, 0, 0, 9)
+	k.Spawn("hi", taskBody(os, hi, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			os.TimeWait(p, 10)
+		}
+		hiDone = p.Now()
+	}))
+	k.Spawn("lo", taskBody(os, lo, func(p *sim.Proc) {
+		os.TimeWait(p, 10)
+		loDone = p.Now()
+	}))
+	os.Start(nil)
+	run(t, k)
+	if hiDone != 30 || loDone != 40 {
+		t.Errorf("hi done %v, lo done %v; want 30 and 40", hiDone, loDone)
+	}
+	if pr := os.StatsSnapshot().Preemptions; pr != 0 {
+		t.Errorf("Preemptions = %d, want 0", pr)
+	}
+}

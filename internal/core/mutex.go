@@ -28,6 +28,7 @@ type Mutex struct {
 	owner     *Task
 	ownerBase int // owner's priority when it acquired the lock
 	waiters   []*Task
+	res       *Resource // wait-for-graph node for deadlock diagnosis
 
 	// Accounting for experiments.
 	contended uint64
@@ -37,7 +38,8 @@ type Mutex struct {
 // MutexNew creates a mutex on this OS instance. inherit selects priority
 // inheritance.
 func (os *OS) MutexNew(name string, inherit bool) *Mutex {
-	return &Mutex{os: os, name: name, inherit: inherit}
+	return &Mutex{os: os, name: name, inherit: inherit,
+		res: os.monitor.NewResource(name, "mutex", true)}
 }
 
 // Name returns the mutex's name.
@@ -70,6 +72,7 @@ func (m *Mutex) Lock(p *sim.Proc) {
 			m.boosts++
 		}
 		m.waiters = append(m.waiters, t)
+		os.monitor.blockTask(t, m.res) // may diagnose a circular wait
 		os.setState(t, TaskWaitingMutex)
 		os.releaseCPU(p)
 		os.waitUntilDispatched(p, t)
@@ -77,6 +80,7 @@ func (m *Mutex) Lock(p *sim.Proc) {
 	}
 	m.owner = t
 	m.ownerBase = t.prio
+	m.res.acquireTask(t)
 }
 
 // Unlock releases the mutex; only the owner may unlock. The owner's
@@ -95,6 +99,7 @@ func (m *Mutex) Unlock(p *sim.Proc) {
 	}
 	t.prio = m.ownerBase
 	m.owner = nil
+	m.res.releaseTask(t)
 	// Drop waiters that were killed while blocked; they must neither
 	// receive ownership nor block the hand-over to live waiters.
 	live := m.waiters[:0]
@@ -128,5 +133,6 @@ func (m *Mutex) TryLock(p *sim.Proc) bool {
 	}
 	m.owner = t
 	m.ownerBase = t.prio
+	m.res.acquireTask(t)
 	return true
 }

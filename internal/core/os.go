@@ -185,6 +185,13 @@ type OS struct {
 	stats     Stats
 	observers []Observer
 	extObs    []ObserverExt
+
+	// Runtime diagnosis (see diagnosis.go): the wait-for-graph monitor is
+	// always armed; the watchdog daemon is opt-in.
+	monitor    *Monitor
+	diagnosis  *DiagnosisError
+	progress   uint64 // dispatch stamp consumed by the watchdog
+	watchdogOn bool
 }
 
 // Option configures an OS at construction.
@@ -205,6 +212,16 @@ func New(k *sim.Kernel, name string, policy Policy, opts ...Option) *OS {
 		opt(os)
 	}
 	os.Init()
+	// When the simulation kernel is about to give up with a generic
+	// deadlock, translate the blockage into a wait-for-graph diagnosis
+	// (exact cycle, task names, blocking sites) and fail with that instead.
+	k.OnStall(func(at sim.Time, live []*sim.Proc) error {
+		if d := os.diagnoseStall(); d != nil {
+			os.recordDiagnosis(d)
+			return d
+		}
+		return nil
+	})
 	return os
 }
 
@@ -253,6 +270,9 @@ func (os *OS) Init() {
 	os.delayValid = false
 	os.ovhValid = false
 	os.startedAt = 0
+	os.monitor = newMonitor(os)
+	os.diagnosis = nil
+	os.progress = 0
 }
 
 // Start begins multi-task scheduling (paper: start(sched_alg)). If policy
@@ -448,17 +468,24 @@ func (os *OS) TimeWait(p *sim.Proc, d sim.Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("core: negative TimeWait %v by %q", d, t.name))
 	}
+	// Scheduling point on entry: an expired round-robin slice rotates the
+	// ready queue before more execution time is consumed. Checking here —
+	// not after the delay — means a task whose quantum expires exactly as
+	// its work completes blocks normally (TaskEndCycle, TaskTerminate)
+	// instead of suffering a spurious preemption plus a second rotation,
+	// and the rotation only happens when an equal-or-better ready task
+	// exists to take the slice.
+	if sl := os.policy.Slice(); sl > 0 && t.sliceUsed >= sl {
+		t.sliceUsed = 0
+		if b := os.pickBest(); b != nil && !os.policy.Less(t, b) {
+			os.yieldCPU(p, t)
+		}
+	}
 	switch os.tmodel {
 	case TimeModelSegmented:
 		os.timeWaitSegmented(p, t, d)
 	default:
 		os.timeWaitCoarse(p, t, d)
-	}
-	// Scheduling point: slice accounting and preemption check.
-	if sl := os.policy.Slice(); sl > 0 && t.sliceUsed >= sl {
-		t.sliceUsed = 0
-		os.yieldCPU(p, t)
-		return
 	}
 	os.maybePreempt(p, t)
 }
@@ -559,6 +586,7 @@ func (os *OS) EventWait(p *sim.Proc, e *OSEvent) {
 		panic(fmt.Sprintf("core: EventWait on deleted event %q", e.name))
 	}
 	e.queue = append(e.queue, t)
+	t.blockSite = "event:" + e.name
 	os.setState(t, TaskWaitingEvent)
 	os.releaseCPU(p)
 	os.waitUntilDispatched(p, t)
@@ -784,8 +812,10 @@ func (os *OS) dispatchBest(p *sim.Proc, prev *Task) {
 		os.idleValid = false
 	}
 	os.current = next
+	next.sliceUsed = 0 // a dispatch grants a fresh round-robin quantum
 	os.setState(next, TaskRunning)
 	os.stats.Dispatches++
+	os.progress++
 	next.chargeSwitch = os.lastRun != nil && os.lastRun != next
 	if next.chargeSwitch {
 		os.stats.ContextSwitches++

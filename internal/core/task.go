@@ -138,6 +138,8 @@ type Task struct {
 	cpuTime      sim.Time // accumulated modeled execution time
 	activations  int      // completed cycles (periodic) or activations
 	missed       int      // deadline misses observed at end of cycle
+
+	blockSite string // last blocking site, for runtime diagnosis reports
 }
 
 // ID returns the task's creation-ordered identifier within its OS.
@@ -159,6 +161,12 @@ func (t *Task) Priority() int { return t.prio }
 // scheduling decision; changing the priority of a ready or running task
 // does not itself trigger a dispatch.
 func (t *Task) SetPriority(p int) { t.prio = p }
+
+// SetDeadline overrides the task's current absolute deadline (the EDF
+// rank). Periodic bookkeeping overwrites it at the task's next release;
+// the fault-injection layer uses it to make transient stall tasks win
+// under deadline-driven policies.
+func (t *Task) SetDeadline(d sim.Time) { t.deadline = d }
 
 // Period returns the task's period (0 for aperiodic tasks).
 func (t *Task) Period() sim.Time { return t.period }

@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/simcheck"
+	"repro/internal/telemetry"
+)
+
+// Campaign is a fault-injection sweep: every seed's generated scenario is
+// run under every plan, fanned across workers. Results are delivered in
+// submission order (seed-major, plan-minor), so the diagnostic stream and
+// the merged report are byte-identical regardless of Jobs.
+type Campaign struct {
+	Seeds []int64
+	Plans []*Plan
+	Opt   Options
+	Jobs  int // concurrent workers (0/1: sequential)
+}
+
+// Violation is a campaign-level detector failure: a plan that must stay
+// clean produced a diagnosis (a false positive), or a run died outside
+// the structured-diagnosis path.
+type Violation struct {
+	Seed int64
+	Plan string
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed %d plan %s: %s", v.Seed, v.Plan, v.Msg)
+}
+
+// CampaignResult aggregates one campaign.
+type CampaignResult struct {
+	Results    []*Result // submission order: for each seed, each plan
+	Report     *telemetry.Report
+	Runs       int
+	Detected   int // runs with a diagnosis under a fault-expecting plan
+	Clean      int // runs with no diagnosis
+	Injected   int // total faults injected
+	Violations []Violation
+}
+
+// Run executes the campaign. Scenario generation, injection and diagnosis
+// are all seed-deterministic, and runner.Map returns results in
+// submission order, so the outcome is independent of worker count.
+func (c *Campaign) Run() *CampaignResult {
+	nPlans := len(c.Plans)
+	n := len(c.Seeds) * nPlans
+	out := &CampaignResult{Runs: n}
+	results := runner.Map(n, runner.Options{Jobs: c.Jobs}, func(i int) (*Result, error) {
+		seed := c.Seeds[i/nPlans]
+		plan := c.Plans[i%nPlans]
+		return RunScenario(simcheck.Generate(seed), plan, seed, c.Opt), nil
+	})
+	reports := make([]*telemetry.Report, 0, n)
+	for i, r := range results {
+		if r.Err != nil {
+			// runner-level failure (worker panic): not a diagnosis but an
+			// infrastructure bug — surface it as a violation.
+			out.Violations = append(out.Violations, Violation{
+				Seed: c.Seeds[i/nPlans], Plan: c.Plans[i%nPlans].Name,
+				Msg: fmt.Sprintf("runner: %v", r.Err),
+			})
+			continue
+		}
+		res := r.Value
+		out.Results = append(out.Results, res)
+		out.Injected += res.Injected
+		reports = append(reports, res.Report)
+		plan := c.Plans[i%nPlans]
+		d := res.Diagnosed()
+		switch {
+		case d == nil:
+			out.Clean++
+		case plan.ExpectClean:
+			out.Violations = append(out.Violations, Violation{
+				Seed: res.Seed, Plan: res.Plan,
+				Msg: fmt.Sprintf("false positive: %v", d),
+			})
+		default:
+			out.Detected++
+		}
+	}
+	out.Report = telemetry.Merge(reports...)
+	return out
+}
+
+// DiagnosticStream concatenates every run's stream in submission order —
+// the campaign's canonical byte form for replay comparison.
+func (cr *CampaignResult) DiagnosticStream() []byte {
+	var b bytes.Buffer
+	for _, r := range cr.Results {
+		b.Write(r.DiagnosticStream())
+	}
+	return b.Bytes()
+}
+
+// Summary renders the campaign's one-paragraph outcome.
+func (cr *CampaignResult) Summary() string {
+	return fmt.Sprintf("%d runs: %d detected, %d clean, %d injected faults, %d violations",
+		cr.Runs, cr.Detected, cr.Clean, cr.Injected, len(cr.Violations))
+}
+
+// DeadlockScenario returns the canonical seeded-deadlock pair: a valid
+// scenario plus the plan whose lost interrupts wedge it into a three-task
+// semaphore ring. Tasks A, B and C each take one ring semaphore (s0, s1,
+// s2, initial count 1), park on a gate semaphore until a gate IRQ at t=30
+// wakes all three, then request the next ring semaphore — which its
+// neighbour holds. The refill IRQs that would break the ring are covered
+// for Scenario.Validate but dropped by the plan, so the wait-for graph
+// closes into the exact cycle A→s1(B)→s2(C)→s0(A) the detector must
+// name. It is the must-detect gate scripts/check.sh runs.
+func DeadlockScenario() (*simcheck.Scenario, *Plan) {
+	ring := func(name, hold, gate, want string, prio int) simcheck.TaskSpec {
+		return simcheck.TaskSpec{Name: name, Type: "aperiodic", Prio: prio, Ops: []simcheck.Op{
+			{Kind: simcheck.OpAcquire, Ch: hold},
+			{Kind: simcheck.OpAcquire, Ch: gate},
+			{Kind: simcheck.OpAcquire, Ch: want},
+		}}
+	}
+	s := &simcheck.Scenario{
+		Seed: -1,
+		Tasks: []simcheck.TaskSpec{
+			ring("A", "s0", "gA", "s1", 1),
+			ring("B", "s1", "gB", "s2", 2),
+			ring("C", "s2", "gC", "s0", 3),
+		},
+		Channels: []simcheck.ChannelSpec{
+			{Name: "s0", Kind: "semaphore", Arg: 1},
+			{Name: "s1", Kind: "semaphore", Arg: 1},
+			{Name: "s2", Kind: "semaphore", Arg: 1},
+			{Name: "gA", Kind: "semaphore"},
+			{Name: "gB", Kind: "semaphore"},
+			{Name: "gC", Kind: "semaphore"},
+		},
+		IRQs: []simcheck.IRQSpec{
+			{Name: "gateA", Sem: "gA", At: 30, Count: 1},
+			{Name: "gateB", Sem: "gB", At: 30, Count: 1},
+			{Name: "gateC", Sem: "gC", At: 30, Count: 1},
+			{Name: "refill0", Sem: "s0", At: 100, Count: 1},
+			{Name: "refill1", Sem: "s1", At: 100, Count: 1},
+			{Name: "refill2", Sem: "s2", At: 100, Count: 1},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		panic("fault: deadlock scenario invalid: " + err.Error())
+	}
+	return s, &Plan{Name: "seeded-deadlock",
+		DropIRQ: &DropIRQ{IRQs: []string{"refill0", "refill1", "refill2"}, Prob: 1}}
+}

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// rng is a splitmix64 stream — tiny, seedable, and identical on every
+// platform, which is all the injection layer needs. Draw order is fixed
+// by the single-threaded simulation, so (seed, plan) fully determines
+// every injection decision.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// timeIn returns a uniform sim.Time in [0, max].
+func (r *rng) timeIn(max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	return sim.Time(r.next() % uint64(max+1))
+}
+
+// hashName is FNV-1a over the plan name, folded into the seed so the same
+// scenario draws independent streams under different plans.
+func hashName(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}
+
+// Engine makes the injection decisions for one run: it binds a plan to a
+// deterministic random stream and records every injection as a
+// fault.inject telemetry event. An Engine belongs to exactly one kernel
+// run; it must not be shared across concurrent simulations.
+type Engine struct {
+	plan     *Plan
+	rng      rng
+	k        *sim.Kernel
+	bus      *telemetry.Bus
+	pe       string
+	injected int
+}
+
+// NewEngine creates the engine for (plan, seed) emitting injection events
+// on bus under PE name pe.
+func NewEngine(plan *Plan, seed int64, k *sim.Kernel, bus *telemetry.Bus, pe string) *Engine {
+	return &Engine{
+		plan: plan,
+		rng:  rng{s: uint64(seed) ^ hashName(plan.Name)},
+		k:    k,
+		bus:  bus,
+		pe:   pe,
+	}
+}
+
+// Injected returns how many faults the engine has injected so far.
+func (e *Engine) Injected() int { return e.injected }
+
+func (e *Engine) emit(injector, subject string, arg int64) {
+	e.injected++
+	e.bus.Emit(telemetry.Event{At: e.k.Now(), Kind: telemetry.KindFaultInject,
+		PE: e.pe, Other: injector, Task: subject, Arg: arg})
+}
+
+// match reports whether name is selected by the list (empty = all).
+func match(list []string, name string) bool {
+	if len(list) == 0 {
+		return true
+	}
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ScaleDelay applies the exec-time injector to one modeled delay of task
+// and returns the (possibly perturbed) duration.
+func (e *Engine) ScaleDelay(task string, d sim.Time) sim.Time {
+	es := e.plan.ExecScale
+	if es == nil || d <= 0 || !match(es.Tasks, task) {
+		return d
+	}
+	if e.rng.float() >= es.Prob {
+		return d
+	}
+	nd := d * sim.Time(es.Percent) / 100
+	if nd <= 0 {
+		nd = 1 // an underrun still models some execution
+	}
+	e.emit("exec-scale", task, int64(es.Percent))
+	return nd
+}
+
+// ReleaseJitter returns the extra activation delay for task (or IRQ
+// source) name. The event is recorded at injection-decision time — before
+// the victim waits — so the stream shows the perturbation ahead of its
+// effect.
+func (e *Engine) ReleaseJitter(name string) sim.Time {
+	j := e.plan.Jitter
+	if j == nil || j.Max <= 0 || !match(j.Tasks, name) {
+		return 0
+	}
+	d := e.rng.timeIn(j.Max)
+	if d == 0 {
+		return 0
+	}
+	e.emit("jitter", name, int64(d))
+	return d
+}
+
+// DropIRQ reports whether this occurrence of the named interrupt loses
+// its release.
+func (e *Engine) DropIRQ(name string) bool {
+	d := e.plan.DropIRQ
+	if d == nil || !match(d.IRQs, name) {
+		return false
+	}
+	if e.rng.float() >= d.Prob {
+		return false
+	}
+	e.emit("drop-irq", name, 1)
+	return true
+}
+
+// NoteSpurious records one spurious release of sem.
+func (e *Engine) NoteSpurious(sem string) { e.emit("spurious", sem, 1) }
+
+// NoteStall records the start of a transient PE stall of duration d.
+func (e *Engine) NoteStall(d sim.Time) { e.emit("stall", e.pe, int64(d)) }
+
+// NotePrioFlip records a forced priority change on task to prio.
+func (e *Engine) NotePrioFlip(task string, prio int) { e.emit("prio-flip", task, int64(prio)) }

@@ -1,0 +1,268 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simcheck"
+	"repro/internal/telemetry"
+)
+
+// TestPlanRoundTrip: every built-in plan survives the JSON reproducer
+// format unchanged.
+func TestPlanRoundTrip(t *testing.T) {
+	_, seeded := DeadlockScenario()
+	for _, p := range append(DefaultPlans(), seeded) {
+		data := p.MarshalIndent()
+		q, err := ParsePlan(data)
+		if err != nil {
+			t.Fatalf("plan %s: %v", p.Name, err)
+		}
+		if !bytes.Equal(data, q.MarshalIndent()) {
+			t.Errorf("plan %s did not round-trip:\n%s\nvs\n%s", p.Name, data, q.MarshalIndent())
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{},
+		{Name: "x", ExecScale: &ExecScale{Percent: 0, Prob: 0.5}},
+		{Name: "x", ExecScale: &ExecScale{Percent: 100, Prob: 1.5}},
+		{Name: "x", Jitter: &Jitter{Max: -1}},
+		{Name: "x", DropIRQ: &DropIRQ{Prob: -0.1}},
+		{Name: "x", Spurious: []Spurious{{Sem: "", Count: 1}}},
+		{Name: "x", Spurious: []Spurious{{Sem: "s", Count: 2}}}, // no spacing
+		{Name: "x", Stalls: []Stall{{At: 0, Dur: 0}}},
+		{Name: "x", PrioFlips: []PrioFlip{{Task: ""}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("plan %d validated but should not have", i)
+		}
+	}
+}
+
+// TestSeededDeadlockDetected: the canonical lost-interrupt scenario must
+// be diagnosed as a deadlock naming the exact three-task wait-for cycle,
+// well before the simulation horizon.
+func TestSeededDeadlockDetected(t *testing.T) {
+	s, plan := DeadlockScenario()
+	res := RunScenario(s, plan, s.Seed, Options{})
+	d := res.Diagnosed()
+	if d == nil {
+		t.Fatalf("no diagnosis; stream:\n%s", res.DiagnosticStream())
+	}
+	if d.Kind != core.DiagDeadlock {
+		t.Fatalf("diagnosis kind = %v, want deadlock\n%v", d.Kind, d)
+	}
+	want := []string{
+		"A waits on semaphore:s1 held by B",
+		"B waits on semaphore:s2 held by C",
+		"C waits on semaphore:s0 held by A",
+	}
+	if len(d.Cycle) != len(want) {
+		t.Fatalf("cycle = %v, want %d edges", d.Cycle, len(want))
+	}
+	for i, e := range d.Cycle {
+		if e.String() != want[i] {
+			t.Errorf("cycle[%d] = %q, want %q", i, e, want[i])
+		}
+	}
+	if d.At >= s.Horizon() {
+		t.Errorf("diagnosed at %v, not within the horizon %v", d.At, s.Horizon())
+	}
+	var de *core.DiagnosisError
+	if !errors.As(res.Err, &de) {
+		t.Errorf("run error = %v, want the structured diagnosis", res.Err)
+	}
+	// The diagnosis must also surface on the telemetry stream, one
+	// fault.deadlock event per cycle edge plus the drop injections.
+	var drops, deadlocks int
+	for _, e := range res.Events {
+		switch e.Kind {
+		case telemetry.KindFaultInject:
+			drops++
+		case telemetry.KindFaultDeadlock:
+			deadlocks++
+		}
+	}
+	if drops != 3 || deadlocks != 3 {
+		t.Errorf("events: %d drops and %d deadlock edges, want 3 and 3\n%s",
+			drops, deadlocks, res.DiagnosticStream())
+	}
+}
+
+// TestSeededDeadlockAcrossPolicies: the cycle does not depend on the
+// scheduling discipline — every uniprocessor policy and both time models
+// must reach and name the same deadlock.
+func TestSeededDeadlockAcrossPolicies(t *testing.T) {
+	s, plan := DeadlockScenario()
+	for _, tm := range []string{"coarse", "segmented"} {
+		for _, pol := range []string{"priority", "fcfs", "rr", "edf", "rm"} {
+			res := RunScenario(s, plan, s.Seed, Options{Policy: pol, TimeModel: tm})
+			d := res.Diagnosed()
+			if d == nil || d.Kind != core.DiagDeadlock {
+				t.Errorf("%s/%s: diagnosis = %v, want deadlock", pol, tm, d)
+			}
+		}
+	}
+}
+
+// TestCleanPlansStayClean: the detector must not produce false positives
+// — generated (deadlock-free) scenarios under the fault-free and benign
+// plans finish without any diagnosis.
+func TestCleanPlansStayClean(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		s := simcheck.Generate(seed)
+		for _, plan := range DefaultPlans() {
+			if !plan.ExpectClean {
+				continue
+			}
+			res := RunScenario(s, plan, seed, Options{})
+			if d := res.Diagnosed(); d != nil {
+				t.Errorf("seed %d plan %s: false positive %v", seed, plan.Name, d)
+			}
+			if res.Err != nil {
+				t.Errorf("seed %d plan %s: run error %v", seed, plan.Name, res.Err)
+			}
+		}
+	}
+}
+
+// TestInjectorsFire: overrun, jitter and drop injectors actually perturb
+// a scenario that exposes them, and the injections appear on the stream.
+func TestInjectorsFire(t *testing.T) {
+	s := &simcheck.Scenario{
+		Seed: 7,
+		Tasks: []simcheck.TaskSpec{
+			{Name: "worker", Type: "aperiodic", Prio: 1, Start: 5, Ops: []simcheck.Op{
+				{Kind: simcheck.OpDelay, Dur: 100},
+				{Kind: simcheck.OpAcquire, Ch: "irqsem"},
+				{Kind: simcheck.OpDelay, Dur: 100},
+			}},
+		},
+		Channels: []simcheck.ChannelSpec{{Name: "irqsem", Kind: "semaphore"}},
+		IRQs:     []simcheck.IRQSpec{{Name: "bus", Sem: "irqsem", At: 50, Count: 1}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{
+		Name:      "mixed",
+		ExecScale: &ExecScale{Percent: 150, Prob: 1},
+		Jitter:    &Jitter{Max: 20},
+		DropIRQ:   &DropIRQ{Prob: 1},
+	}
+	res := RunScenario(s, plan, s.Seed, Options{})
+	stream := string(res.DiagnosticStream())
+	for _, injector := range []string{"exec-scale", "drop-irq"} {
+		if !strings.Contains(stream, injector) {
+			t.Errorf("stream lacks %s injection:\n%s", injector, stream)
+		}
+	}
+	// With the only release dropped, the worker wedges on the semaphore
+	// and the run must end in a structured stall diagnosis, not a hang.
+	d := res.Diagnosed()
+	if d == nil {
+		t.Fatalf("no diagnosis for the dropped release:\n%s", stream)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0].Resource != "semaphore:irqsem" {
+		t.Errorf("blocked = %v, want worker on semaphore:irqsem", d.Blocked)
+	}
+}
+
+// TestStallSpuriousPrioFlip: the remaining injectors — transient PE
+// stalls, spurious releases and priority flips — fire and the run stays
+// structurally sound (clean drain, no diagnosis; the scenario absorbs
+// all three).
+func TestStallSpuriousPrioFlip(t *testing.T) {
+	s := &simcheck.Scenario{
+		Seed: 9,
+		Tasks: []simcheck.TaskSpec{
+			{Name: "loop", Type: "periodic", Prio: 1, Period: 100, Cycles: 4, Segments: []sim.Time{10, 10}},
+			{Name: "bg", Type: "aperiodic", Prio: 5, Start: 0, Ops: []simcheck.Op{
+				{Kind: simcheck.OpDelay, Dur: 40},
+				{Kind: simcheck.OpAcquire, Ch: "sig"},
+			}},
+		},
+		Channels: []simcheck.ChannelSpec{{Name: "sig", Kind: "semaphore", Arg: 1}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{
+		Name:      "chaos",
+		Spurious:  []Spurious{{Sem: "sig", At: 60, Every: 30, Count: 2}},
+		Stalls:    []Stall{{At: 25, Dur: 15}},
+		PrioFlips: []PrioFlip{{Task: "bg", At: 50, Prio: 0}},
+	}
+	res := RunScenario(s, plan, s.Seed, Options{})
+	if res.Err != nil {
+		t.Fatalf("run error: %v\n%s", res.Err, res.DiagnosticStream())
+	}
+	if d := res.Diagnosed(); d != nil {
+		t.Fatalf("unexpected diagnosis: %v", d)
+	}
+	stream := string(res.DiagnosticStream())
+	for _, injector := range []string{"stall", "spurious", "prio-flip"} {
+		if !strings.Contains(stream, injector) {
+			t.Errorf("stream lacks %s injection:\n%s", injector, stream)
+		}
+	}
+	if res.Injected != 4 { // 1 stall + 2 spurious + 1 flip
+		t.Errorf("Injected = %d, want 4\n%s", res.Injected, stream)
+	}
+}
+
+// TestCampaignDeterministicAcrossJobs: the acceptance contract — the same
+// seeds × plans produce a byte-identical diagnostic stream and identical
+// counters whether the campaign runs on 1 worker or 8.
+func TestCampaignDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) *CampaignResult {
+		c := &Campaign{
+			Seeds: []int64{1, 2, 3, 4, 5, 6},
+			Plans: DefaultPlans(),
+			Jobs:  jobs,
+		}
+		return c.Run()
+	}
+	one, eight := run(1), run(8)
+	if len(one.Violations) > 0 {
+		t.Fatalf("violations: %v", one.Violations)
+	}
+	if one.Summary() != eight.Summary() {
+		t.Errorf("summaries differ: %q vs %q", one.Summary(), eight.Summary())
+	}
+	a, b := one.DiagnosticStream(), eight.DiagnosticStream()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("diagnostic streams differ between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", a, b)
+	}
+	if one.Runs != 36 || one.Detected == 0 || one.Clean == 0 {
+		t.Errorf("campaign shape off: %s", one.Summary())
+	}
+	// The merged report must cover the PE of every run.
+	if one.Report == nil || len(one.Report.PEs) == 0 {
+		t.Errorf("campaign report empty")
+	}
+}
+
+// TestEngineStreamIndependence: different plan names draw independent
+// injection streams from the same seed (the seed ^ hash(name) folding).
+func TestEngineStreamIndependence(t *testing.T) {
+	a := rng{s: 42 ^ hashName("plan-a")}
+	b := rng{s: 42 ^ hashName("plan-b")}
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("streams for different plan names collide (%d/64 draws equal)", same)
+	}
+}

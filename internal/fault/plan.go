@@ -1,0 +1,176 @@
+// Package fault is the deterministic fault-injection layer over the RTOS
+// model: it perturbs a simcheck scenario according to a reproducible JSON
+// fault plan — execution-time overrun/underrun, sporadic release jitter,
+// dropped and spurious interrupts, transient PE stalls, forced priority
+// perturbation — and runs the perturbed system with the runtime-diagnosis
+// machinery armed (wait-for-graph deadlock detection, stall reporting,
+// starvation watchdog; see core/diagnosis.go).
+//
+// The paper validates the RTOS model only on well-behaved designs; this
+// package asks the complementary question: when the environment misbehaves
+// — an ISR is lost, a task overruns its budget, the bus stalls — does the
+// modeled kernel degrade gracefully and can the diagnosis layer name the
+// failure? Every injection decision is drawn from a splitmix64 stream
+// seeded from (scenario seed, plan name), so a campaign replays to a
+// byte-identical diagnostic stream regardless of worker count — the same
+// replay discipline as testdata/simcheck reproducers.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ExecScale scales every modeled execution delay of the matching tasks to
+// Percent/100 of its nominal duration with probability Prob per delay —
+// Percent > 100 models WCET overruns, Percent < 100 underruns (which
+// shake out schedules that silently relied on a task being slow).
+type ExecScale struct {
+	Tasks   []string `json:"tasks,omitempty"` // empty: all tasks
+	Percent int      `json:"percent"`
+	Prob    float64  `json:"prob"`
+}
+
+// Jitter delays each matching task's activation (aperiodic Start) or IRQ
+// source's first release by a uniform random offset in [0, Max] — the
+// sporadic-release model of a noisy environment.
+type Jitter struct {
+	Tasks []string `json:"tasks,omitempty"` // task or IRQ names; empty: all
+	Max   sim.Time `json:"max"`
+}
+
+// DropIRQ suppresses each matching interrupt occurrence (the ISR runs but
+// its semaphore release is lost) with probability Prob — the classic
+// lost-interrupt fault that turns a live system into a wedged one.
+type DropIRQ struct {
+	IRQs []string `json:"irqs,omitempty"` // empty: all IRQ sources
+	Prob float64  `json:"prob"`
+}
+
+// Spurious injects interrupt releases that no task asked for: Count extra
+// releases of semaphore Sem starting at At, spaced Every apart.
+type Spurious struct {
+	Sem   string   `json:"sem"`
+	At    sim.Time `json:"at"`
+	Every sim.Time `json:"every,omitempty"`
+	Count int      `json:"count"`
+}
+
+// Stall models a transient PE stall (bus contention, DMA burst): from At
+// the processor executes nothing else for Dur. It is injected as a
+// maximum-priority zero-deadline task, so it wins under every preemptive
+// policy; under non-preemptive FCFS it stalls the PE only from the next
+// scheduling point, like real bus arbitration would.
+type Stall struct {
+	At  sim.Time `json:"at"`
+	Dur sim.Time `json:"dur"`
+}
+
+// PrioFlip forces task Task's priority to Prio at time At — modeling a
+// misconfigured or corrupted priority field. The change takes effect at
+// the next scheduling point.
+type PrioFlip struct {
+	Task string   `json:"task"`
+	At   sim.Time `json:"at"`
+	Prio int      `json:"prio"`
+}
+
+// Plan is one reproducible fault-injection configuration. Injector fields
+// left nil/empty are disabled; the zero plan injects nothing.
+type Plan struct {
+	Name      string     `json:"name"`
+	ExecScale *ExecScale `json:"exec_scale,omitempty"`
+	Jitter    *Jitter    `json:"jitter,omitempty"`
+	DropIRQ   *DropIRQ   `json:"drop_irq,omitempty"`
+	Spurious  []Spurious `json:"spurious,omitempty"`
+	Stalls    []Stall    `json:"stalls,omitempty"`
+	PrioFlips []PrioFlip `json:"prio_flips,omitempty"`
+
+	// ExpectClean asserts the plan's faults must not produce a runtime
+	// diagnosis on a valid scenario: a diagnosis under this plan is a
+	// detector false positive (a campaign violation), not a detection.
+	ExpectClean bool `json:"expect_clean,omitempty"`
+}
+
+// Validate checks the plan for structural soundness.
+func (p *Plan) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("fault: plan unnamed")
+	}
+	if e := p.ExecScale; e != nil {
+		if e.Percent <= 0 {
+			return fmt.Errorf("fault: plan %q: exec_scale percent must be positive", p.Name)
+		}
+		if e.Prob < 0 || e.Prob > 1 {
+			return fmt.Errorf("fault: plan %q: exec_scale prob outside [0,1]", p.Name)
+		}
+	}
+	if j := p.Jitter; j != nil && j.Max < 0 {
+		return fmt.Errorf("fault: plan %q: negative jitter", p.Name)
+	}
+	if d := p.DropIRQ; d != nil && (d.Prob < 0 || d.Prob > 1) {
+		return fmt.Errorf("fault: plan %q: drop_irq prob outside [0,1]", p.Name)
+	}
+	for _, s := range p.Spurious {
+		if s.Sem == "" || s.Count <= 0 || s.At < 0 {
+			return fmt.Errorf("fault: plan %q: spurious needs a semaphore, positive count and non-negative time", p.Name)
+		}
+		if s.Count > 1 && s.Every <= 0 {
+			return fmt.Errorf("fault: plan %q: repeating spurious release needs positive spacing", p.Name)
+		}
+	}
+	for _, s := range p.Stalls {
+		if s.At < 0 || s.Dur <= 0 {
+			return fmt.Errorf("fault: plan %q: stall needs non-negative time and positive duration", p.Name)
+		}
+	}
+	for _, f := range p.PrioFlips {
+		if f.Task == "" || f.At < 0 {
+			return fmt.Errorf("fault: plan %q: prio flip needs a task and non-negative time", p.Name)
+		}
+	}
+	return nil
+}
+
+// MarshalIndent renders the plan as indented JSON (the reproducer format).
+func (p *Plan) MarshalIndent() []byte {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		panic(err) // plain data: cannot fail
+	}
+	return append(b, '\n')
+}
+
+// ParsePlan decodes and validates a JSON fault plan.
+func ParsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// DefaultPlans is the standard campaign battery: a fault-free control, the
+// benign perturbations that a correct kernel must absorb without any
+// diagnosis, and the hostile ones whose detections the campaign counts.
+func DefaultPlans() []*Plan {
+	return []*Plan{
+		// Control: no injection at all. Any diagnosis is a detector bug.
+		{Name: "baseline", ExpectClean: true},
+		// Benign: underruns and bounded release jitter never remove work
+		// or releases, so a valid scenario must stay diagnosis-clean.
+		{Name: "underrun", ExecScale: &ExecScale{Percent: 50, Prob: 0.5}, ExpectClean: true},
+		{Name: "jitter", Jitter: &Jitter{Max: 40 * sim.Microsecond}, ExpectClean: true},
+		// Hostile: overruns can push work past the horizon, lost
+		// interrupts can wedge acquirers, stalls and priority corruption
+		// can starve the ready queue. Diagnoses here are detections.
+		{Name: "overrun", ExecScale: &ExecScale{Percent: 175, Prob: 0.7}},
+		{Name: "drop-irq", DropIRQ: &DropIRQ{Prob: 1}},
+		{Name: "stall", Stalls: []Stall{{At: 120 * sim.Microsecond, Dur: 60 * sim.Microsecond}}},
+	}
+}

@@ -168,5 +168,11 @@ func Figure3Architecture(par Figure3Params, policy core.Policy, tm core.TimeMode
 	}
 	refine.RunArchitecture(k, pe.OS(), rec, m.Root, mapping)
 	pe.OS().Start(nil)
-	return rec, pe.OS(), k.Run()
+	err := k.Run()
+	if d := pe.OS().Diagnosis(); err == nil && d != nil {
+		// The always-armed runtime diagnosis (deadlock/stall/starvation)
+		// outranks a silently wrong result.
+		err = d
+	}
+	return rec, pe.OS(), err
 }

@@ -1,0 +1,202 @@
+package sim
+
+// Tests for the RunUntil horizon boundary (inclusive semantics), the
+// Fail/stall-handler failure paths and the delta-cycle livelock guard.
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRunUntilBoundaryInclusive pins the documented semantics: a timer at
+// exactly the limit fires within RunUntil(limit).
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	fired := false
+	k.Spawn("p", func(p *Proc) {
+		p.WaitFor(100)
+		fired = true
+	})
+	if err := k.RunUntil(100); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !fired {
+		t.Fatalf("timer at exactly the limit did not fire")
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", k.Now())
+	}
+}
+
+// TestRunUntilBoundaryExclusiveAfter verifies that timers strictly after
+// the limit stay pending and fire on a later RunUntil.
+func TestRunUntilBoundaryExclusiveAfter(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	fired := false
+	k.Spawn("p", func(p *Proc) {
+		p.WaitFor(101)
+		fired = true
+	})
+	if err := k.RunUntil(100); err != nil {
+		t.Fatalf("RunUntil(100): %v", err)
+	}
+	if fired {
+		t.Fatalf("timer after the limit fired early")
+	}
+	if got := k.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+	if err := k.RunUntil(101); err != nil {
+		t.Fatalf("RunUntil(101): %v", err)
+	}
+	if !fired {
+		t.Fatalf("pending timer did not fire on resumed run")
+	}
+}
+
+// TestRunUntilBoundaryFollowUpWork verifies that zero-delay work created
+// AT the limit (a fresh timer due at the same instant) also completes
+// before RunUntil returns — the horizon cuts after the instant, not
+// through it.
+func TestRunUntilBoundaryFollowUpWork(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	var steps []string
+	k.Spawn("p", func(p *Proc) {
+		p.WaitFor(100)
+		steps = append(steps, "first")
+		p.WaitFor(0) // new timer scheduled at exactly the limit
+		steps = append(steps, "second")
+	})
+	if err := k.RunUntil(100); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(steps) != 2 || steps[1] != "second" {
+		t.Fatalf("follow-up work at the limit did not run: %v", steps)
+	}
+}
+
+// TestRunUntilBoundaryNotifyAfter pins the boundary for timed event
+// notifications as well: NotifyAfter landing exactly at the limit wakes
+// its waiter.
+func TestRunUntilBoundaryNotifyAfter(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	e := k.NewEvent("e")
+	woken := false
+	k.Spawn("waiter", func(p *Proc) {
+		p.Wait(e)
+		woken = true
+	})
+	k.Spawn("notifier", func(p *Proc) {
+		p.NotifyAfter(e, 50)
+	})
+	if err := k.RunUntil(50); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !woken {
+		t.Fatalf("NotifyAfter at exactly the limit did not wake the waiter")
+	}
+}
+
+// TestKernelFail verifies the structured-failure path: Fail stops the run
+// and RunUntil returns the recorded error; the first failure wins.
+func TestKernelFail(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	first := errors.New("first failure")
+	k.Spawn("p", func(p *Proc) {
+		p.WaitFor(10)
+		k.Fail(first)
+		k.Fail(errors.New("second failure"))
+		p.WaitFor(10) // park; the kernel stops instead of resuming us
+		t.Errorf("process resumed after Fail")
+	})
+	if err := k.Run(); err != first {
+		t.Fatalf("Run = %v, want the first failure", err)
+	}
+	// A stopped kernel keeps returning the failure.
+	if err := k.RunUntil(Forever); err != first {
+		t.Fatalf("second RunUntil = %v, want the first failure", err)
+	}
+}
+
+// TestOnStallHandler verifies that a stall handler can replace the generic
+// DeadlockError, and that handlers returning nil fall through to it.
+func TestOnStallHandler(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	e := k.NewEvent("never")
+	k.Spawn("stuck", func(p *Proc) { p.Wait(e) })
+	var sawLive int
+	rich := errors.New("rich diagnosis")
+	k.OnStall(func(at Time, live []*Proc) error {
+		sawLive = len(live)
+		return nil // decline: next handler decides
+	})
+	k.OnStall(func(at Time, live []*Proc) error { return rich })
+	if err := k.Run(); err != rich {
+		t.Fatalf("Run = %v, want the handler's error", err)
+	}
+	if sawLive != 1 {
+		t.Fatalf("first handler saw %d live procs, want 1", sawLive)
+	}
+}
+
+// TestOnStallFallthrough: all handlers declining yields the classic
+// DeadlockError.
+func TestOnStallFallthrough(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	e := k.NewEvent("never")
+	k.Spawn("stuck", func(p *Proc) { p.Wait(e) })
+	k.OnStall(func(at Time, live []*Proc) error { return nil })
+	var dl *DeadlockError
+	if err := k.Run(); !errors.As(err, &dl) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+}
+
+// TestDeltaLimitLivelock verifies the zero-delay livelock guard.
+func TestDeltaLimitLivelock(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	k.SetDeltaLimit(1000)
+	k.Spawn("spinner", func(p *Proc) {
+		for {
+			p.YieldDelta()
+		}
+	})
+	var ll *LivelockError
+	if err := k.Run(); !errors.As(err, &ll) {
+		t.Fatalf("Run = %v, want LivelockError", err)
+	}
+	if ll.Time != 0 || ll.Deltas <= 1000 {
+		t.Fatalf("livelock reported at %v after %d deltas", ll.Time, ll.Deltas)
+	}
+}
+
+// TestPendingTimersCount verifies cancellation-aware counting.
+func TestPendingTimersCount(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	e := k.NewEvent("e")
+	k.Spawn("a", func(p *Proc) { p.WaitFor(100) })
+	k.Spawn("b", func(p *Proc) {
+		// WaitTimeout arms a timer that is canceled when the event wins.
+		p.WaitTimeout(e, 500)
+	})
+	k.Spawn("c", func(p *Proc) {
+		p.WaitFor(10)
+		p.Notify(e)
+	})
+	if err := k.RunUntil(50); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	// b's timeout timer was canceled at t=10; only a's timer remains.
+	if got := k.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+}

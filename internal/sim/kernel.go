@@ -28,9 +28,13 @@ type Kernel struct {
 	running  *Proc
 	active   int // processes not yet finished
 	stopped  bool
+	failure  error // set by Fail; returned by Run/RunUntil once stopped
 	panicked interface{}
 
 	procs []*Proc // all processes ever created, for diagnostics
+
+	stallHandlers []StallHandler
+	deltaLimit    uint64 // max delta cycles per time step; 0 = unlimited
 
 	// Steps counts process activations (resume/yield round trips); exposed
 	// for tests and benchmarks of kernel overhead.
@@ -109,18 +113,27 @@ func removeProc(q []*Proc, p *Proc) []*Proc {
 
 // Run executes the simulation until no process can make progress or a
 // process calls Stop. It returns a DeadlockError if live processes remain
-// blocked with no pending timer (and Stop was not called).
+// blocked with no pending timer (and Stop was not called), unless a
+// registered stall handler (OnStall) substitutes a richer error.
 func (k *Kernel) Run() error { return k.RunUntil(Forever) }
 
-// RunUntil executes the simulation up to and including logical time limit.
-// Events scheduled after limit remain pending; calling RunUntil again with
-// a later limit resumes the simulation.
+// RunUntil executes the simulation up to and including logical time limit:
+// the horizon is inclusive. Timers scheduled at exactly limit fire, the
+// processes they wake run, and any zero-delay follow-up work they create
+// at that instant (delta cycles, new timers due at limit) completes before
+// RunUntil returns. Only timers strictly after limit remain pending;
+// calling RunUntil again with a later limit resumes the simulation. After
+// a horizon return, Now reports the time of the last timer fired, which
+// may be earlier than limit if nothing was scheduled at limit itself.
 func (k *Kernel) RunUntil(limit Time) error {
 	for !k.stopped {
 		if len(k.ready) == 0 {
 			if len(k.next) > 0 {
 				k.ready, k.next = k.next, k.ready[:0]
 				k.delta++
+				if k.deltaLimit > 0 && k.delta > k.deltaLimit {
+					return &LivelockError{Time: k.now, Deltas: k.delta}
+				}
 				continue
 			}
 			t, ok := k.timers.nextTime()
@@ -149,12 +162,72 @@ func (k *Kernel) RunUntil(limit Time) error {
 		}
 	}
 	if k.stopped {
-		return nil
+		return k.failure
 	}
 	if live := k.liveProcs(); len(live) > 0 {
+		for _, h := range k.stallHandlers {
+			if err := h(k.now, live); err != nil {
+				return err
+			}
+		}
 		return &DeadlockError{Time: k.now, Procs: live}
 	}
 	return nil
+}
+
+// Fail stops the run with err: the innermost Run/RunUntil call returns err
+// once the calling process next yields or blocks. The first failure wins;
+// later Fail calls keep the original error. Layered runtime models (e.g.
+// the RTOS deadlock detector) use it to surface a structured diagnosis
+// instead of letting the simulation hang or panic.
+func (k *Kernel) Fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+	k.stopped = true
+}
+
+// StallHandler inspects a stalled simulation: live non-daemon processes
+// remain but no timer is pending, the condition Run/RunUntil reports as a
+// DeadlockError. A handler returning a non-nil error replaces that generic
+// error (handlers are consulted in registration order; the first non-nil
+// result wins). Handlers run on the Run caller's goroutine with the
+// simulation quiescent; they must not resume processes.
+type StallHandler func(at Time, live []*Proc) error
+
+// OnStall registers a stall handler; see StallHandler.
+func (k *Kernel) OnStall(h StallHandler) { k.stallHandlers = append(k.stallHandlers, h) }
+
+// PendingTimers returns the number of live (non-canceled) timer entries:
+// process timeouts and timed notifications not yet fired. Watchdog
+// processes use it to recognize that only their own timer keeps the
+// simulation alive.
+func (k *Kernel) PendingTimers() int {
+	n := 0
+	for _, e := range k.timers {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// SetDeltaLimit bounds the number of delta cycles within one time step
+// (0 = unlimited, the default). A model that exchanges notifications
+// forever without advancing time — a zero-delay livelock — exceeds the
+// bound and Run/RunUntil returns a LivelockError instead of spinning.
+func (k *Kernel) SetDeltaLimit(n uint64) { k.deltaLimit = n }
+
+// LivelockError reports that a time step exceeded the configured
+// delta-cycle limit: processes kept waking each other with zero-delay
+// notifications and simulated time could not advance.
+type LivelockError struct {
+	Time   Time
+	Deltas uint64
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("sim: livelock at %s: %d delta cycles without time advancing", e.Time, e.Deltas)
 }
 
 // Shutdown terminates every remaining process so its goroutine exits, then

@@ -21,10 +21,16 @@ func (v Violation) String() string {
 
 // CheckRun verifies all structural invariants of a single run.
 func CheckRun(s *Scenario, res *RunResult) []Violation {
-	if res.Err != nil {
-		return []Violation{{Kind: "run-error", At: res.End, Msg: res.Err.Error()}}
-	}
 	var vs []Violation
+	if res.Diag != nil {
+		// Scenarios are deadlock-free by construction (Validate), so the
+		// runtime-diagnosis layer must stay silent on every one of them.
+		vs = append(vs, Violation{Kind: "diagnosis", At: res.Diag.At,
+			Msg: fmt.Sprintf("false-positive runtime diagnosis on a deadlock-free scenario: %v", res.Diag)})
+	}
+	if res.Err != nil {
+		return append(vs, Violation{Kind: "run-error", At: res.End, Msg: res.Err.Error()})
+	}
 	if res.Config.CPUs > 1 {
 		vs = checkSMPEvents(res)
 	} else {

@@ -71,7 +71,24 @@ type RunResult struct {
 	SMP     smp.Stats      // SMP runs
 	Tasks   []TaskOutcome
 
+	// Diag is the run's runtime diagnosis (core/diagnosis.go). Scenarios
+	// are deadlock-free by construction, so any diagnosis here is a
+	// detector false positive — CheckRun reports it as a violation.
+	Diag *core.DiagnosisError
+
 	conservation error // core.OS.CheckConservation result
+}
+
+// watchdogWindow is the starvation-watchdog window the matrix arms every
+// run with: the lowest-ranked task may legitimately wait for all other
+// work (overloaded sets run cycles back-to-back, SMP tasks wait for a
+// slot), so only total work bounds a legitimate dispatch gap.
+func watchdogWindow(s *Scenario) sim.Time {
+	var work sim.Time
+	for i := range s.Tasks {
+		work += s.Tasks[i].Work()
+	}
+	return 2*work + 50*sim.Microsecond
 }
 
 // SMPEvent is one global-scheduler dispatch/release observation.
@@ -194,9 +211,14 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 		p.SetDaemon(true)
 	}
 
+	rtos.EnableWatchdog(watchdogWindow(s))
 	rtos.Start(nil)
 	res.Err = k.RunUntil(s.Horizon())
 	res.End = k.Now()
+	res.Diag = rtos.Diagnosis()
+	if res.Diag == nil {
+		res.Diag = rtos.DiagnoseNow()
+	}
 	res.Records = rec.Records()
 	res.Stats = rtos.StatsSnapshot()
 	res.conservation = rtos.CheckConservation()
@@ -280,8 +302,10 @@ func runSMP(s *Scenario, cfg Config) *RunResult {
 		}
 	}
 
+	os.EnableWatchdog(watchdogWindow(s))
 	res.Err = k.RunUntil(s.Horizon())
 	res.End = k.Now()
+	res.Diag = os.Diagnosis()
 	res.Events = rec.events
 	res.SMP = os.StatsSnapshot()
 	for i, t := range tasks {

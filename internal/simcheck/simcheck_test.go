@@ -224,3 +224,30 @@ func TestShrinkPreservesTargetedFailure(t *testing.T) {
 		t.Errorf("shrinker made no progress: %d tasks before, %d after", len(s.Tasks), len(small.Tasks))
 	}
 }
+
+// TestWatchdogPeriodBoundaryNoFalsePositive replays the shrunk soak
+// reproducer of seed 12164: task T2's second period wake lands exactly on
+// a watchdog check instant (918 µs = 3 × the 306 µs window) with no
+// dispatch in the preceding window, so a single-sample watchdog saw
+// "ready task, no progress" and misdiagnosed starvation on every policy
+// under the segmented model. The watchdog now confirms starvation over a
+// second window; this scenario must check clean across the whole matrix.
+func TestWatchdogPeriodBoundaryNoFalsePositive(t *testing.T) {
+	s, err := ParseScenario([]byte(`{
+		"seed": 12164,
+		"tasks": [
+			{"name": "T0", "type": "aperiodic", "prio": 1,
+			 "ops": [{"kind": "delay", "dur": 19000}]},
+			{"name": "T1", "type": "periodic", "prio": 2, "period": 1000,
+			 "cycles": 1, "segments": [15000, 13000, 17000]},
+			{"name": "T2", "type": "periodic", "prio": 0, "period": 459000,
+			 "cycles": 2, "segments": [12000, 11000, 9000]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Check(s) {
+		t.Errorf("%v", f)
+	}
+}

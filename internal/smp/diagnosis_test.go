@@ -1,0 +1,68 @@
+package smp
+
+// Tests for the SMP runtime-diagnosis hooks (diagnosis.go).
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestSMPWatchdogStarvation: on a single coarse-model CPU a
+// higher-priority hog that never reaches a scheduling point starves the
+// ready queue; the watchdog diagnoses it.
+func TestSMPWatchdogStarvation(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "SMP", FixedPriority{}, 1, false)
+	hog := os.TaskCreate("hog", core.Aperiodic, 0, 0, 1)
+	k.Spawn("hog", func(p *sim.Proc) {
+		os.TaskActivate(p, hog)
+		for {
+			os.TimeWait(p, 10)
+		}
+	})
+	victim := os.TaskCreate("victim", core.Aperiodic, 0, 0, 2)
+	k.Spawn("victim", func(p *sim.Proc) {
+		os.TaskActivate(p, victim)
+		os.TimeWait(p, 5)
+		os.TaskTerminate(p)
+	})
+	os.EnableWatchdog(100)
+
+	var d *core.DiagnosisError
+	if err := k.RunUntil(10_000); !errors.As(err, &d) {
+		t.Fatalf("RunUntil = %v, want *core.DiagnosisError", err)
+	}
+	if d.Kind != core.DiagStarvation || d.PE != "SMP" {
+		t.Fatalf("diagnosis = %v, want SMP starvation", d)
+	}
+	if len(d.Blocked) != 1 || d.Blocked[0].Task != "victim" {
+		t.Fatalf("Blocked = %v, want victim", d.Blocked)
+	}
+	if os.Diagnosis() != d {
+		t.Errorf("Diagnosis() did not record the reported error")
+	}
+}
+
+// TestSMPWatchdogCleanRun: the watchdog stays silent on a healthy
+// multiprocessor workload and the simulation finishes normally.
+func TestSMPWatchdogCleanRun(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "SMP", GEDF{}, 2, true)
+	for i, name := range []string{"a", "b", "c"} {
+		spawnAperiodic(k, os, name, i+1, 100, nil)
+	}
+	// The window must exceed the longest legitimate wait for a CPU slot
+	// (task c waits 100 while a and b occupy both CPUs).
+	os.EnableWatchdog(150)
+	if err := k.RunUntil(10_000); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if d := os.Diagnosis(); d != nil {
+		t.Errorf("clean run diagnosed: %v", d)
+	}
+}

@@ -155,6 +155,11 @@ type OS struct {
 	stats     Stats
 	observers []Observer
 	extObs    []ObserverExt
+
+	// Runtime diagnosis (see diagnosis.go).
+	diagnosis  *core.DiagnosisError
+	progress   uint64 // dispatch stamp consumed by the watchdog
+	watchdogOn bool
 }
 
 // New creates a global scheduler over ncpu identical CPUs. segmented
@@ -164,7 +169,7 @@ func New(k *sim.Kernel, name string, policy Policy, ncpu int, segmented bool) *O
 	if ncpu < 1 {
 		panic(fmt.Sprintf("smp: ncpu %d < 1", ncpu))
 	}
-	return &OS{
+	os := &OS{
 		k:         k,
 		name:      name,
 		policy:    policy,
@@ -173,6 +178,16 @@ func New(k *sim.Kernel, name string, policy Policy, ncpu int, segmented bool) *O
 		lastRun:   make([]*Task, ncpu),
 		segmented: segmented,
 	}
+	// Translate a generic kernel deadlock into a scheduler diagnosis when
+	// this instance has stranded tasks to report (see diagnosis.go).
+	k.OnStall(func(at sim.Time, live []*sim.Proc) error {
+		if d := os.diagnoseStall(); d != nil {
+			os.recordDiagnosis(d)
+			return d
+		}
+		return nil
+	})
+	return os
 }
 
 // Name returns the scheduler instance name.
@@ -418,6 +433,7 @@ func (os *OS) dispatchInto(p *sim.Proc, cpu int, t *Task) {
 	t.cpu = cpu
 	os.running[cpu] = t
 	os.stats.Dispatches++
+	os.progress++
 	if os.lastRun[cpu] != nil && os.lastRun[cpu] != t {
 		os.stats.ContextSwitches++
 	}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -334,18 +335,23 @@ func (tr *TaskReport) fillRespStats() {
 	tr.Jitter = tr.RespMax - tr.RespMin
 }
 
-// percentile returns the p-quantile using the nearest-rank method.
+// percentile returns the p-quantile using the nearest-rank method: the
+// smallest sample with at least a p fraction of the population at or
+// below it, rank ceil(p·n) (1-based). Degenerate populations behave
+// sanely: any percentile of a single sample is that sample, and p99 of
+// two samples is the larger one. The epsilon guards against ceil lifting
+// an exact product represented as 198.00000000000003 to 199.
 func percentile(xs []sim.Time, p float64) sim.Time {
 	sorted := append([]sim.Time(nil), xs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p*float64(len(sorted)) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }
 
 // Merge folds many reports (e.g. one per job of a batch sweep) into a

@@ -54,8 +54,19 @@ const (
 	// Task = emitting task/behavior, Arg free-form), teed from
 	// trace.Recorder markers.
 	KindMarker
+	// KindFaultInject: the fault-injection layer (internal/fault)
+	// perturbed the model; Other = injector name, Task = affected
+	// task/IRQ/semaphore, Arg = injector-specific magnitude.
+	KindFaultInject
+	// KindFaultDeadlock: runtime diagnosis reported one edge of a
+	// wait-for cycle; Task = blocked task, Other = "resource held by
+	// holder".
+	KindFaultDeadlock
+	// KindFaultStarve: runtime diagnosis reported a stall or starvation
+	// victim; Task = blocked task, Other = the blocking site.
+	KindFaultStarve
 
-	kindCount = int(KindMarker) + 1
+	kindCount = int(KindFaultStarve) + 1
 )
 
 // String returns a short stable kind name (used in golden traces).
@@ -81,6 +92,12 @@ func (k Kind) String() string {
 		return "readyq"
 	case KindMarker:
 		return "marker"
+	case KindFaultInject:
+		return "fault.inject"
+	case KindFaultDeadlock:
+		return "fault.deadlock"
+	case KindFaultStarve:
+		return "fault.starve"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -137,8 +154,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s", head, e.Other)
 	case KindReadyLen:
 		return fmt.Sprintf("%s %d", head, e.Arg)
-	case KindMarker:
+	case KindMarker, KindFaultInject:
 		return fmt.Sprintf("%s %s %s arg=%d", head, e.Other, e.Task, e.Arg)
+	case KindFaultDeadlock, KindFaultStarve:
+		return fmt.Sprintf("%s %s blocked on %s", head, e.Task, e.Other)
 	default:
 		return head
 	}
@@ -255,6 +274,27 @@ func (a *coreAdapter) OnReadyQueue(at sim.Time, n int) {
 	a.bus.Emit(Event{At: at, Kind: KindReadyLen, PE: a.pe, Arg: int64(n)})
 }
 
+// OnDiagnosis converts a runtime diagnosis into fault.* events: one
+// fault.deadlock event per wait-for cycle edge, or one fault.starve event
+// per blocked/starved task when no cycle exists.
+func (a *coreAdapter) OnDiagnosis(at sim.Time, d *core.DiagnosisError) {
+	if len(d.Cycle) > 0 {
+		for _, e := range d.Cycle {
+			a.bus.Emit(Event{At: at, Kind: KindFaultDeadlock, PE: a.pe,
+				Task: e.Task, Other: e.Resource + " held by " + e.Holder})
+		}
+		return
+	}
+	for _, e := range d.Blocked {
+		other := e.Resource
+		if e.Holder != "" {
+			other += " held by " + e.Holder
+		}
+		a.bus.Emit(Event{At: at, Kind: KindFaultStarve, PE: a.pe,
+			Task: e.Task, Other: other})
+	}
+}
+
 // smpAdapter converts smp.ObserverExt callbacks into events. A vacated
 // CPU slot is reported as a dispatch to idle on that CPU.
 type smpAdapter struct {
@@ -272,6 +312,26 @@ func (a *smpAdapter) OnRelease(at sim.Time, cpu int, t *smp.Task) {
 
 func (a *smpAdapter) OnPreempt(at sim.Time, cpu int, t *smp.Task) {
 	a.bus.Emit(Event{At: at, Kind: KindPreempt, PE: a.pe, CPU: cpu, Task: t.Name()})
+}
+
+// OnDiagnosis mirrors coreAdapter.OnDiagnosis for the global
+// multiprocessor scheduler.
+func (a *smpAdapter) OnDiagnosis(at sim.Time, d *core.DiagnosisError) {
+	if len(d.Cycle) > 0 {
+		for _, e := range d.Cycle {
+			a.bus.Emit(Event{At: at, Kind: KindFaultDeadlock, PE: a.pe,
+				Task: e.Task, Other: e.Resource + " held by " + e.Holder})
+		}
+		return
+	}
+	for _, e := range d.Blocked {
+		other := e.Resource
+		if e.Holder != "" {
+			other += " held by " + e.Holder
+		}
+		a.bus.Emit(Event{At: at, Kind: KindFaultStarve, PE: a.pe,
+			Task: e.Task, Other: other})
+	}
 }
 
 // MarkerLatencies pairs from/to markers by argument and returns the

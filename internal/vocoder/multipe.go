@@ -92,6 +92,11 @@ func RunMultiPE(par MultiPEParams, policy core.Policy, tm core.TimeModel) (Resul
 	pe1.OS().Start(nil)
 	start := time.Now()
 	err := k.Run()
+	for _, o := range []*core.OS{pe0.OS(), pe1.OS()} {
+		if d := o.Diagnosis(); err == nil && d != nil {
+			err = d // runtime diagnosis outranks a silently wrong result
+		}
+	}
 	res := finish("multi-pe", par.Params, rec, time.Since(start), k.Now(),
 		pe0.OS().StatsSnapshot().ContextSwitches+pe1.OS().StatsSnapshot().ContextSwitches)
 	return res, rec, err

@@ -207,6 +207,11 @@ func RunArch(par Params, policy core.Policy, tm core.TimeModel, bus ...*telemetr
 	pe.OS().Start(nil)
 	start := time.Now()
 	err := k.Run()
+	if d := pe.OS().Diagnosis(); err == nil && d != nil {
+		// The always-armed runtime diagnosis (deadlock/stall/starvation)
+		// outranks a silently wrong result.
+		err = d
+	}
 	res := finish("architecture", par, rec, time.Since(start), k.Now(),
 		pe.OS().StatsSnapshot().ContextSwitches)
 	return res, rec, err

@@ -1,0 +1,83 @@
+// Robustness pin: the runtime diagnosis layer (wait-for-graph deadlock
+// detector, stall/starvation watchdog) must stay silent on every healthy
+// model in the repository, and must fire — with the exact wait-for cycle
+// — on the seeded fault. scripts/check.sh runs this file under -race, so
+// it doubles as the race gate for the diagnosis plumbing.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/models"
+	"repro/internal/simcheck"
+	"repro/internal/vocoder"
+)
+
+// TestExamplesDiagnosisClean runs the paper's example models with the
+// always-armed monitor and asserts no runtime diagnosis surfaces as an
+// error. The example runners now propagate OS().Diagnosis() into their
+// returned error, so a clean err is the whole assertion.
+func TestExamplesDiagnosisClean(t *testing.T) {
+	par := vocoder.Small()
+	for _, tm := range []core.TimeModel{core.TimeModelCoarse, core.TimeModelSegmented} {
+		if _, _, err := vocoder.RunArch(par, core.PriorityPolicy{}, tm); err != nil {
+			t.Errorf("vocoder arch (%v): %v", tm, err)
+		}
+	}
+	if _, _, err := vocoder.RunMultiPE(vocoder.DefaultMultiPE(), core.PriorityPolicy{}, core.TimeModelCoarse); err != nil {
+		t.Errorf("vocoder multi-pe: %v", err)
+	}
+	for _, tm := range []core.TimeModel{core.TimeModelCoarse, core.TimeModelSegmented} {
+		if _, _, err := models.Figure3Architecture(models.DefaultFigure3(), core.PriorityPolicy{}, tm); err != nil {
+			t.Errorf("figure3 arch (%v): %v", tm, err)
+		}
+	}
+}
+
+// TestSimcheckMatrixDiagnosisClean spot-checks generated scenarios across
+// the full policy × time-model × PE matrix with the watchdog enabled: the
+// generator only emits deadlock-free scenarios, so any diagnosis is a
+// detector false positive and CheckRun reports it as a violation.
+func TestSimcheckMatrixDiagnosisClean(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s := simcheck.Generate(seed)
+		if fails := simcheck.Check(s); len(fails) > 0 {
+			for _, f := range fails {
+				t.Errorf("seed %d: %v", seed, f)
+			}
+		}
+	}
+}
+
+// TestSeededDeadlockPin is the must-detect gate: the three-task semaphore
+// ring with its refill interrupts dropped must be diagnosed as a deadlock
+// with the exact wait-for cycle, within the scenario's own horizon.
+func TestSeededDeadlockPin(t *testing.T) {
+	s, plan := fault.DeadlockScenario()
+	res := fault.RunScenario(s, plan, s.Seed, fault.Options{})
+	d := res.Diagnosed()
+	if d == nil {
+		t.Fatal("seeded deadlock not detected")
+	}
+	if d.Kind != core.DiagDeadlock {
+		t.Fatalf("diagnosis kind = %v, want deadlock (%v)", d.Kind, d)
+	}
+	if d.At >= s.Horizon() {
+		t.Errorf("detected at %v, after the scenario horizon %v", d.At, s.Horizon())
+	}
+	want := []string{
+		"A waits on semaphore:s1 held by B",
+		"B waits on semaphore:s2 held by C",
+		"C waits on semaphore:s0 held by A",
+	}
+	if len(d.Cycle) != len(want) {
+		t.Fatalf("cycle = %v, want %v", d.Cycle, want)
+	}
+	for i := range want {
+		if got := d.Cycle[i].String(); got != want[i] {
+			t.Errorf("cycle[%d] = %q, want %q", i, got, want[i])
+		}
+	}
+}

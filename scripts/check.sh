@@ -43,4 +43,12 @@ TELEMETRY_OVERHEAD_GUARD=1 go test -run TestTelemetryOverheadGuard -count=1 -v .
 echo "== simfuzz soak (${SIMFUZZ_DURATION:-30s}, 4 jobs)"
 go run ./cmd/simfuzz -start 10000 -duration "${SIMFUZZ_DURATION:-30s}" -jobs 4
 
+# Fault-injection campaign smoke: 16 seeds across the built-in plan
+# battery with the three diagnosis gates — no false positive on any
+# ExpectClean plan, the diagnostic stream byte-identical at -jobs 8 and
+# -jobs 1, and the seeded three-task semaphore deadlock detected with its
+# exact wait-for cycle (README.md "Robustness").
+echo "== fault-injection campaign smoke (16 seeds, 8 jobs)"
+go run ./cmd/simfuzz -faults -n 16 -jobs 8
+
 echo "check.sh: all gates passed"
