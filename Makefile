@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline equivalence
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -43,3 +43,15 @@ soak: ## long scheduler soak with the property-based harness (parallel seeds)
 
 faults: ## fault-injection campaign with the diagnosis gates (seeds × plans)
 	go run ./cmd/simfuzz -faults -n 64 -jobs 8
+
+bench: ## run the kernel performance scenarios and print the table
+	go run ./cmd/simbench
+
+bench-check: ## gate the scenarios against the committed BENCH_kernel.json
+	go run ./cmd/simbench -check -tolerance 1.0
+
+bench-baseline: ## re-record BENCH_kernel.json (review the diff!)
+	go run ./cmd/simbench -out BENCH_kernel.json
+
+equivalence: ## indexed-vs-linear ready-queue byte-equivalence matrix
+	go test -run 'TestReadyQueueEquivalence' -count=1 ./internal/simcheck

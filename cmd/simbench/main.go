@@ -1,0 +1,75 @@
+// Command simbench runs the kernel performance harness (internal/perf)
+// and reports ns/op, allocs/op and modeled context-switch throughput for
+// each hot-path scenario. The results can be written as a machine-readable
+// document and gated against a committed baseline.
+//
+// Usage:
+//
+//	simbench                          run and print the scenario table
+//	simbench -out BENCH_kernel.json   also write the JSON document
+//	simbench -check                   compare against -baseline and exit 1
+//	                                  on regression (allocs/op above the
+//	                                  baseline, or ns/op beyond -tolerance)
+//
+// The alloc gate is exact: allocation counts are deterministic, so any
+// increase over baseline fails regardless of tolerance. The time gate is
+// relative: -tolerance 0.5 allows ns/op up to 1.5x baseline, absorbing
+// host noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the benchmark document to this file")
+		baseline  = flag.String("baseline", "BENCH_kernel.json", "baseline document for -check")
+		check     = flag.Bool("check", false, "compare against -baseline and fail on regression")
+		tolerance = flag.Float64("tolerance", 0.5, "relative ns/op tolerance for -check")
+	)
+	flag.Parse()
+
+	rep := perf.Collect()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "SCENARIO\tNS/OP\tB/OP\tALLOCS/OP\tSWITCHES/S")
+	for _, s := range rep.Scenarios {
+		sw := "-"
+		if s.SwitchesPerSec > 0 {
+			sw = fmt.Sprintf("%.0f", s.SwitchesPerSec)
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\t%s\n", s.Name, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, sw)
+	}
+	w.Flush()
+
+	if *out != "" {
+		if err := rep.Write(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+
+	if *check {
+		base, err := perf.Load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		violations := perf.Compare(rep, base, *tolerance)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("check passed: %d scenarios within tolerance %.0f%% of %s\n",
+			len(base.Scenarios), *tolerance*100, *baseline)
+	}
+}

@@ -69,6 +69,7 @@ func (m *Mutex) Lock(p *sim.Proc) {
 			// sits in the ready queue, its new rank takes effect at the
 			// next dispatch decision below.
 			m.owner.prio = t.prio
+			os.rekeyReady(m.owner)
 			m.boosts++
 		}
 		m.waiters = append(m.waiters, t)

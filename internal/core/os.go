@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/readyq"
 	"repro/internal/sim"
 )
 
@@ -163,9 +165,18 @@ type OS struct {
 
 	started bool
 	tasks   []*Task
-	ready   []*Task
 	current *Task
 	lastRun *Task
+
+	// Ready queue. Policies implementing Ranker use the indexed structure
+	// (priority buckets + intrusive FIFO lists, O(1) dispatch); other
+	// policies — and the byte-equivalence test suite via SetLinearReady —
+	// use the linear list with a full scan per decision. Exactly one of
+	// the two holds tasks at any time.
+	rq          *readyq.Queue[*Task]
+	ready       []*Task
+	ranker      Ranker
+	forceLinear bool
 
 	seq       int // ready-queue FIFO sequence source
 	idleSince sim.Time
@@ -262,6 +273,12 @@ func (os *OS) Init() {
 	os.started = false
 	os.tasks = nil
 	os.ready = nil
+	if os.rq == nil {
+		os.rq = readyq.New(taskLinks)
+	} else {
+		os.rq.Clear()
+	}
+	os.refreshRanker()
 	os.current = nil
 	os.lastRun = nil
 	os.seq = 0
@@ -285,6 +302,10 @@ func (os *OS) Start(policy Policy) {
 	if _, ok := os.policy.(RMPolicy); ok {
 		assignRateMonotonic(os.tasks)
 	}
+	// The policy (and, under RM, every priority) may have changed; re-derive
+	// the ranking and re-key any task already sitting in the ready queue.
+	os.refreshRanker()
+	os.rebuildReady()
 	os.started = true
 	os.startedAt = os.k.Now()
 	os.idleSince = os.k.Now()
@@ -567,7 +588,7 @@ func (os *OS) CheckConservation() error {
 
 // EventNew allocates an RTOS event (paper: event_new).
 func (os *OS) EventNew(name string) *OSEvent {
-	return &OSEvent{os: os, name: name}
+	return &OSEvent{os: os, name: name, site: "event:" + name}
 }
 
 // EventDel deletes an RTOS event (paper: event_del). Tasks still blocked
@@ -586,7 +607,7 @@ func (os *OS) EventWait(p *sim.Proc, e *OSEvent) {
 		panic(fmt.Sprintf("core: EventWait on deleted event %q", e.name))
 	}
 	e.queue = append(e.queue, t)
-	t.blockSite = "event:" + e.name
+	t.blockSite = e.site
 	os.setState(t, TaskWaitingEvent)
 	os.releaseCPU(p)
 	os.waitUntilDispatched(p, t)
@@ -599,8 +620,12 @@ func (os *OS) EventNotify(p *sim.Proc, e *OSEvent) {
 	if len(e.queue) == 0 {
 		return // no waiters: lost, like the SLDL primitive it models
 	}
+	// Reslice rather than nil out so steady-state wait/notify cycles reuse
+	// the queue's backing array instead of reallocating it. Safe: nothing
+	// re-enters EventWait (the only appender) while the wake loop runs —
+	// the woken tasks only become ready here; they execute later.
 	woken := e.queue
-	e.queue = nil
+	e.queue = e.queue[:0]
 	for _, t := range woken {
 		os.makeReady(t)
 	}
@@ -629,6 +654,7 @@ func (os *OS) InterruptReturn(p *sim.Proc, name string) {
 type OSEvent struct {
 	os      *OS
 	name    string
+	site    string // "event:<name>", precomputed for the EventWait hot path
 	queue   []*Task
 	deleted bool
 }
@@ -662,6 +688,13 @@ func (os *OS) setState(t *Task, s TaskState) {
 	if t.state == s {
 		return
 	}
+	// Fast path: with no observer attached the transition is a bare field
+	// write — no time lookup, no reason classification, no event
+	// construction (extObs is always a subset of observers).
+	if len(os.observers) == 0 {
+		t.state = s
+		return
+	}
 	old := t.state
 	t.state = s
 	now := os.k.Now()
@@ -690,6 +723,83 @@ func (os *OS) setState(t *Task, s TaskState) {
 	}
 }
 
+// taskLinks is the intrusive-links accessor for the indexed ready queue.
+func taskLinks(t *Task) *readyq.Links[*Task] { return &t.rq }
+
+// refreshRanker re-derives the indexable ranking from the active policy.
+func (os *OS) refreshRanker() {
+	os.ranker = nil
+	if os.forceLinear {
+		return
+	}
+	if r, ok := os.policy.(Ranker); ok {
+		os.ranker = r
+	}
+}
+
+// SetLinearReady forces the linear ready-list scan even for policies that
+// support the indexed structure. It exists for the byte-equivalence test
+// suite, which runs every scenario through both ready-queue
+// implementations and asserts identical traces. Call it before or after
+// Start; tasks already queued are migrated.
+func (os *OS) SetLinearReady(on bool) {
+	if os.forceLinear == on {
+		return
+	}
+	os.forceLinear = on
+	os.refreshRanker()
+	os.rebuildReady()
+}
+
+// pushReady inserts an already-sequenced ready task into the active
+// ready structure.
+func (os *OS) pushReady(t *Task) {
+	if os.ranker != nil {
+		os.rq.Push(t, os.ranker.Rank(t), t.readySeq)
+	} else {
+		os.ready = append(os.ready, t)
+	}
+}
+
+// rekeyReady re-ranks t after a scheduling attribute changed (priority
+// boost/restore, deadline override) so the indexed structure stays
+// consistent with Less. A no-op when t is not queued or under the linear
+// fallback, whose scan always reads the current attributes.
+func (os *OS) rekeyReady(t *Task) {
+	if os.ranker != nil {
+		os.rq.Update(t, os.ranker.Rank(t))
+	}
+}
+
+// rebuildReady migrates all queued tasks into the structure selected by
+// the current ranker, preserving FIFO arrival order.
+func (os *OS) rebuildReady() {
+	n := os.rq.Len() + len(os.ready)
+	if n == 0 {
+		return
+	}
+	queued := make([]*Task, 0, n)
+	os.rq.Do(func(t *Task) { queued = append(queued, t) })
+	os.rq.Clear()
+	queued = append(queued, os.ready...)
+	os.ready = os.ready[:0]
+	sort.Slice(queued, func(i, j int) bool { return queued[i].readySeq < queued[j].readySeq })
+	for _, t := range queued {
+		os.pushReady(t)
+	}
+}
+
+// readyLen returns the ready-queue length.
+func (os *OS) readyLen() int { return os.rq.Len() + len(os.ready) }
+
+// rangeReady calls f for every ready task; f must not mutate the queue.
+func (os *OS) rangeReady(f func(*Task)) {
+	os.rq.Do(f)
+	for _, t := range os.ready {
+		f(t)
+	}
+}
+
 // makeReady inserts t into the ready queue.
 func (os *OS) makeReady(t *Task) {
 	if !t.state.Alive() {
@@ -698,12 +808,18 @@ func (os *OS) makeReady(t *Task) {
 	os.setState(t, TaskReady)
 	os.seq++
 	t.readySeq = os.seq
-	os.ready = append(os.ready, t)
+	os.pushReady(t)
 	os.emitReadyQueue()
 }
 
 // removeReady drops t from the ready queue if present.
 func (os *OS) removeReady(t *Task) {
+	if os.ranker != nil {
+		if os.rq.Remove(t) {
+			os.emitReadyQueue()
+		}
+		return
+	}
 	for i, x := range os.ready {
 		if x == t {
 			os.ready = append(os.ready[:i], os.ready[i+1:]...)
@@ -716,6 +832,9 @@ func (os *OS) removeReady(t *Task) {
 // pickBest returns the ready task that orders first under the policy with
 // FIFO tie-break, without removing it.
 func (os *OS) pickBest() *Task {
+	if os.ranker != nil {
+		return os.rq.Min()
+	}
 	var best *Task
 	for _, t := range os.ready {
 		if best == nil || os.policy.Less(t, best) ||
@@ -845,12 +964,18 @@ func (os *OS) waitUntilDispatched(p *sim.Proc, t *Task) {
 }
 
 func (os *OS) emitDispatch(prev, next *Task) {
+	if len(os.observers) == 0 {
+		return
+	}
 	for _, o := range os.observers {
 		o.OnDispatch(os.k.Now(), prev, next)
 	}
 }
 
 func (os *OS) emitIRQ(name string, enter bool) {
+	if len(os.observers) == 0 {
+		return
+	}
 	for _, o := range os.observers {
 		o.OnIRQ(os.k.Now(), name, enter)
 	}
@@ -861,7 +986,7 @@ func (os *OS) emitReadyQueue() {
 		return
 	}
 	now := os.k.Now()
-	n := len(os.ready)
+	n := os.readyLen()
 	for _, o := range os.extObs {
 		o.OnReadyQueue(now, n)
 	}

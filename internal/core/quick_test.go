@@ -114,11 +114,11 @@ func (o *invariantObserver) OnDispatch(at sim.Time, prev, next *Task) {
 	if next == nil {
 		return
 	}
-	for _, r := range o.os.ready {
+	o.os.rangeReady(func(r *Task) {
 		if o.os.policy.Less(r, next) {
 			*o.fail = true // a strictly preferred task was left waiting
 		}
-	}
+	})
 }
 
 func (o *invariantObserver) OnIRQ(at sim.Time, name string, enter bool) {}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/readyq"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,18 @@ type Policy interface {
 	Slice() sim.Time
 }
 
+// Ranker is an optional Policy extension that enables the indexed ready
+// queue (internal/readyq): Rank maps a task to a two-component key whose
+// lexicographic order must be identical to the policy's Less ordering.
+// The key may depend only on fields whose mutation is reported to the
+// dispatcher (priority via Task.SetPriority / priority inheritance,
+// deadline via Task.SetDeadline / release) — the OS re-keys queued tasks
+// on those paths. Policies without Rank fall back to the linear
+// ready-list scan.
+type Ranker interface {
+	Rank(t *Task) readyq.Key
+}
+
 // PriorityPolicy is fixed-priority preemptive scheduling — the paper's
 // default algorithm, used for its Figure 8 and vocoder experiments.
 // Smaller priority values run first.
@@ -42,6 +55,9 @@ func (PriorityPolicy) Less(a, b *Task) bool { return a.prio < b.prio }
 // Slice returns 0: no time slicing.
 func (PriorityPolicy) Slice() sim.Time { return 0 }
 
+// Rank indexes by base priority.
+func (PriorityPolicy) Rank(t *Task) readyq.Key { return readyq.Key{A: int64(t.prio)} }
+
 // FCFSPolicy is non-preemptive first-come-first-served scheduling: tasks
 // run in ready-queue order and keep the CPU until they block or finish.
 type FCFSPolicy struct{}
@@ -58,6 +74,9 @@ func (FCFSPolicy) Less(a, b *Task) bool { return false }
 
 // Slice returns 0: no time slicing.
 func (FCFSPolicy) Slice() sim.Time { return 0 }
+
+// Rank is constant: FCFS order is the dispatcher's FIFO tie-break alone.
+func (FCFSPolicy) Rank(t *Task) readyq.Key { return readyq.Key{} }
 
 // RoundRobinPolicy is priority scheduling with time slicing among tasks of
 // equal priority: a task that exhausts its slice inside TimeWait is moved
@@ -79,6 +98,10 @@ func (p RoundRobinPolicy) Less(a, b *Task) bool { return a.prio < b.prio }
 
 // Slice returns the configured quantum.
 func (p RoundRobinPolicy) Slice() sim.Time { return p.Quantum }
+
+// Rank indexes by base priority; slice-expiry rotation re-queues with a
+// fresh arrival seq, which the FIFO tie-break turns into the rotation.
+func (p RoundRobinPolicy) Rank(t *Task) readyq.Key { return readyq.Key{A: int64(t.prio)} }
 
 // EDFPolicy is preemptive earliest-deadline-first scheduling. Periodic
 // tasks receive an absolute deadline of release+period at every release;
@@ -104,6 +127,11 @@ func (EDFPolicy) Less(a, b *Task) bool {
 // Slice returns 0: no time slicing.
 func (EDFPolicy) Slice() sim.Time { return 0 }
 
+// Rank indexes by (absolute deadline, base priority), matching Less.
+func (EDFPolicy) Rank(t *Task) readyq.Key {
+	return readyq.Key{A: int64(t.deadline), B: int64(t.prio)}
+}
+
 // RMPolicy is rate-monotonic scheduling: fixed-priority preemptive with
 // priorities derived from periods (shorter period = higher priority).
 // OS.Start assigns the derived priorities to all periodic tasks created up
@@ -122,6 +150,9 @@ func (RMPolicy) Less(a, b *Task) bool { return a.prio < b.prio }
 
 // Slice returns 0: no time slicing.
 func (RMPolicy) Slice() sim.Time { return 0 }
+
+// Rank indexes by the derived base priority.
+func (RMPolicy) Rank(t *Task) readyq.Key { return readyq.Key{A: int64(t.prio)} }
 
 // assignRateMonotonic rewrites task priorities per RM: periodic tasks are
 // ranked by period (shortest first); aperiodic tasks are pushed below all

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/readyq"
 	"repro/internal/sim"
 )
 
@@ -127,6 +128,7 @@ type Task struct {
 	dispatch *sim.Event // released by the dispatcher to hand over the CPU
 	preempt  *sim.Event // preemption request (segmented time model only)
 
+	rq           readyq.Links[*Task] // intrusive node in the indexed ready queue
 	readySeq     int      // FIFO tie-break within equal scheduling rank
 	chargeSwitch bool     // this dispatch was a context switch: charge overhead
 	release      sim.Time // current/next release time (periodic)
@@ -160,13 +162,19 @@ func (t *Task) Priority() int { return t.prio }
 // SetPriority changes the base priority. It takes effect at the next
 // scheduling decision; changing the priority of a ready or running task
 // does not itself trigger a dispatch.
-func (t *Task) SetPriority(p int) { t.prio = p }
+func (t *Task) SetPriority(p int) {
+	t.prio = p
+	t.os.rekeyReady(t)
+}
 
 // SetDeadline overrides the task's current absolute deadline (the EDF
 // rank). Periodic bookkeeping overwrites it at the task's next release;
 // the fault-injection layer uses it to make transient stall tasks win
 // under deadline-driven policies.
-func (t *Task) SetDeadline(d sim.Time) { t.deadline = d }
+func (t *Task) SetDeadline(d sim.Time) {
+	t.deadline = d
+	t.os.rekeyReady(t)
+}
 
 // Period returns the task's period (0 for aperiodic tasks).
 func (t *Task) Period() sim.Time { return t.period }

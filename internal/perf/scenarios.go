@@ -1,0 +1,160 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scenario is one named benchmark of the kernel hot path.
+type Scenario struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Scenarios returns the fixed scenario set, mirroring the hot-path
+// benchmarks of bench_test.go plus a large synthetic taskset sweep and a
+// timer-churn case. Names are stable: they key the baseline comparison.
+func Scenarios() []Scenario {
+	scns := []Scenario{
+		{Name: "kernel/context-switch", Bench: benchContextSwitch},
+		{Name: "sim/waitfor", Bench: benchWaitFor},
+		{Name: "timer/schedule-cancel", Bench: benchTimerChurn},
+	}
+	policies := []core.Policy{
+		core.FCFSPolicy{},
+		core.RoundRobinPolicy{Quantum: 5 * sim.Millisecond},
+		core.PriorityPolicy{},
+		core.RMPolicy{},
+		core.EDFPolicy{},
+	}
+	for _, pol := range policies {
+		pol := pol
+		scns = append(scns, Scenario{
+			Name:  "sched/" + pol.Name(),
+			Bench: func(b *testing.B) { benchScheduler(b, pol, 8, 0.85, 2*sim.Second) },
+		})
+	}
+	for _, n := range []int{32, 128} {
+		n := n
+		scns = append(scns, Scenario{
+			Name:  fmt.Sprintf("sweep/tasks-%d", n),
+			Bench: func(b *testing.B) { benchScheduler(b, core.EDFPolicy{}, n, 0.9, 250*sim.Millisecond) },
+		})
+	}
+	return scns
+}
+
+// benchContextSwitch is the RTOS dispatch round trip: two tasks handing
+// the CPU back and forth through a semaphore pair (the shape of
+// BenchmarkKernelContextSwitch). Reports modeled context switches per
+// wall-clock second.
+func benchContextSwitch(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	rtos := core.New(k, "PE", core.PriorityPolicy{})
+	f := channel.RTOSFactory{OS: rtos}
+	ping := channel.NewSemaphore(f, "ping", 0)
+	pong := channel.NewSemaphore(f, "pong", 0)
+	a := rtos.TaskCreate("a", core.Aperiodic, 0, 0, 1)
+	c := rtos.TaskCreate("b", core.Aperiodic, 0, 0, 2)
+	n := b.N
+	k.Spawn("a", func(p *sim.Proc) {
+		rtos.TaskActivate(p, a)
+		for i := 0; i < n; i++ {
+			rtos.TimeWait(p, 1)
+			ping.Release(p)
+			pong.Acquire(p)
+		}
+		rtos.TaskTerminate(p)
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		rtos.TaskActivate(p, c)
+		for i := 0; i < n; i++ {
+			ping.Acquire(p)
+			pong.Release(p)
+		}
+		rtos.TaskTerminate(p)
+	})
+	rtos.Start(nil)
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(rtos.StatsSnapshot().ContextSwitches)/sec, switchesMetric)
+	}
+}
+
+// benchWaitFor is the bare kernel's waitfor throughput (the shape of
+// BenchmarkSimPrimitives).
+func benchWaitFor(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	n := b.N
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.WaitFor(10)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchTimerChurn schedules and cancels one timer per op: a waiter blocks
+// in WaitTimeout and a notifier wakes it before the timeout, cancelling
+// the heap entry. This is the cancel-heavy pattern of fault campaigns and
+// exercises the heap compaction path.
+func benchTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	ev := k.NewEvent("ev")
+	n := b.N
+	k.Spawn("waiter", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			if p.WaitTimeout(ev, sim.Second) {
+				continue
+			}
+			b.Error("timer fired; expected notification")
+			return
+		}
+	})
+	k.Spawn("notifier", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Notify(ev)
+			p.YieldDelta()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchScheduler simulates one synthetic periodic task set per op under
+// the given policy (the shape of BenchmarkSchedulers; with larger n the
+// taskset sweep). Reports modeled context switches per wall-clock second.
+func benchScheduler(b *testing.B, pol core.Policy, n int, util float64, horizon sim.Time) {
+	b.ReportAllocs()
+	var switches uint64
+	for i := 0; i < b.N; i++ {
+		specs := workload.PeriodicSet(workload.NewRNG(7), n, util)
+		res, err := workload.Run(specs, pol, core.TimeModelSegmented, horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switches += res.ContextSwitches
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(switches)/sec, switchesMetric)
+	}
+}

@@ -1,0 +1,284 @@
+package readyq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// node is a minimal task stand-in for the property tests.
+type node struct {
+	id  int
+	key Key
+	rq  Links[*node]
+}
+
+func nodeLinks(n *node) *Links[*node] { return &n.rq }
+
+// reference is the naive model the queue is checked against: a plain slice
+// scanned linearly, exactly like the dispatcher's old pickBest loop
+// (lowest key wins, ties broken by lowest seq = earliest arrival).
+type reference struct {
+	entries []refEntry
+}
+
+type refEntry struct {
+	n   *node
+	key Key
+	seq int
+}
+
+func (r *reference) push(n *node, key Key, seq int) {
+	r.entries = append(r.entries, refEntry{n: n, key: key, seq: seq})
+}
+
+func (r *reference) remove(n *node) bool {
+	for i, e := range r.entries {
+		if e.n == n {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *reference) update(n *node, key Key) {
+	for i := range r.entries {
+		if r.entries[i].n == n {
+			r.entries[i].key = key
+			return
+		}
+	}
+}
+
+func (r *reference) min() *node {
+	var best *refEntry
+	for i := range r.entries {
+		e := &r.entries[i]
+		if best == nil || e.key.Less(best.key) || (e.key == best.key && e.seq < best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.n
+}
+
+func (r *reference) ordered() []*node {
+	sorted := append([]refEntry(nil), r.entries...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].key != sorted[j].key {
+			return sorted[i].key.Less(sorted[j].key)
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	out := make([]*node, len(sorted))
+	for i, e := range sorted {
+		out[i] = e.n
+	}
+	return out
+}
+
+// keyModel generates rank keys in the shape of one scheduling policy.
+type keyModel struct {
+	name string
+	gen  func(rng *rand.Rand) Key
+}
+
+var keyModels = []keyModel{
+	// Fixed priority (priority, RR, RM): few distinct levels, so buckets
+	// are heavily shared and FIFO ordering within a level matters.
+	{name: "priority", gen: func(rng *rand.Rand) Key { return Key{A: int64(rng.Intn(5))} }},
+	// FCFS: every task ranks equal — one bucket, pure seq order.
+	{name: "fifo", gen: func(rng *rand.Rand) Key { return Key{} }},
+	// EDF: wide two-component keys (deadline, priority), mostly distinct
+	// buckets, exercising the sorted-array insert/drop path.
+	{name: "edf", gen: func(rng *rand.Rand) Key {
+		return Key{A: int64(rng.Intn(1000)), B: int64(rng.Intn(4))}
+	}},
+}
+
+// checkAgainst verifies the queue agrees with the reference on size, min
+// and full dispatch order.
+func checkAgainst(t *testing.T, q *Queue[*node], ref *reference, step string) {
+	t.Helper()
+	if q.Len() != len(ref.entries) {
+		t.Fatalf("%s: Len=%d, reference has %d", step, q.Len(), len(ref.entries))
+	}
+	want := ref.min()
+	if got := q.Min(); got != want {
+		t.Fatalf("%s: Min=%v, reference says %v", step, got, want)
+	}
+	order := ref.ordered()
+	i := 0
+	q.Do(func(n *node) {
+		if i < len(order) && order[i] != n {
+			t.Fatalf("%s: dispatch order position %d: got node %d, want node %d",
+				step, i, n.id, order[i].id)
+		}
+		i++
+	})
+	if i != len(order) {
+		t.Fatalf("%s: Do visited %d tasks, want %d", step, i, len(order))
+	}
+}
+
+// TestQueueMatchesLinearReference drives the queue and the naive linear
+// reference with the same randomized operation stream — insert, remove,
+// pop-min, round-robin rotate, re-key — and requires them to agree on the
+// minimum and the full dispatch order after every step.
+func TestQueueMatchesLinearReference(t *testing.T) {
+	for _, km := range keyModels {
+		km := km
+		t.Run(km.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 20; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				q := New(nodeLinks)
+				ref := &reference{}
+				nodes := make([]*node, 40)
+				for i := range nodes {
+					nodes[i] = &node{id: i}
+				}
+				seq := 0
+				nextSeq := func() int { seq++; return seq }
+				queued := func() []*node {
+					var out []*node
+					for _, n := range nodes {
+						if n.rq.Queued() {
+							out = append(out, n)
+						}
+					}
+					return out
+				}
+				for op := 0; op < 400; op++ {
+					step := fmt.Sprintf("seed %d op %d", seed, op)
+					switch r := rng.Intn(10); {
+					case r < 4: // insert an unqueued node
+						var free []*node
+						for _, n := range nodes {
+							if !n.rq.Queued() {
+								free = append(free, n)
+							}
+						}
+						if len(free) == 0 {
+							continue
+						}
+						n := free[rng.Intn(len(free))]
+						n.key = km.gen(rng)
+						s := nextSeq()
+						q.Push(n, n.key, s)
+						ref.push(n, n.key, s)
+					case r < 6: // remove a random queued node (e.g. it blocked)
+						in := queued()
+						if len(in) == 0 {
+							continue
+						}
+						n := in[rng.Intn(len(in))]
+						if !q.Remove(n) {
+							t.Fatalf("%s: Remove(%d)=false for queued node", step, n.id)
+						}
+						ref.remove(n)
+					case r < 8: // dispatch: pop the minimum
+						want := ref.min()
+						got := q.PopMin()
+						if got != want {
+							t.Fatalf("%s: PopMin=%v, reference says %v", step, got, want)
+						}
+						if want != nil {
+							ref.remove(want)
+						}
+					case r < 9: // RR quantum expiry: rotate the head to the back
+						// of its rank level. This is PR 4's expiry-at-completion
+						// shape: the running task re-enters the ready queue with
+						// a fresh seq while equal-rank peers keep theirs, so it
+						// must queue behind every peer that was already waiting.
+						n := q.Min()
+						if n == nil {
+							continue
+						}
+						q.Remove(n)
+						ref.remove(n)
+						s := nextSeq()
+						q.Push(n, n.key, s)
+						ref.push(n, n.key, s)
+					default: // re-key in place (SetPriority/SetDeadline, PI boost)
+						in := queued()
+						if len(in) == 0 {
+							continue
+						}
+						n := in[rng.Intn(len(in))]
+						n.key = km.gen(rng)
+						q.Update(n, n.key)
+						ref.update(n, n.key)
+					}
+					checkAgainst(t, q, ref, step)
+				}
+			}
+		})
+	}
+}
+
+// TestUpdatePreservesFIFOStanding pins the re-key contract directly: a
+// task whose rank changes keeps its original arrival seq, so among tasks
+// of its new rank it sorts by when it became ready, not by when it was
+// re-keyed. (This is what makes a priority-inheritance boost deterministic
+// against the linear-scan dispatcher.)
+func TestUpdatePreservesFIFOStanding(t *testing.T) {
+	q := New(nodeLinks)
+	a := &node{id: 0}
+	b := &node{id: 1}
+	c := &node{id: 2}
+	q.Push(a, Key{A: 2}, 1) // low-priority task, ready first
+	q.Push(b, Key{A: 1}, 2)
+	q.Push(c, Key{A: 1}, 3)
+	// Boost a into b and c's rank: its seq (1) predates theirs, so it now
+	// heads the level.
+	q.Update(a, Key{A: 1})
+	if got := q.PopMin(); got != a {
+		t.Fatalf("after boost, PopMin = node %d, want node 0", got.id)
+	}
+	if got := q.PopMin(); got != b {
+		t.Fatalf("second PopMin = node %d, want node 1", got.id)
+	}
+}
+
+// TestPushPanicsWhenQueued pins the double-push guard: re-inserting a
+// queued task would corrupt the intrusive links, so it must panic rather
+// than silently mis-chain.
+func TestPushPanicsWhenQueued(t *testing.T) {
+	q := New(nodeLinks)
+	n := &node{id: 0}
+	q.Push(n, Key{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Push of a queued task did not panic")
+		}
+	}()
+	q.Push(n, Key{}, 2)
+}
+
+// TestClearRecyclesAndRestarts verifies Clear leaves every node unqueued
+// and the queue fully reusable.
+func TestClearRecyclesAndRestarts(t *testing.T) {
+	q := New(nodeLinks)
+	nodes := make([]*node, 10)
+	for i := range nodes {
+		nodes[i] = &node{id: i}
+		q.Push(nodes[i], Key{A: int64(i % 3)}, i+1)
+	}
+	q.Clear()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", q.Len())
+	}
+	for _, n := range nodes {
+		if n.rq.Queued() {
+			t.Fatalf("node %d still queued after Clear", n.id)
+		}
+	}
+	q.Push(nodes[3], Key{A: 7}, 11)
+	if got := q.Min(); got != nodes[3] {
+		t.Fatalf("Min after reuse = %v, want node 3", got)
+	}
+}

@@ -49,8 +49,12 @@ func (e *Event) flush() {
 	if len(e.waiters) == 0 {
 		return
 	}
+	// Reslice rather than nil out: the backing array is reused by the next
+	// round of waiters, so steady-state wait/notify cycles do not allocate.
+	// Nothing appends to e.waiters while the loop runs (wakeFromEvent only
+	// detaches processes from *other* events and enqueues them).
 	woken := e.waiters
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 	for _, p := range woken {
 		if p.state == StateWaitEvent || p.state == StateWaitTimeout {
 			p.wakeFromEvent(e)

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kernel is the discrete-event simulation engine. Create one with
@@ -16,11 +17,14 @@ type Kernel struct {
 	delta uint64
 	seq   int // process id source
 
-	ready []*Proc // runnable in the current delta cycle, FIFO
-	next  []*Proc // runnable in the next delta cycle, FIFO
+	ready   []*Proc // runnable in the current delta cycle, FIFO
+	readyAt int     // consumption index into ready (avoids slice creep)
+	next    []*Proc // runnable in the next delta cycle, FIFO
 
-	timers   timerHeap
-	timerSeq int
+	timers         timerHeap
+	timerSeq       int
+	timerFree      []*timerEntry // recycled entries (zero-alloc steady state)
+	canceledTimers int           // live count of canceled-but-unpopped entries
 
 	yield   chan struct{} // process -> kernel handoff
 	killAck chan struct{} // killed process -> killer handoff
@@ -30,6 +34,9 @@ type Kernel struct {
 	stopped  bool
 	failure  error // set by Fail; returned by Run/RunUntil once stopped
 	panicked interface{}
+
+	limit  Time  // active RunUntil horizon (inclusive)
+	runErr error // pending error detected while advancing (livelock)
 
 	procs []*Proc // all processes ever created, for diagnostics
 
@@ -58,26 +65,62 @@ func (k *Kernel) DeltaCycle() uint64 { return k.delta }
 // Active returns the number of live (unfinished) processes.
 func (k *Kernel) Active() int { return k.active }
 
-// Procs returns all processes ever created, in creation order.
+// Procs returns all processes ever created, in creation order. After
+// Shutdown the list is empty: process handles are recycled.
 func (k *Kernel) Procs() []*Proc { return k.procs }
 
-// newProc allocates a process and its goroutine (parked until first
-// resume).
+// procPool recycles Proc structs (and their resume channels) across
+// kernels, so batch workloads that create thousands of short-lived
+// kernels do not re-allocate one struct + channel per process per run.
+// A Proc enters the pool only from Kernel.Shutdown, once its goroutine
+// has terminated; holding a *Proc across Shutdown is valid only for
+// reading its final name/state until another kernel is created.
+var procPool = sync.Pool{New: func() interface{} {
+	return &Proc{resume: make(chan resumeMode)}
+}}
+
+// newProc allocates (or recycles) a process and its goroutine (parked
+// until first resume).
 func (k *Kernel) newProc(name string, fn Func, parent *Proc) *Proc {
-	p := &Proc{
-		k:      k,
-		id:     k.seq,
-		name:   name,
-		fn:     fn,
-		state:  StateCreated,
-		resume: make(chan resumeMode),
-		parent: parent,
+	p := procPool.Get().(*Proc)
+	resume := p.resume
+	children := p.children[:0]
+	waitEvents := p.waitEvents[:0]
+	*p = Proc{
+		k:          k,
+		id:         k.seq,
+		name:       name,
+		fn:         fn,
+		state:      StateCreated,
+		resume:     resume,
+		parent:     parent,
+		children:   children,
+		waitEvents: waitEvents,
 	}
 	k.seq++
 	k.active++
 	k.procs = append(k.procs, p)
 	go p.run()
 	return p
+}
+
+// releaseProc returns a terminated process to the pool. The final name and
+// state are kept readable for diagnostics that outlive the kernel.
+func releaseProc(p *Proc) {
+	p.k = nil
+	p.fn = nil
+	p.parent = nil
+	for i := range p.children {
+		p.children[i] = nil
+	}
+	p.children = p.children[:0]
+	for i := range p.waitEvents {
+		p.waitEvents[i] = nil
+	}
+	p.waitEvents = p.waitEvents[:0]
+	p.timer = nil
+	p.wokenBy = nil
+	procPool.Put(p)
 }
 
 // Spawn creates a root process. It may be called before Run to set up the
@@ -95,10 +138,33 @@ func (k *Kernel) enqueueReady(p *Proc) { k.ready = append(k.ready, p) }
 // enqueueNext schedules p into the next delta cycle.
 func (k *Kernel) enqueueNext(p *Proc) { k.next = append(k.next, p) }
 
+// hasReady reports whether the current delta cycle has runnable processes.
+func (k *Kernel) hasReady() bool { return k.readyAt < len(k.ready) }
+
+// popReady dequeues the next runnable process of the current delta cycle.
+func (k *Kernel) popReady() *Proc {
+	if k.readyAt >= len(k.ready) {
+		return nil
+	}
+	p := k.ready[k.readyAt]
+	k.ready[k.readyAt] = nil
+	k.readyAt++
+	if k.readyAt == len(k.ready) {
+		k.ready = k.ready[:0]
+		k.readyAt = 0
+	}
+	return p
+}
+
 // removeFromQueues drops p from the ready and next-delta queues (kill
 // path).
 func (k *Kernel) removeFromQueues(p *Proc) {
-	k.ready = removeProc(k.ready, p)
+	for i := k.readyAt; i < len(k.ready); i++ {
+		if k.ready[i] == p {
+			k.ready = append(k.ready[:i], k.ready[i+1:]...)
+			break
+		}
+	}
 	k.next = removeProc(k.next, p)
 }
 
@@ -126,33 +192,20 @@ func (k *Kernel) Run() error { return k.RunUntil(Forever) }
 // a horizon return, Now reports the time of the last timer fired, which
 // may be earlier than limit if nothing was scheduled at limit itself.
 func (k *Kernel) RunUntil(limit Time) error {
-	for !k.stopped {
-		if len(k.ready) == 0 {
-			if len(k.next) > 0 {
-				k.ready, k.next = k.next, k.ready[:0]
-				k.delta++
-				if k.deltaLimit > 0 && k.delta > k.deltaLimit {
-					return &LivelockError{Time: k.now, Deltas: k.delta}
-				}
-				continue
-			}
-			t, ok := k.timers.nextTime()
-			if !ok {
-				break // nothing scheduled at all
-			}
-			if t > limit {
-				return nil // time horizon reached; state preserved
-			}
-			k.now = t
-			k.delta = 0
-			k.fireTimers(t)
-			continue
+	k.limit = limit
+	for !k.stopped && k.runErr == nil {
+		p := k.nextRunnable()
+		if p == nil {
+			break
 		}
-		p := k.ready[0]
-		k.ready = k.ready[1:]
 		k.running = p
 		k.Steps++
 		p.resume <- resumeRun
+		// Control returns here only when the process chain exhausts all
+		// runnable work up to the horizon (or stops/panics): blocking
+		// processes advance delta cycles and time themselves and hand the
+		// CPU directly to the next runnable process (switchTo) without
+		// bouncing through this loop.
 		<-k.yield
 		k.running = nil
 		if k.panicked != nil {
@@ -161,8 +214,15 @@ func (k *Kernel) RunUntil(limit Time) error {
 			panic(r)
 		}
 	}
+	if err := k.runErr; err != nil {
+		k.runErr = nil
+		return err
+	}
 	if k.stopped {
 		return k.failure
+	}
+	if t, ok := k.timers.nextTime(k); ok && t > limit {
+		return nil // time horizon reached; state preserved
 	}
 	if live := k.liveProcs(); len(live) > 0 {
 		for _, h := range k.stallHandlers {
@@ -170,9 +230,67 @@ func (k *Kernel) RunUntil(limit Time) error {
 				return err
 			}
 		}
-		return &DeadlockError{Time: k.now, Procs: live}
+		return newDeadlockError(k.now, live)
 	}
 	return nil
+}
+
+// nextRunnable returns the next process to resume, advancing delta cycles
+// and simulated time (firing due timers) as needed. It returns nil when
+// control must go back to the Run caller: the horizon was passed, nothing
+// is scheduled, or a livelock was detected (recorded in k.runErr). It may
+// run on the Run caller's goroutine or on a blocking process's goroutine
+// (the fused handoff); the cooperative protocol guarantees exclusivity.
+func (k *Kernel) nextRunnable() *Proc {
+	for {
+		if p := k.popReady(); p != nil {
+			return p
+		}
+		if len(k.next) > 0 {
+			k.ready, k.next = k.next, k.ready[:0]
+			k.readyAt = 0
+			k.delta++
+			if k.deltaLimit > 0 && k.delta > k.deltaLimit {
+				if k.runErr == nil {
+					k.runErr = &LivelockError{Time: k.now, Deltas: k.delta}
+				}
+				return nil
+			}
+			continue
+		}
+		t, ok := k.timers.nextTime(k)
+		if !ok || t > k.limit {
+			return nil // nothing scheduled, or horizon reached
+		}
+		k.now = t
+		k.delta = 0
+		k.fireTimers(t)
+	}
+}
+
+// switchTo transfers control away from the calling process goroutine:
+// directly to the next runnable process when one exists (the fused
+// handoff — a single channel rendezvous per context switch), or back to
+// the Run caller otherwise (stop, panic propagation, horizon, deadlock).
+// When the next runnable turns out to be the calling process itself
+// (self == next: a solitary process whose own timer or delta-yield came
+// due), it returns true and the caller continues without any channel
+// operation at all.
+func (k *Kernel) switchTo(self *Proc) bool {
+	if !k.stopped && k.panicked == nil && k.runErr == nil {
+		if p := k.nextRunnable(); p != nil {
+			k.running = p
+			k.Steps++
+			if p == self {
+				return true
+			}
+			p.resume <- resumeRun
+			return false
+		}
+	}
+	k.running = nil
+	k.yield <- struct{}{}
+	return false
 }
 
 // Fail stops the run with err: the innermost Run/RunUntil call returns err
@@ -203,13 +321,7 @@ func (k *Kernel) OnStall(h StallHandler) { k.stallHandlers = append(k.stallHandl
 // processes use it to recognize that only their own timer keeps the
 // simulation alive.
 func (k *Kernel) PendingTimers() int {
-	n := 0
-	for _, e := range k.timers {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
+	return len(k.timers) - k.canceledTimers
 }
 
 // SetDeltaLimit bounds the number of delta cycles within one time step
@@ -241,11 +353,20 @@ func (e *LivelockError) Error() string {
 // deadlock, a horizon pause, or a re-raised process panic. Deferred
 // functions of killed processes run as for Kill and must not block on
 // simulation primitives.
+//
+// Shutdown also recycles the kernel's process control blocks: *Proc
+// handles remain readable (final name and state) until the program creates
+// new processes, but must not be retained beyond that.
 func (k *Kernel) Shutdown() {
 	for _, p := range k.procs {
 		k.kill(p, nil)
 	}
 	k.stopped = true
+	for i, p := range k.procs {
+		k.procs[i] = nil
+		releaseProc(p)
+	}
+	k.procs = k.procs[:0]
 }
 
 // fireTimers pops every timer entry scheduled at exactly time t, waking
@@ -253,30 +374,87 @@ func (k *Kernel) Shutdown() {
 // timed notifications.
 func (k *Kernel) fireTimers(t Time) {
 	for {
-		e, ok := k.timers.peek()
+		e, ok := k.timers.peek(k)
 		if !ok || e.at != t {
 			return
 		}
 		heap.Pop(&k.timers)
-		if e.canceled {
-			continue
-		}
 		switch {
 		case e.p != nil:
 			e.p.wakeFromTimer()
 		case e.e != nil:
 			e.e.flush()
 		}
+		k.recycleTimer(e)
 	}
 }
 
 // addTimer registers a timer entry: either a process timeout (p != nil) or
-// a timed event notification (e != nil).
+// a timed event notification (e != nil). Entries are drawn from the
+// kernel's free list, so steady-state timer scheduling does not allocate.
 func (k *Kernel) addTimer(at Time, p *Proc, e *Event) *timerEntry {
 	k.timerSeq++
-	entry := &timerEntry{at: at, seq: k.timerSeq, p: p, e: e}
+	var entry *timerEntry
+	if n := len(k.timerFree); n > 0 {
+		entry = k.timerFree[n-1]
+		k.timerFree[n-1] = nil
+		k.timerFree = k.timerFree[:n-1]
+		entry.at, entry.seq, entry.p, entry.e, entry.canceled = at, k.timerSeq, p, e, false
+	} else {
+		entry = &timerEntry{at: at, seq: k.timerSeq, p: p, e: e}
+	}
 	heap.Push(&k.timers, entry)
 	return entry
+}
+
+// recycleTimer returns a popped (no longer heap-resident) entry to the
+// free list.
+func (k *Kernel) recycleTimer(e *timerEntry) {
+	e.p, e.e = nil, nil
+	k.timerFree = append(k.timerFree, e)
+}
+
+// timerCompactMin is the cancelation count below which the heap tolerates
+// dead entries; above it, compaction triggers once dead entries are the
+// majority, keeping the heap length within 2x the live entry count (plus
+// the threshold) under cancel-heavy load.
+const timerCompactMin = 64
+
+// cancelTimer lazily removes a heap-resident entry. The heap pop skips
+// canceled entries; when canceled entries pile up faster than pops drain
+// them (timeout-heavy or fault-injection workloads), the heap is compacted
+// in place so its length stays bounded by the live timer count.
+func (k *Kernel) cancelTimer(e *timerEntry) {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	k.canceledTimers++
+	if k.canceledTimers >= timerCompactMin && k.canceledTimers*2 >= len(k.timers) {
+		k.compactTimers()
+	}
+}
+
+// compactTimers rebuilds the heap without its canceled entries, recycling
+// them to the free list.
+func (k *Kernel) compactTimers() {
+	live := k.timers[:0]
+	for _, e := range k.timers {
+		if e.canceled {
+			k.recycleTimer(e)
+			continue
+		}
+		live = append(live, e)
+	}
+	for i := len(live); i < len(k.timers); i++ {
+		k.timers[i] = nil
+	}
+	k.timers = live
+	for i, e := range k.timers {
+		e.index = i
+	}
+	heap.Init(&k.timers)
+	k.canceledTimers = 0
 }
 
 // kill terminates target and its children recursively; see Proc.Kill.
@@ -301,7 +479,7 @@ func (k *Kernel) kill(target, killer *Proc) {
 	}
 	target.waitEvents = target.waitEvents[:0]
 	if target.timer != nil {
-		target.timer.cancel()
+		k.cancelTimer(target.timer)
 		target.timer = nil
 	}
 	k.removeFromQueues(target)
@@ -329,15 +507,35 @@ func (k *Kernel) liveProcs() []*Proc {
 type DeadlockError struct {
 	Time  Time
 	Procs []*Proc
+
+	// msg is the report formatted while the processes were still live;
+	// Proc handles may be recycled after Kernel.Shutdown, so the error
+	// string must not be derived from them lazily.
+	msg string
 }
 
-func (e *DeadlockError) Error() string {
+// newDeadlockError snapshots the blocked process set into a self-contained
+// error.
+func newDeadlockError(at Time, procs []*Proc) *DeadlockError {
+	e := &DeadlockError{Time: at, Procs: procs}
+	e.msg = e.format()
+	return e
+}
+
+func (e *DeadlockError) format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sim: deadlock at %s: %d process(es) blocked:", e.Time, len(e.Procs))
 	for _, p := range e.Procs {
 		fmt.Fprintf(&b, "\n\t%s", p)
 	}
 	return b.String()
+}
+
+func (e *DeadlockError) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	return e.format()
 }
 
 // timerEntry is a pending timeout or timed notification.
@@ -349,9 +547,6 @@ type timerEntry struct {
 	canceled bool
 	index    int // heap index
 }
-
-// cancel lazily removes the entry; the heap pop skips canceled entries.
-func (t *timerEntry) cancel() { t.canceled = true }
 
 // timerHeap is a min-heap of timer entries ordered by (at, seq).
 type timerHeap []*timerEntry
@@ -382,22 +577,24 @@ func (h *timerHeap) Pop() interface{} {
 	return e
 }
 
-// peek returns the earliest live entry without popping it, discarding
-// canceled entries encountered at the top.
-func (h *timerHeap) peek() (*timerEntry, bool) {
+// peek returns the earliest live entry without popping it, discarding (and
+// recycling) canceled entries encountered at the top.
+func (h *timerHeap) peek(k *Kernel) (*timerEntry, bool) {
 	for h.Len() > 0 {
 		top := (*h)[0]
 		if !top.canceled {
 			return top, true
 		}
 		heap.Pop(h)
+		k.canceledTimers--
+		k.recycleTimer(top)
 	}
 	return nil, false
 }
 
 // nextTime returns the earliest pending timer time.
-func (h *timerHeap) nextTime() (Time, bool) {
-	e, ok := h.peek()
+func (h *timerHeap) nextTime(k *Kernel) (Time, bool) {
+	e, ok := h.peek(k)
 	if !ok {
 		return 0, false
 	}

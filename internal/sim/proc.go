@@ -165,15 +165,24 @@ func (p *Proc) finish() {
 		p.k.killAck <- struct{}{}
 		return
 	}
-	p.k.yield <- struct{}{}
+	p.k.switchTo(nil) // a finished process is never the next runnable
 }
 
-// yieldToKernel hands control back to the kernel loop and blocks until the
-// kernel resumes this process. Must be called with p.state already updated
-// to the blocking state. Panics with killedSignal if the process was
-// killed while blocked.
+// yieldToKernel gives up the CPU and blocks until this process is resumed.
+// Must be called with p.state already updated to the blocking state. When
+// another process is runnable — in this delta cycle, a later one, or after
+// a time advance — control passes to it directly (see Kernel.switchTo);
+// when the next runnable is this process itself, execution continues
+// without blocking at all; otherwise control returns to the Run caller.
+// Panics with killedSignal if the process was killed while blocked.
 func (p *Proc) yieldToKernel() {
-	p.k.yield <- struct{}{}
+	if p.k.switchTo(p) {
+		// Fast path: this process's own wake-up (timer, delta yield) was the
+		// next runnable work. No kill check needed — kills only originate
+		// from process code, and none ran in between.
+		p.state = StateRunning
+		return
+	}
 	if mode := <-p.resume; mode == resumeKill {
 		panic(killedSignal{})
 	}
@@ -322,7 +331,7 @@ func (p *Proc) wakeFromEvent(e *Event) {
 		}
 	}
 	if p.timer != nil {
-		p.timer.cancel()
+		p.k.cancelTimer(p.timer)
 		p.timer = nil
 	}
 	p.wokenBy = e

@@ -1,0 +1,58 @@
+package simcheck
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestReadyQueueEquivalence pins the central correctness claim of the
+// indexed ready queue: for every (scenario, policy, time model, PE count)
+// point of the matrix, a run with the bucketed queue produces a trace that
+// is byte-identical to a run with the original linear ready-list scan.
+// Any divergence — a different dispatch order, tie-break, preemption
+// point or statistic — fails with the first differing trace line.
+func TestReadyQueueEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence matrix is slow; skipped with -short")
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		s := Generate(seed)
+		for _, cfg := range Matrix(s) {
+			cfg := cfg
+			indexed := Run(s, cfg)
+
+			linear := cfg
+			linear.LinearReady = true
+			ref := Run(s, linear)
+
+			if (indexed.Err == nil) != (ref.Err == nil) {
+				t.Errorf("seed %d %v: err mismatch: indexed=%v linear=%v",
+					seed, cfg, indexed.Err, ref.Err)
+				continue
+			}
+			if !bytes.Equal(indexed.Trace, ref.Trace) {
+				t.Errorf("seed %d %v: indexed ready queue diverges from linear scan\n%s",
+					seed, cfg, firstTraceDiff(indexed.Trace, ref.Trace))
+			}
+		}
+	}
+}
+
+// firstTraceDiff renders the first line where two traces differ.
+func firstTraceDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb []byte
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if !bytes.Equal(la, lb) {
+			return fmt.Sprintf("line %d:\n  indexed: %s\n  linear:  %s", i+1, la, lb)
+		}
+	}
+	return "traces equal?"
+}

@@ -17,6 +17,11 @@ type Config struct {
 	TimeModel string   // "coarse" or "segmented"
 	CPUs      int      // 1: core.OS single PE; >1: smp.OS global scheduler
 	Quantum   sim.Time // round-robin slice ("rr" only)
+
+	// LinearReady forces the scheduler's linear ready-list scan instead of
+	// the indexed ready queue. Scheduling decisions must be byte-identical
+	// either way; the equivalence suite diffs traces across this flag.
+	LinearReady bool
 }
 
 // Segmented reports whether the config uses the interruptible time model.
@@ -130,6 +135,7 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 	}
 	k := sim.NewKernel()
 	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
+	rtos.SetLinearReady(cfg.LinearReady)
 	defer k.Shutdown()
 	rec := trace.New("simcheck")
 	rec.Attach(rtos)
@@ -263,6 +269,7 @@ func runSMP(s *Scenario, cfg Config) *RunResult {
 	}
 	k := sim.NewKernel()
 	os := smp.New(k, "SMP", policy, cfg.CPUs, cfg.Segmented())
+	os.SetLinearReady(cfg.LinearReady)
 	defer k.Shutdown()
 	rec := &smpRecorder{}
 	os.Observe(rec)

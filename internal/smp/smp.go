@@ -19,8 +19,10 @@ package smp
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/readyq"
 	"repro/internal/sim"
 )
 
@@ -29,6 +31,13 @@ import (
 type Policy interface {
 	Name() string
 	Less(a, b *Task) bool
+}
+
+// Ranker mirrors core.Ranker for the global scheduler: a policy whose
+// ordering is a per-task key enables the indexed ready structure
+// (internal/readyq). Rank must order identically to Less.
+type Ranker interface {
+	Rank(t *Task) readyq.Key
 }
 
 // FixedPriority is global fixed-priority scheduling (global RM when
@@ -40,6 +49,9 @@ func (FixedPriority) Name() string { return "g-fp" }
 
 // Less orders by base priority (smaller = higher).
 func (FixedPriority) Less(a, b *Task) bool { return a.prio < b.prio }
+
+// Rank indexes by base priority.
+func (FixedPriority) Rank(t *Task) readyq.Key { return readyq.Key{A: int64(t.prio)} }
 
 // GEDF is global earliest-deadline-first scheduling.
 type GEDF struct{}
@@ -53,6 +65,11 @@ func (GEDF) Less(a, b *Task) bool {
 		return a.deadline < b.deadline
 	}
 	return a.prio < b.prio
+}
+
+// Rank indexes by absolute deadline, then base priority.
+func (GEDF) Rank(t *Task) readyq.Key {
+	return readyq.Key{A: int64(t.deadline), B: int64(t.prio)}
 }
 
 // Task is the SMP scheduler's task control block.
@@ -74,6 +91,7 @@ type Task struct {
 
 	cpu      int // occupied CPU slot, -1 if none
 	lastCPU  int // last CPU the task ran on, -1 initially
+	rq       readyq.Links[*Task]
 	readySeq int
 
 	release      sim.Time
@@ -147,9 +165,15 @@ type OS struct {
 
 	running []*Task // slot per CPU; nil = idle
 	lastRun []*Task // last task each CPU executed
-	ready   []*Task
 	tasks   []*Task
 	seq     int
+
+	// Ready queue: indexed structure for Ranker policies, linear list as
+	// the fallback (and the byte-equivalence lever via SetLinearReady).
+	rq          *readyq.Queue[*Task]
+	ready       []*Task
+	ranker      Ranker
+	forceLinear bool
 
 	segmented bool
 	stats     Stats
@@ -177,7 +201,9 @@ func New(k *sim.Kernel, name string, policy Policy, ncpu int, segmented bool) *O
 		running:   make([]*Task, ncpu),
 		lastRun:   make([]*Task, ncpu),
 		segmented: segmented,
+		rq:        readyq.New(taskLinks),
 	}
+	os.refreshRanker()
 	// Translate a generic kernel deadlock into a scheduler diagnosis when
 	// this instance has stranded tasks to report (see diagnosis.go).
 	k.OnStall(func(at sim.Time, live []*sim.Proc) error {
@@ -257,6 +283,7 @@ func (os *OS) AssignRateMonotonic() {
 	for i, t := range order {
 		t.prio = i
 	}
+	os.rebuildReady() // re-key any task already sitting in the ready queue
 }
 
 // TaskActivate binds the calling process to the task, enters the global
@@ -364,6 +391,61 @@ func (os *OS) mustRunning(p *sim.Proc, op string) *Task {
 	panic(fmt.Sprintf("smp[%s]: %s called by process %q which runs no task", os.name, op, p.Name()))
 }
 
+// taskLinks is the intrusive-links accessor for the indexed ready queue.
+func taskLinks(t *Task) *readyq.Links[*Task] { return &t.rq }
+
+// refreshRanker re-derives the indexable ranking from the active policy.
+func (os *OS) refreshRanker() {
+	os.ranker = nil
+	if os.forceLinear {
+		return
+	}
+	if r, ok := os.policy.(Ranker); ok {
+		os.ranker = r
+	}
+}
+
+// SetLinearReady forces the linear ready-list scan; see the equivalent
+// hook on core.OS. It exists for the byte-equivalence test suite.
+func (os *OS) SetLinearReady(on bool) {
+	if os.forceLinear == on {
+		return
+	}
+	os.forceLinear = on
+	os.refreshRanker()
+	os.rebuildReady()
+}
+
+// rebuildReady migrates all queued tasks into the structure selected by
+// the current ranker, preserving FIFO arrival order.
+func (os *OS) rebuildReady() {
+	n := os.rq.Len() + len(os.ready)
+	if n == 0 {
+		return
+	}
+	queued := make([]*Task, 0, n)
+	os.rq.Do(func(t *Task) { queued = append(queued, t) })
+	os.rq.Clear()
+	queued = append(queued, os.ready...)
+	os.ready = os.ready[:0]
+	sort.Slice(queued, func(i, j int) bool { return queued[i].readySeq < queued[j].readySeq })
+	for _, t := range queued {
+		os.pushReady(t)
+	}
+}
+
+// readyLen returns the global ready-queue length.
+func (os *OS) readyLen() int { return os.rq.Len() + len(os.ready) }
+
+// pushReady inserts an already-sequenced ready task.
+func (os *OS) pushReady(t *Task) {
+	if os.ranker != nil {
+		os.rq.Push(t, os.ranker.Rank(t), t.readySeq)
+	} else {
+		os.ready = append(os.ready, t)
+	}
+}
+
 func (os *OS) makeReady(t *Task) {
 	if !t.state.Alive() {
 		return
@@ -371,10 +453,14 @@ func (os *OS) makeReady(t *Task) {
 	t.state = core.TaskReady
 	os.seq++
 	t.readySeq = os.seq
-	os.ready = append(os.ready, t)
+	os.pushReady(t)
 }
 
 func (os *OS) removeReady(t *Task) {
+	if os.ranker != nil {
+		os.rq.Remove(t)
+		return
+	}
 	for i, x := range os.ready {
 		if x == t {
 			os.ready = append(os.ready[:i], os.ready[i+1:]...)
@@ -397,6 +483,9 @@ func (os *OS) freeSlot(t *Task) {
 
 // pickBest returns the policy-least ready task.
 func (os *OS) pickBest() *Task {
+	if os.ranker != nil {
+		return os.rq.Min()
+	}
 	var best *Task
 	for _, t := range os.ready {
 		if best == nil || os.policy.Less(t, best) ||

@@ -37,6 +37,20 @@ go test -run 'TestGoldenTrace' -count=1 .
 echo "== telemetry overhead guard"
 TELEMETRY_OVERHEAD_GUARD=1 go test -run TestTelemetryOverheadGuard -count=1 -v .
 
+# Ready-queue equivalence: the indexed (bucketed) ready queue must make
+# byte-identical scheduling decisions to the original linear scan across
+# the full policy × time-model × PE matrix. (go test ./... above already
+# ran this; the explicit pass keeps the gate's contract visible.)
+echo "== ready-queue equivalence matrix"
+go test -run 'TestReadyQueueEquivalence' -count=1 ./internal/simcheck
+
+# Kernel performance gate: re-run the benchmark scenarios and compare
+# against the committed baseline (BENCH_kernel.json). Allocation counts
+# are gated exactly — any steady-state alloc regression fails here — while
+# ns/op gets a wide 100% tolerance to absorb host variation.
+echo "== simbench baseline check (BENCH_kernel.json)"
+go run ./cmd/simbench -check -tolerance 1.0
+
 # Soak the scheduler with fresh seeds (offset so they do not just repeat
 # the seeds go test already covered); 4 seeds in flight exercises the
 # concurrent-kernel contract on every run of this gate.
