@@ -43,6 +43,7 @@ func main() {
 	quantumUs := flag.Float64("quantum", 1000, "round-robin quantum in µs")
 	horizonMs := flag.Float64("horizon", 1000, "simulation horizon in ms (when the file sets none)")
 	tmFlag := flag.String("timemodel", "", "override time model (coarse|segmented)")
+	persFlag := flag.String("personality", "", "override RTOS personality (generic|itron|osek)")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
 	events := flag.Bool("events", false, "print the event list")
 	csvOut := flag.String("csv", "", "write the trace as CSV to a file")
@@ -80,6 +81,9 @@ func main() {
 	if *tmFlag != "" {
 		set.TimeModel = *tmFlag
 	}
+	if *persFlag != "" {
+		set.Personality = *persFlag
+	}
 	if set.HorizonMs == 0 {
 		set.HorizonMs = *horizonMs
 	}
@@ -106,7 +110,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("policy %s, time model %s, horizon %v\n\n", res.Policy, res.TimeModel, res.Horizon)
+	fmt.Printf("policy %s, time model %s, personality %s, horizon %v\n\n",
+		res.Policy, res.TimeModel, res.Personality, res.Horizon)
 	fmt.Printf("%-10s %5s %10s %10s %8s %10s %12s\n",
 		"task", "prio", "period", "wcet", "cycles", "missed", "cpuTime")
 	for _, t := range res.Tasks {

@@ -29,6 +29,7 @@ func main() {
 	policyFlag := flag.String("policy", "priority", "architecture scheduling policy (priority|fcfs|rr|edf|rm)")
 	quantumUs := flag.Float64("quantum", 1000, "round-robin quantum in µs")
 	tmFlag := flag.String("timemodel", "coarse", "time model (coarse|segmented)")
+	persFlag := flag.String("personality", "", "override the model's RTOS personality (generic|itron|osek)")
 	gantt := flag.Bool("gantt", true, "print ASCII Gantt charts")
 	events := flag.Bool("events", false, "print event lists")
 	vcdOut := flag.String("vcd", "", "write the architecture trace as VCD")
@@ -44,6 +45,10 @@ func main() {
 	exitOn(err)
 	m, err := sdl.Parse(string(src))
 	exitOn(err)
+	if *persFlag != "" {
+		m.Personality = *persFlag
+		exitOn(m.Validate())
+	}
 
 	show := func(rec *trace.Recorder, title string) {
 		fmt.Printf("=== %s ===\n", title)
@@ -77,6 +82,10 @@ func main() {
 			tel = telemetry.NewCapture()
 			bus = append(bus, tel.Bus)
 		}
+		pers := m.Personality
+		if pers == "" {
+			pers = "generic"
+		}
 		var rec *trace.Recorder
 		if m.MultiPE() {
 			// Models with pe declarations run the mapped architecture:
@@ -84,7 +93,7 @@ func main() {
 			mappedRec, oss, err := m.RunMapped(policy, tm, bus...)
 			exitOn(err)
 			rec = mappedRec
-			show(rec, fmt.Sprintf("mapped architecture model (%s, %s time)", policy.Name(), tm))
+			show(rec, fmt.Sprintf("mapped architecture model (%s, %s time, %s personality)", policy.Name(), tm, pers))
 			for name, osm := range oss {
 				st := osm.StatsSnapshot()
 				fmt.Printf("RTOS %s: %d dispatches, %d context switches, %d preemptions, idle %v\n",
@@ -94,7 +103,7 @@ func main() {
 			archRec, osm, err := m.RunArchitecture(policy, tm, bus...)
 			exitOn(err)
 			rec = archRec
-			show(rec, fmt.Sprintf("architecture model (%s, %s time)", policy.Name(), tm))
+			show(rec, fmt.Sprintf("architecture model (%s, %s time, %s personality)", policy.Name(), tm, pers))
 			st := osm.StatsSnapshot()
 			fmt.Printf("RTOS: %d dispatches, %d context switches, %d preemptions, idle %v\n",
 				st.Dispatches, st.ContextSwitches, st.Preemptions, st.IdleTime)

@@ -8,8 +8,11 @@
 // a high-priority aperiodic task. The demo validates deadlines in a
 // nominal configuration, then overloads the fuel task to show the model
 // catching the misses — the early validation the paper's flow is for.
+// The -personality flag swaps the RTOS API the tasks program against
+// (generic paper model, µITRON, OSEK) on the same scheduler, the paper's
+// RTOS-library axis; EXPERIMENTS.md records the measured comparison.
 //
-// Run with: go run ./examples/automotive [-overload]
+// Run with: go run ./examples/automotive [-overload] [-personality itron]
 package main
 
 import (
@@ -17,25 +20,32 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
-func run(fuelWCET sim.Time) (tasks []*core.Task, st core.Stats, rec *trace.Recorder, err error) {
+func run(fuelWCET sim.Time, pers string) (tasks []*core.Task, st core.Stats, rep *telemetry.Report, rec *trace.Recorder, err error) {
 	k := sim.NewKernel()
 	rtos := core.New(k, "ECU", core.RMPolicy{}, core.WithTimeModel(core.TimeModelSegmented))
 	rec = trace.New("ecu")
 	rec.Attach(rtos)
+	agg := telemetry.NewAggregator()
+	telemetry.NewBus(agg).Attach(rtos)
+	rt, err := personality.New(pers, rtos)
+	if err != nil {
+		return nil, core.Stats{}, nil, nil, err
+	}
 
 	mkPeriodic := func(name string, period, wcet sim.Time) *core.Task {
-		task := rtos.TaskCreate(name, core.Periodic, period, wcet, 0)
+		task := rt.TaskCreate(name, core.Periodic, period, wcet, 0)
 		p := k.Spawn(name, func(p *sim.Proc) {
-			rtos.TaskActivate(p, task)
+			rt.Activate(p, task)
 			for {
-				rtos.TimeWait(p, wcet)
-				rtos.TaskEndCycle(p)
+				rt.Compute(p, wcet)
+				rt.EndCycle(p)
 			}
 		})
 		p.SetDaemon(true)
@@ -45,14 +55,15 @@ func run(fuelWCET sim.Time) (tasks []*core.Task, st core.Stats, rec *trace.Recor
 	fuel := mkPeriodic("fuel", 10*sim.Millisecond, fuelWCET)
 	dash := mkPeriodic("dash", 100*sim.Millisecond, 8*sim.Millisecond)
 
-	// Crank sensor: sporadic interrupt releasing a short aperiodic task.
-	crankSem := channel.NewSemaphore(channel.RTOSFactory{OS: rtos}, "crank", 0)
-	crank := rtos.TaskCreate("crank", core.Aperiodic, 0, 300*sim.Microsecond, -1) // above all periodic
+	// Crank sensor: sporadic interrupt releasing a short aperiodic task
+	// through the personality's native semaphore kind.
+	crankSem := rt.NewSemaphore("crank", 0)
+	crank := rt.TaskCreate("crank", core.Aperiodic, 0, 300*sim.Microsecond, -1) // above all periodic
 	cp := k.Spawn("crank", func(p *sim.Proc) {
-		rtos.TaskActivate(p, crank)
+		rt.Activate(p, crank)
 		for {
 			crankSem.Acquire(p)
-			rtos.TimeWait(p, 300*sim.Microsecond)
+			rt.Compute(p, 300*sim.Microsecond)
 		}
 	})
 	cp.SetDaemon(true)
@@ -68,41 +79,52 @@ func run(fuelWCET sim.Time) (tasks []*core.Task, st core.Stats, rec *trace.Recor
 
 	rtos.Start(nil)
 	if err = k.RunUntil(1 * sim.Second); err != nil {
-		return nil, core.Stats{}, nil, err
+		return nil, core.Stats{}, nil, nil, err
 	}
-	return []*core.Task{abs, fuel, dash, crank}, rtos.StatsSnapshot(), rec, nil
+	agg.SetEnd(k.Now())
+	return []*core.Task{abs, fuel, dash, crank}, rtos.StatsSnapshot(), agg.Report(), rec, nil
 }
 
 func main() {
 	overload := flag.Bool("overload", false, "raise the fuel task's execution time past feasibility")
+	pers := flag.String("personality", "", "RTOS personality (generic|itron|osek)")
 	flag.Parse()
 
 	fuelWCET := 3 * sim.Millisecond
 	if *overload {
 		fuelWCET = 7 * sim.Millisecond // U jumps past 1 with abs+dash+crank
 	}
-	tasks, st, rec, err := run(fuelWCET)
+	tasks, st, rep, rec, err := run(fuelWCET, *pers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation error:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("ECU, 1 s of operation, rate-monotonic, segmented time model (fuel WCET %v)\n\n", fuelWCET)
-	fmt.Printf("%-8s %10s %12s %8s %10s\n", "task", "period", "cycles", "missed", "cpu")
+	label := *pers
+	if label == "" {
+		label = "generic"
+	}
+	fmt.Printf("ECU, 1 s of operation, rate-monotonic, segmented time model, %s personality (fuel WCET %v)\n\n",
+		label, fuelWCET)
+	blocking := map[string]sim.Time{}
+	for _, pe := range rep.PEs {
+		for _, tr := range pe.Tasks {
+			blocking[tr.Task] = tr.Blocking
+		}
+	}
+	fmt.Printf("%-8s %10s %12s %8s %10s %12s\n", "task", "period", "cycles", "missed", "cpu", "blocked")
 	for _, t := range tasks {
 		period := "sporadic"
 		if t.Type() == core.Periodic {
 			period = t.Period().String()
 		}
-		fmt.Printf("%-8s %10s %12d %8d %10v\n",
-			t.Name(), period, t.Activations(), t.MissedDeadlines(), t.CPUTime())
+		fmt.Printf("%-8s %10s %12d %8d %10v %12v\n",
+			t.Name(), period, t.Activations(), t.MissedDeadlines(), t.CPUTime(), blocking[t.Name()])
 	}
 	fmt.Printf("\ndispatches %d, context switches %d, preemptions %d, idle %v\n",
 		st.Dispatches, st.ContextSwitches, st.Preemptions, st.IdleTime)
-	en := (&core.PowerModel{ActiveMW: 350, IdleMW: 40})
-	_ = en
 	fmt.Printf("energy @ 350/40 mW: %.1f µJ over the second\n",
-		energyMicroJ(tasks, st))
+		energyMicroJ(st))
 	fmt.Println("\nfirst 50 ms of the schedule:")
 	rec.Gantt(os.Stdout, trace.GanttOptions{To: 50 * sim.Millisecond, Width: 70})
 	if *overload {
@@ -112,7 +134,7 @@ func main() {
 }
 
 // energyMicroJ evaluates the two-state power model over the run.
-func energyMicroJ(tasks []*core.Task, st core.Stats) float64 {
+func energyMicroJ(st core.Stats) float64 {
 	pm := core.PowerModel{ActiveMW: 350, IdleMW: 40}
 	active := pm.ActiveMW * float64(st.BusyTime)
 	idle := pm.IdleMW * float64(st.IdleTime)

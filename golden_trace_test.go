@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/models"
+	"repro/internal/personality"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
 	"repro/internal/vocoder"
@@ -105,6 +106,41 @@ func TestGoldenTraceFigure3(t *testing.T) {
 
 func TestGoldenTraceVocoder(t *testing.T) {
 	checkGolden(t, "vocoder.trace", vocoderTrace(t))
+}
+
+// vocoderPersonalityTrace simulates the vocoder architecture model under
+// the given RTOS personality and returns its canonical trace.
+func vocoderPersonalityTrace(t *testing.T, kind string) []byte {
+	t.Helper()
+	col := &telemetry.Collector{}
+	bus := telemetry.NewBus(col)
+	_, _, err := vocoder.RunArchPersonality(vocoder.Small(), core.PriorityPolicy{},
+		core.TimeModelCoarse, kind, bus)
+	if err != nil {
+		t.Fatalf("vocoder %s run: %v", kind, err)
+	}
+	return renderTrace(col.Events)
+}
+
+// TestGoldenTraceVocoderPersonalities pins one vocoder run per RTOS
+// personality. The generic run must be byte-identical to the existing
+// vocoder.trace golden (the personality layer is a transparent
+// passthrough for the paper model); the itron and osek runs get their
+// own goldens, so any drift in a native kernel's grant order or wakeup
+// bookkeeping shows up as a reviewable diff.
+func TestGoldenTraceVocoderPersonalities(t *testing.T) {
+	for _, kind := range personality.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			got := vocoderPersonalityTrace(t, kind)
+			if kind == personality.Generic {
+				// Same bytes as the default-path golden: no separate file.
+				checkGolden(t, "vocoder.trace", got)
+				return
+			}
+			checkGolden(t, "vocoder_"+kind+".trace", got)
+		})
+	}
 }
 
 // TestGoldenTraceParallelDeterminism reruns both example simulations

@@ -425,10 +425,18 @@ func (os *OS) recordDiagnosis(d *DiagnosisError) {
 // diagnoseStall builds the structural diagnosis of the current blockage:
 // nil when no alive task is blocked on a peer; otherwise a deadlock (with
 // the exact cycle) or a stall listing every blocked task and site.
+// Tasks whose process is a daemon are not stranded workload — an OSEK
+// personality parks every task in SUSPENDED between activations on a
+// daemon process, exactly like the kernel's own liveness rule — so they
+// never appear in a stall report (a genuine cycle through one would
+// still surface via findCycle on the non-daemon waiters).
 func (os *OS) diagnoseStall() *DiagnosisError {
 	var blocked []WaitEdge
 	for _, t := range os.tasks {
 		if !t.state.Alive() || !isBlockedState(t.state) {
+			continue
+		}
+		if t.proc != nil && t.proc.Daemon() {
 			continue
 		}
 		e := WaitEdge{Task: t.name, Resource: os.blockSiteOf(t)}

@@ -496,7 +496,7 @@ func (os *OS) TimeWait(p *sim.Proc, d sim.Time) {
 	// instead of suffering a spurious preemption plus a second rotation,
 	// and the rotation only happens when an equal-or-better ready task
 	// exists to take the slice.
-	if sl := os.policy.Slice(); sl > 0 && t.sliceUsed >= sl {
+	if sl := os.policy.Slice(); sl > 0 && t.sliceUsed >= sl && !t.nonpreempt {
 		t.sliceUsed = 0
 		if b := os.pickBest(); b != nil && !os.policy.Less(t, b) {
 			os.yieldCPU(p, t)
@@ -874,7 +874,7 @@ func (os *OS) yieldCPU(p *sim.Proc, t *Task) {
 // maybePreempt is the post-TimeWait scheduling point: if a strictly
 // preferred task became ready while the delay elapsed, the caller yields.
 func (os *OS) maybePreempt(p *sim.Proc, t *Task) {
-	if !os.policy.Preemptive() {
+	if !os.policy.Preemptive() || t.nonpreempt {
 		return
 	}
 	best := os.pickBest()
@@ -892,6 +892,9 @@ func (os *OS) decideFrom(p *sim.Proc) {
 		return
 	}
 	if os.current.proc == p && os.policy.Preemptive() {
+		if os.current.nonpreempt {
+			return
+		}
 		best := os.pickBest()
 		if best != nil && os.policy.Less(best, os.current) {
 			os.yieldCPU(p, os.current)
@@ -902,7 +905,7 @@ func (os *OS) decideFrom(p *sim.Proc) {
 	// preferred ready task preempts the running task mid-delay; in the
 	// coarse model the switch happens at the running task's next
 	// scheduling point (paper Figure 8: t4 → t4').
-	if os.tmodel == TimeModelSegmented && os.policy.Preemptive() {
+	if os.tmodel == TimeModelSegmented && os.policy.Preemptive() && !os.current.nonpreempt {
 		best := os.pickBest()
 		if best != nil && os.policy.Less(best, os.current) {
 			p.Notify(os.current.preempt)

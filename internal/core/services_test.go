@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// startPair builds an OS with two aperiodic tasks whose bodies are
+// provided by the caller. Each body self-activates and terminates.
+func startPair(t *testing.T, policy Policy, hi, lo func(p *sim.Proc, os *OS, self *Task)) (*sim.Kernel, *OS) {
+	t.Helper()
+	k := sim.NewKernel()
+	os := New(k, "CPU", policy)
+	os.Init()
+	thi := os.TaskCreate("hi", Aperiodic, 0, 0, 1)
+	tlo := os.TaskCreate("lo", Aperiodic, 0, 0, 5)
+	k.Spawn("hi", func(p *sim.Proc) {
+		os.TaskActivate(p, thi)
+		hi(p, os, thi)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("lo", func(p *sim.Proc) {
+		os.TaskActivate(p, tlo)
+		lo(p, os, tlo)
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	return k, os
+}
+
+// TestSuspendResume: a task suspended via the personality surface is
+// resumed by another task and continues with correct time accounting.
+func TestSuspendResume(t *testing.T) {
+	var resumedAt sim.Time
+	var target *Task
+	k, os := startPair(t, PriorityPolicy{},
+		func(p *sim.Proc, os *OS, self *Task) {
+			target = self
+			os.Suspend(p, TaskWaitingEvent, "test:obj")
+			resumedAt = p.Now()
+		},
+		func(p *sim.Proc, os *OS, self *Task) {
+			os.TimeWait(p, 100)
+			os.Resume(p, target)
+		})
+	defer k.Shutdown()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumedAt != 100 {
+		t.Errorf("resumed at %v, want 100", resumedAt)
+	}
+	if err := os.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuspendTimeoutExpiry: the timeout path fires onTimeout exactly at
+// the deadline and returns false; a later Resume of the timed-out task
+// is a harmless no-op.
+func TestSuspendTimeoutExpiry(t *testing.T) {
+	var woken bool
+	var timeoutAt sim.Time = -1
+	var target *Task
+	k, os := startPair(t, PriorityPolicy{},
+		func(p *sim.Proc, os *OS, self *Task) {
+			target = self
+			woken = os.SuspendTimeout(p, TaskWaitingEvent, "test:obj", 50, func() {
+				timeoutAt = p.Now()
+			})
+		},
+		func(p *sim.Proc, os *OS, self *Task) {
+			os.TimeWait(p, 200)
+			os.Resume(p, target) // target already timed out: no-op
+		})
+	defer k.Shutdown()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken {
+		t.Error("SuspendTimeout returned true, want timeout (false)")
+	}
+	if timeoutAt != 50 {
+		t.Errorf("onTimeout at %v, want 50", timeoutAt)
+	}
+	if err := os.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuspendTimeoutWoken: a resume before the deadline wins and the
+// timeout callback never runs.
+func TestSuspendTimeoutWoken(t *testing.T) {
+	woken := false
+	timedOut := false
+	var target *Task
+	k, _ := startPair(t, PriorityPolicy{},
+		func(p *sim.Proc, os *OS, self *Task) {
+			target = self
+			woken = os.SuspendTimeout(p, TaskWaitingEvent, "test:obj", 500,
+				func() { timedOut = true })
+		},
+		func(p *sim.Proc, os *OS, self *Task) {
+			os.TimeWait(p, 20)
+			os.Resume(p, target)
+		})
+	defer k.Shutdown()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken || timedOut {
+		t.Errorf("woken=%v timedOut=%v, want true/false", woken, timedOut)
+	}
+}
+
+// TestNonPreemptableRunsToSchedulingPoint: a low-priority non-preemptable
+// task keeps the CPU across a higher-priority release (segmented model)
+// until its explicit Yield point.
+func TestNonPreemptableRunsToSchedulingPoint(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "CPU", PriorityPolicy{}, WithTimeModel(TimeModelSegmented))
+	os.Init()
+	thi := os.TaskCreate("hi", Aperiodic, 0, 0, 1)
+	tlo := os.TaskCreate("lo", Aperiodic, 0, 0, 5)
+	tlo.SetPreemptable(false)
+
+	var hiRan sim.Time = -1
+	k.Spawn("lo", func(p *sim.Proc) {
+		os.TaskActivate(p, tlo)
+		os.TimeWait(p, 100) // hi released at t=10 must not preempt
+		os.TimeWait(p, 50)
+		os.Yield(p) // explicit scheduling point: hi takes over here
+		os.TimeWait(p, 10)
+		os.TaskTerminate(p)
+	})
+	k.Spawn("irq", func(p *sim.Proc) {
+		p.WaitFor(10)
+		os.InterruptEnter(p, "irq")
+		os.TaskActivate(p, thi)
+		os.InterruptReturn(p, "irq")
+	})
+	k.Spawn("hi", func(p *sim.Proc) {
+		os.Adopt(p, thi) // parked until the IRQ activates it at t=10
+		hiRan = p.Now()
+		os.TimeWait(p, 5)
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hiRan != 150 {
+		t.Errorf("hi first ran at %v, want 150 (after lo's Yield)", hiRan)
+	}
+	if err := os.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdoptThenActivate: an adopted task stays suspended (never runs)
+// until another task activates it.
+func TestAdoptThenActivate(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "CPU", PriorityPolicy{})
+	os.Init()
+	ta := os.TaskCreate("a", Aperiodic, 0, 0, 1)
+	tb := os.TaskCreate("b", Aperiodic, 0, 0, 2)
+
+	var bRan sim.Time = -1
+	k.Spawn("b", func(p *sim.Proc) {
+		os.Adopt(p, tb)
+		bRan = p.Now()
+		os.TaskTerminate(p)
+	})
+	k.Spawn("a", func(p *sim.Proc) {
+		os.TaskActivate(p, ta)
+		os.TimeWait(p, 30)
+		os.TaskActivate(p, tb)
+		os.TimeWait(p, 10)
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// b (prio 2) becomes ready at t=30 but runs after a terminates at 40.
+	if bRan != 40 {
+		t.Errorf("adopted task ran at %v, want 40", bRan)
+	}
+}
+
+// TestRequeueGoesBehindEquals: Requeue re-enters the ready queue behind
+// an equal-priority task, modeling OSEK reactivation from the rear.
+func TestRequeueGoesBehindEquals(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := New(k, "CPU", PriorityPolicy{})
+	os.Init()
+	ta := os.TaskCreate("a", Aperiodic, 0, 0, 3)
+	tb := os.TaskCreate("b", Aperiodic, 0, 0, 3)
+
+	var order []string
+	k.Spawn("a", func(p *sim.Proc) {
+		os.TaskActivate(p, ta)
+		os.TimeWait(p, 10)
+		order = append(order, "a1")
+		os.Requeue(p) // b has been ready since t=0: it must run next
+		os.TimeWait(p, 10)
+		order = append(order, "a2")
+		os.TaskTerminate(p)
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		os.TaskActivate(p, tb)
+		os.TimeWait(p, 10)
+		order = append(order, "b1")
+		os.TaskTerminate(p)
+	})
+	os.Start(nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

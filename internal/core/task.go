@@ -129,11 +129,11 @@ type Task struct {
 	preempt  *sim.Event // preemption request (segmented time model only)
 
 	rq           readyq.Links[*Task] // intrusive node in the indexed ready queue
-	readySeq     int      // FIFO tie-break within equal scheduling rank
-	chargeSwitch bool     // this dispatch was a context switch: charge overhead
-	release      sim.Time // current/next release time (periodic)
-	deadline     sim.Time // absolute deadline (EDF); Forever for aperiodic
-	sliceUsed    sim.Time // consumed share of the round-robin slice
+	readySeq     int                 // FIFO tie-break within equal scheduling rank
+	chargeSwitch bool                // this dispatch was a context switch: charge overhead
+	release      sim.Time            // current/next release time (periodic)
+	deadline     sim.Time            // absolute deadline (EDF); Forever for aperiodic
+	sliceUsed    sim.Time            // consumed share of the round-robin slice
 
 	// Accounting, exposed via Stats and the trace layer.
 	lastWorkDone sim.Time // instant the task's last modeled delay completed
@@ -141,7 +141,8 @@ type Task struct {
 	activations  int      // completed cycles (periodic) or activations
 	missed       int      // deadline misses observed at end of cycle
 
-	blockSite string // last blocking site, for runtime diagnosis reports
+	blockSite  string // last blocking site, for runtime diagnosis reports
+	nonpreempt bool   // involuntary preemption suppressed (OSEK non-preemptable)
 }
 
 // ID returns the task's creation-ordered identifier within its OS.
@@ -176,6 +177,16 @@ func (t *Task) SetDeadline(d sim.Time) {
 	t.os.rekeyReady(t)
 }
 
+// SetPreemptable marks whether the task may be preempted involuntarily.
+// Non-preemptable tasks (OSEK non-preemptive conformance, internal
+// resources) run to their next voluntary scheduling point — blocking
+// service, termination, or an explicit Yield — even under a preemptive
+// policy. Tasks default to preemptable.
+func (t *Task) SetPreemptable(on bool) { t.nonpreempt = !on }
+
+// Preemptable reports whether involuntary preemption is allowed.
+func (t *Task) Preemptable() bool { return !t.nonpreempt }
+
 // Period returns the task's period (0 for aperiodic tasks).
 func (t *Task) Period() sim.Time { return t.period }
 
@@ -202,6 +213,12 @@ func (t *Task) Activations() int { return t.activations }
 
 // MissedDeadlines returns how many cycles completed after their deadline.
 func (t *Task) MissedDeadlines() int { return t.missed }
+
+// NoteActivation records a completed activation of the task. Personality
+// layers whose tasks park (suspend) at end-of-job instead of terminating
+// use it to keep activation accounting comparable with the generic
+// TaskTerminate path.
+func (t *Task) NoteActivation() { t.activations++ }
 
 // Proc returns the bound simulation process (nil before first activation).
 func (t *Task) Proc() *sim.Proc { return t.proc }

@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"fmt"
 
-	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/sim"
 	"repro/internal/simcheck"
 	"repro/internal/telemetry"
@@ -26,6 +26,13 @@ type Options struct {
 	Quantum   sim.Time // round-robin slice (default 25µs, "rr" only)
 	Watchdog  sim.Time // starvation watchdog window (0: derived from the scenario)
 	Horizon   sim.Time // simulation end (0: derived from scenario + plan)
+
+	// Personality selects the RTOS service surface the scenario's tasks
+	// run against ("", "generic", "itron", "osek"). Faults are injected
+	// below the personality layer, so the same plan wedges (or doesn't)
+	// whatever kernel API sits on top — the must-detect deadlock gate is
+	// pinned under both generic and itron in robustness_test.go.
+	Personality string
 }
 
 func (o Options) withDefaults() Options {
@@ -41,7 +48,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) String() string { return o.Policy + "/" + o.TimeModel }
+func (o Options) String() string {
+	s := o.Policy + "/" + o.TimeModel
+	if o.Personality != "" {
+		s += "/" + o.Personality
+	}
+	return s
+}
 
 // Result is one (scenario, plan) fault run: what was injected, how the
 // run ended, and what the diagnosis layer concluded.
@@ -179,15 +192,19 @@ func RunScenario(s *simcheck.Scenario, plan *Plan, seed int64, opt Options) *Res
 	bus.Attach(rtos) // also routes diagnoses into fault.* events
 	eng := NewEngine(plan, seed, k, bus, rtos.Name())
 
-	f := channel.RTOSFactory{OS: rtos}
-	queues := map[string]*channel.Queue[int]{}
-	sems := map[string]*channel.Semaphore{}
+	rt, err := personality.New(opt.Personality, rtos)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	queues := map[string]personality.Queue{}
+	sems := map[string]personality.Semaphore{}
 	for _, c := range s.Channels {
 		switch c.Kind {
 		case "queue":
-			queues[c.Name] = channel.NewQueue[int](f, c.Name, c.Arg)
+			queues[c.Name] = rt.NewQueue(c.Name, c.Arg)
 		case "semaphore":
-			sems[c.Name] = channel.NewSemaphore(f, c.Name, c.Arg)
+			sems[c.Name] = rt.NewSemaphore(c.Name, c.Arg)
 		}
 	}
 
@@ -197,30 +214,30 @@ func RunScenario(s *simcheck.Scenario, plan *Plan, seed int64, opt Options) *Res
 		spec := &s.Tasks[i]
 		switch spec.Type {
 		case "periodic":
-			task := rtos.TaskCreate(spec.Name, core.Periodic, spec.Period, spec.Work()/sim.Time(spec.Cycles), spec.Prio)
+			task := rt.TaskCreate(spec.Name, core.Periodic, spec.Period, spec.Work()/sim.Time(spec.Cycles), spec.Prio)
 			tasks[i] = task
 			k.Spawn(spec.Name, func(p *sim.Proc) {
-				rtos.TaskActivate(p, task)
+				rt.Activate(p, task)
 				for c := 0; c < spec.Cycles; c++ {
 					for _, seg := range spec.Segments {
-						rtos.TimeWait(p, eng.ScaleDelay(spec.Name, seg))
+						rt.Compute(p, eng.ScaleDelay(spec.Name, seg))
 					}
-					rtos.TaskEndCycle(p)
+					rt.EndCycle(p)
 				}
-				rtos.TaskTerminate(p)
+				rt.Terminate(p)
 			})
 		case "aperiodic":
-			task := rtos.TaskCreate(spec.Name, core.Aperiodic, 0, spec.Work(), spec.Prio)
+			task := rt.TaskCreate(spec.Name, core.Aperiodic, 0, spec.Work(), spec.Prio)
 			tasks[i] = task
 			k.Spawn(spec.Name, func(p *sim.Proc) {
 				if d := spec.Start + eng.ReleaseJitter(spec.Name); d > 0 {
 					p.WaitFor(d)
 				}
-				rtos.TaskActivate(p, task)
+				rt.Activate(p, task)
 				for _, op := range spec.Ops {
 					switch op.Kind {
 					case simcheck.OpDelay:
-						rtos.TimeWait(p, eng.ScaleDelay(spec.Name, op.Dur))
+						rt.Compute(p, eng.ScaleDelay(spec.Name, op.Dur))
 					case simcheck.OpSend:
 						queues[op.Ch].Send(p, 1)
 					case simcheck.OpRecv:
@@ -229,7 +246,7 @@ func RunScenario(s *simcheck.Scenario, plan *Plan, seed int64, opt Options) *Res
 						sems[op.Ch].Acquire(p)
 					}
 				}
-				rtos.TaskTerminate(p)
+				rt.Terminate(p)
 			})
 		}
 		byName[spec.Name] = tasks[i]

@@ -1,0 +1,53 @@
+package personality
+
+import (
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// genericRT is the paper-model personality: every operation maps 1:1 to
+// the core/channel service it always mapped to, so models running under
+// it are byte-identical to models written against those packages
+// directly.
+type genericRT struct {
+	os *core.OS
+	f  channel.RTOSFactory
+}
+
+func newGeneric(os *core.OS) Runtime {
+	return &genericRT{os: os, f: channel.RTOSFactory{OS: os}}
+}
+
+func (r *genericRT) Kind() string { return Generic }
+func (r *genericRT) OS() *core.OS { return r.os }
+
+func (r *genericRT) TaskCreate(name string, typ core.TaskType, period, wcet sim.Time, prio int) *core.Task {
+	return r.os.TaskCreate(name, typ, period, wcet, prio)
+}
+
+func (r *genericRT) Activate(p *sim.Proc, t *core.Task) { r.os.TaskActivate(p, t) }
+func (r *genericRT) Compute(p *sim.Proc, d sim.Time)    { r.os.TimeWait(p, d) }
+func (r *genericRT) EndCycle(p *sim.Proc)               { r.os.TaskEndCycle(p) }
+func (r *genericRT) Terminate(p *sim.Proc)              { r.os.TaskTerminate(p) }
+func (r *genericRT) Sleep(p *sim.Proc)                  { r.os.TaskSleep(p) }
+func (r *genericRT) Wake(p *sim.Proc, t *core.Task)     { r.os.TaskActivate(p, t) }
+func (r *genericRT) Schedule(p *sim.Proc)               { r.os.Yield(p) }
+
+func (r *genericRT) ChangePriority(p *sim.Proc, t *core.Task, prio int) {
+	t.SetPriority(prio)
+	r.os.Reschedule(p)
+}
+
+func (r *genericRT) NewQueue(name string, capacity int) Queue {
+	return genericQueue{q: channel.NewQueue[int64](r.f, name, capacity)}
+}
+
+func (r *genericRT) NewSemaphore(name string, count int) Semaphore {
+	return channel.NewSemaphore(r.f, name, count)
+}
+
+type genericQueue struct{ q *channel.Queue[int64] }
+
+func (g genericQueue) Send(p *sim.Proc, v int64) { g.q.Send(p, v) }
+func (g genericQueue) Recv(p *sim.Proc) int64    { return g.q.Recv(p) }

@@ -1,0 +1,110 @@
+package itron
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Msg is a mailbox message: a payload word plus a message priority used
+// by TA_MPRI mailboxes (µITRON passes T_MSG headers by reference; the
+// model carries the payload by value).
+type Msg struct {
+	Val int64
+	Pri int
+}
+
+// Mailbox is a µITRON mailbox (cre_mbx/snd_mbx/rcv_mbx): an unbounded
+// message queue, FIFO or message-priority ordered. snd_mbx never blocks;
+// rcv_mbx blocks while the box is empty. A send with waiters is a direct
+// handoff to the head of the wait queue.
+type Mailbox struct {
+	k    *Kernel
+	name string
+	site string
+	attr Attr
+	msgs []Msg
+	wq   waitQueue
+	res  *core.Resource
+}
+
+// CreMbx creates a mailbox (cre_mbx).
+func (k *Kernel) CreMbx(name string, attr Attr) (*Mailbox, ER) {
+	return &Mailbox{k: k, name: name, site: "mailbox:" + name, attr: attr,
+		wq:  newWaitQueue(attr),
+		res: k.os.Monitor().NewResource(name, "mailbox", false)}, EOK
+}
+
+// Name returns the mailbox's name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len returns the number of queued messages (ref_mbx snapshot).
+func (m *Mailbox) Len() int { return len(m.msgs) }
+
+// Snd sends a message (snd_mbx). Never blocks: with a waiter present the
+// message is handed over directly; otherwise it is queued, under TA_MPRI
+// ordered by ascending Pri (smaller = higher) with FIFO tie-break.
+// Callable from ISRs.
+func (m *Mailbox) Snd(p *sim.Proc, msg Msg) ER {
+	m.res.Release(p)
+	if tc := m.wq.pop(); tc != nil {
+		tc.msg = msg
+		m.k.os.Resume(p, tc.task)
+		return EOK
+	}
+	if m.attr&TAMPri == 0 {
+		m.msgs = append(m.msgs, msg)
+		return EOK
+	}
+	i := len(m.msgs)
+	for j, x := range m.msgs {
+		if x.Pri > msg.Pri {
+			i = j
+			break
+		}
+	}
+	m.msgs = append(m.msgs, Msg{})
+	copy(m.msgs[i+1:], m.msgs[i:])
+	m.msgs[i] = msg
+	return EOK
+}
+
+// Rcv receives a message, waiting forever while the box is empty
+// (rcv_mbx).
+func (m *Mailbox) Rcv(p *sim.Proc) (Msg, ER) { return m.TRcv(p, TMOFevr) }
+
+// Pol receives without waiting (prcv_mbx): E_TMOUT when empty.
+func (m *Mailbox) Pol(p *sim.Proc) (Msg, ER) { return m.TRcv(p, TMOPol) }
+
+// TRcv receives with a timeout (trcv_mbx): E_TMOUT on expiry, E_RLWAI
+// when released forcibly.
+func (m *Mailbox) TRcv(p *sim.Proc, tmo sim.Time) (Msg, ER) {
+	tc, er := m.k.self(p)
+	if er != EOK {
+		return Msg{}, er
+	}
+	if len(m.msgs) > 0 {
+		msg := m.msgs[0]
+		copy(m.msgs, m.msgs[1:])
+		m.msgs = m.msgs[:len(m.msgs)-1]
+		m.res.Acquire(p)
+		return msg, EOK
+	}
+	if tmo == TMOPol {
+		return Msg{}, ETMOUT
+	}
+	m.wq.enqueue(tc)
+	m.res.Block(p)
+	woken := m.k.os.SuspendTimeout(p, core.TaskWaitingEvent, m.site, tmo,
+		func() { m.wq.remove(tc) })
+	if tc.relwai {
+		tc.relwai = false
+		m.res.Unblock(p)
+		return Msg{}, ERLWAI
+	}
+	if !woken {
+		m.res.Unblock(p)
+		return Msg{}, ETMOUT
+	}
+	m.res.Acquire(p)
+	return tc.msg, EOK
+}

@@ -1,0 +1,94 @@
+package itron
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Semaphore is a µITRON counting semaphore (cre_sem/wai_sem/sig_sem).
+// Release is a direct handoff: sig_sem with waiters grants the resource
+// to the head of the wait queue (FIFO under TA_TFIFO regardless of task
+// priority — a genuine divergence from the generic personality, whose
+// notify-all/recheck discipline grants in policy order).
+type Semaphore struct {
+	k     *Kernel
+	name  string
+	site  string
+	count int
+	max   int
+	wq    waitQueue
+	res   *core.Resource
+}
+
+// CreSem creates a semaphore with initial count init and maximum count
+// max (cre_sem). E_PAR for a malformed definition.
+func (k *Kernel) CreSem(name string, init, max int, attr Attr) (*Semaphore, ER) {
+	if init < 0 || max < 1 || max > TMaxSemCnt || init > max {
+		return nil, EPAR
+	}
+	return &Semaphore{k: k, name: name, site: "semaphore:" + name,
+		count: init, max: max, wq: newWaitQueue(attr),
+		res: k.os.Monitor().NewResource(name, "semaphore", false)}, EOK
+}
+
+// Name returns the semaphore's name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Count returns the current resource count (ref_sem snapshot).
+func (s *Semaphore) Count() int { return s.count }
+
+// Wai acquires one resource, waiting forever (wai_sem).
+func (s *Semaphore) Wai(p *sim.Proc) ER { return s.TWai(p, TMOFevr) }
+
+// Pol acquires one resource without waiting (pol_sem): E_TMOUT when none
+// is available.
+func (s *Semaphore) Pol(p *sim.Proc) ER { return s.TWai(p, TMOPol) }
+
+// TWai acquires one resource with a timeout (twai_sem): E_TMOUT on
+// expiry, E_RLWAI when released by RelWai.
+func (s *Semaphore) TWai(p *sim.Proc, tmo sim.Time) ER {
+	tc, er := s.k.self(p)
+	if er != EOK {
+		return er
+	}
+	if s.count > 0 {
+		s.count--
+		s.res.Acquire(p)
+		return EOK
+	}
+	if tmo == TMOPol {
+		return ETMOUT
+	}
+	s.wq.enqueue(tc)
+	s.res.Block(p)
+	woken := s.k.os.SuspendTimeout(p, core.TaskWaitingEvent, s.site, tmo,
+		func() { s.wq.remove(tc) })
+	if tc.relwai {
+		tc.relwai = false
+		s.res.Unblock(p)
+		return ERLWAI
+	}
+	if !woken {
+		s.res.Unblock(p)
+		return ETMOUT
+	}
+	// Direct handoff from Sig: the count was never incremented.
+	s.res.Acquire(p)
+	return EOK
+}
+
+// Sig returns one resource (sig_sem): the head waiter is released
+// directly, or the count is incremented — E_QOVR past the maximum.
+// Callable from ISRs.
+func (s *Semaphore) Sig(p *sim.Proc) ER {
+	s.res.Release(p)
+	if tc := s.wq.pop(); tc != nil {
+		s.k.os.Resume(p, tc.task)
+		return EOK
+	}
+	if s.count >= s.max {
+		return EQOVR
+	}
+	s.count++
+	return EOK
+}

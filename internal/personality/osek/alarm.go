@@ -1,0 +1,295 @@
+package osek
+
+import (
+	"repro/internal/sim"
+)
+
+// Counter is an OSEK counter (OSEK OS 2.2.3 §9): a tick source alarms
+// and schedule tables are attached to. The model drives each counter
+// from a daemon simulation process with a fixed tick duration, wrapping
+// at MaxAllowedValue like the hardware counters OSEK abstracts.
+type Counter struct {
+	sys        *System
+	name       string
+	tick       sim.Time
+	maxAllowed int64
+	value      int64
+	alarms     []*Alarm
+	tables     []*ScheduleTable
+}
+
+// NewCounter declares a counter before Start. tick is the simulated
+// duration of one counter tick; maxAllowed is MAXALLOWEDVALUE.
+func (s *System) NewCounter(name string, tick sim.Time, maxAllowed int64) *Counter {
+	if s.started {
+		panic("osek: NewCounter after Start")
+	}
+	if tick <= 0 || maxAllowed < 1 {
+		panic("osek: NewCounter needs positive tick and MAXALLOWEDVALUE")
+	}
+	c := &Counter{sys: s, name: name, tick: tick, maxAllowed: maxAllowed}
+	k := s.os.Kernel()
+	pr := k.Spawn("counter:"+name, func(p *sim.Proc) { c.drive(p) })
+	pr.SetDaemon(true)
+	return c
+}
+
+// Value returns the counter's current tick count.
+func (c *Counter) Value() int64 { return c.value }
+
+// drive advances the counter one tick at a time. Expiry actions run in
+// interrupt context (the alarm interrupt of a hardware counter), so
+// activations and events they deliver trigger scheduling decisions
+// through the normal ISR path.
+func (c *Counter) drive(p *sim.Proc) {
+	for {
+		p.WaitFor(c.tick)
+		c.value++
+		if c.value > c.maxAllowed {
+			c.value = 0
+		}
+		fired := false
+		for _, a := range c.alarms {
+			fired = a.check() || fired
+		}
+		for _, st := range c.tables {
+			fired = st.check() || fired
+		}
+		if !fired {
+			continue
+		}
+		c.sys.os.InterruptEnter(p, "counter:"+c.name)
+		for _, a := range c.alarms {
+			a.fire(p)
+		}
+		for _, st := range c.tables {
+			st.fire(p)
+		}
+		c.sys.os.InterruptReturn(p, "counter:"+c.name)
+	}
+}
+
+// AlarmAction is what an alarm does on expiry: activate a task, set an
+// event, or run a callback (§9.2).
+type AlarmAction func(p *sim.Proc, s *System)
+
+// ActionActivateTask activates a task on expiry.
+func ActionActivateTask(id TaskID) AlarmAction {
+	return func(p *sim.Proc, s *System) { s.ActivateTask(p, id) }
+}
+
+// ActionSetEvent sets an event of an extended task on expiry.
+func ActionSetEvent(id TaskID, mask EventMask) AlarmAction {
+	return func(p *sim.Proc, s *System) { s.SetEvent(p, id, mask) }
+}
+
+// ActionCallback runs an alarm-callback routine on expiry.
+func ActionCallback(fn func()) AlarmAction {
+	return func(p *sim.Proc, s *System) { fn() }
+}
+
+// Alarm is an OSEK alarm attached to a counter (§9.2): one-shot or
+// cyclic, armed relative or absolute, with an activation/event/callback
+// action.
+type Alarm struct {
+	counter *Counter
+	name    string
+	action  AlarmAction
+
+	active  bool
+	expiry  int64 // absolute counter value of next expiry
+	cycle   int64 // 0 = one-shot
+	pending bool  // matched this tick; fires in the interrupt phase
+}
+
+// NewAlarm declares an alarm on a counter before Start.
+func (s *System) NewAlarm(name string, c *Counter, action AlarmAction) *Alarm {
+	if s.started {
+		panic("osek: NewAlarm after Start")
+	}
+	a := &Alarm{counter: c, name: name, action: action}
+	c.alarms = append(c.alarms, a)
+	return a
+}
+
+func (a *Alarm) check() bool {
+	if a.active && a.counter.value == a.expiry {
+		a.pending = true
+	}
+	return a.pending
+}
+
+func (a *Alarm) fire(p *sim.Proc) {
+	if !a.pending {
+		return
+	}
+	a.pending = false
+	if a.cycle > 0 {
+		a.expiry = (a.expiry + a.cycle) % (a.counter.maxAllowed + 1)
+	} else {
+		a.active = false
+	}
+	a.action(p, a.counter.sys)
+}
+
+// SetRelAlarm arms the alarm to expire increment ticks from now, then
+// every cycle ticks (cycle 0 = one-shot) — §13.6.3.3. E_OS_STATE when
+// already armed; E_OS_VALUE for increment/cycle outside the counter's
+// limits.
+func (a *Alarm) SetRelAlarm(increment, cycle int64) StatusType {
+	if a.active {
+		return EOsState
+	}
+	c := a.counter
+	if increment <= 0 || increment > c.maxAllowed ||
+		cycle != 0 && (cycle < 1 || cycle > c.maxAllowed) {
+		return EOsValue
+	}
+	a.expiry = (c.value + increment) % (c.maxAllowed + 1)
+	a.cycle = cycle
+	a.active = true
+	return EOk
+}
+
+// SetAbsAlarm arms the alarm to expire when the counter reaches start —
+// §13.6.3.4.
+func (a *Alarm) SetAbsAlarm(start, cycle int64) StatusType {
+	if a.active {
+		return EOsState
+	}
+	c := a.counter
+	if start < 0 || start > c.maxAllowed ||
+		cycle != 0 && (cycle < 1 || cycle > c.maxAllowed) {
+		return EOsValue
+	}
+	a.expiry = start
+	a.cycle = cycle
+	a.active = true
+	return EOk
+}
+
+// CancelAlarm disarms the alarm — §13.6.3.5. E_OS_NOFUNC when not armed.
+func (a *Alarm) CancelAlarm() StatusType {
+	if !a.active {
+		return EOsNofunc
+	}
+	a.active = false
+	return EOk
+}
+
+// GetAlarm returns the ticks remaining until expiry — §13.6.3.2.
+// E_OS_NOFUNC when the alarm is not armed.
+func (a *Alarm) GetAlarm() (int64, StatusType) {
+	if !a.active {
+		return 0, EOsNofunc
+	}
+	c := a.counter
+	rem := a.expiry - c.value
+	if rem < 0 {
+		rem += c.maxAllowed + 1
+	}
+	return rem, EOk
+}
+
+// ExpiryPoint is one entry of a schedule table: at Offset ticks from the
+// table's start, run Action.
+type ExpiryPoint struct {
+	Offset int64
+	Action AlarmAction
+}
+
+// ScheduleTable is an AUTOSAR-style schedule table on a counter: a
+// statically ordered list of expiry points over a duration, optionally
+// repeating. (AUTOSAR OS SWS §8.4.8 ff.; OSEK models the same pattern
+// with coordinated alarms.)
+type ScheduleTable struct {
+	sys      *System
+	name     string
+	counter  *Counter
+	duration int64
+	points   []ExpiryPoint
+	repeat   bool
+
+	running bool
+	startAt int64 // counter value of the current cycle's logical start
+	next    int   // index of the next expiry point
+	fireIdx []int // points matched this tick
+}
+
+// NewScheduleTable declares a schedule table before Start. Points must
+// be strictly offset-ordered within (0, duration].
+func (s *System) NewScheduleTable(name string, c *Counter, duration int64, repeat bool, points ...ExpiryPoint) *ScheduleTable {
+	if s.started {
+		panic("osek: NewScheduleTable after Start")
+	}
+	last := int64(-1)
+	for _, pt := range points {
+		if pt.Offset < 0 || pt.Offset > duration || pt.Offset <= last {
+			panic("osek: schedule table offsets must be ordered within the duration")
+		}
+		last = pt.Offset
+	}
+	st := &ScheduleTable{sys: s, name: name, counter: c, duration: duration,
+		repeat: repeat, points: points}
+	c.tables = append(c.tables, st)
+	return st
+}
+
+// StartRel starts the table offset ticks from now — AUTOSAR
+// StartScheduleTableRel. E_OS_STATE when already started, E_OS_VALUE for
+// a bad offset.
+func (st *ScheduleTable) StartRel(offset int64) StatusType {
+	if st.running {
+		return EOsState
+	}
+	if offset <= 0 || offset > st.counter.maxAllowed {
+		return EOsValue
+	}
+	st.startAt = st.counter.value + offset
+	st.next = 0
+	st.running = true
+	return EOk
+}
+
+// Stop halts the table — AUTOSAR StopScheduleTable. E_OS_NOFUNC when not
+// running.
+func (st *ScheduleTable) Stop() StatusType {
+	if !st.running {
+		return EOsNofunc
+	}
+	st.running = false
+	return EOk
+}
+
+// Running reports whether the table is started.
+func (st *ScheduleTable) Running() bool { return st.running }
+
+func (st *ScheduleTable) check() bool {
+	if !st.running {
+		return false
+	}
+	elapsed := st.counter.value - st.startAt
+	if elapsed < 0 {
+		return false
+	}
+	for st.next < len(st.points) && st.points[st.next].Offset == elapsed {
+		st.fireIdx = append(st.fireIdx, st.next)
+		st.next++
+	}
+	if st.next >= len(st.points) && elapsed >= st.duration {
+		if st.repeat {
+			st.startAt += st.duration
+			st.next = 0
+		} else {
+			st.running = false
+		}
+	}
+	return len(st.fireIdx) > 0
+}
+
+func (st *ScheduleTable) fire(p *sim.Proc) {
+	for _, i := range st.fireIdx {
+		st.points[i].Action(p, st.sys)
+	}
+	st.fireIdx = st.fireIdx[:0]
+}

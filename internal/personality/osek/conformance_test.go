@@ -1,0 +1,909 @@
+// OSEK OS 2.2.3 conformance suite: table-driven, service-by-service
+// tests keyed to specification clauses (section numbers of the OSEK/VDX
+// Operating System specification 2.2.3; schedule-table cases reference
+// the AUTOSAR OS SWS). Each case pins one specified behavior — status
+// codes, activation queueing, ceiling-protocol scheduling, event and
+// alarm semantics — against the personality running on the shared
+// dispatcher.
+package osek
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// env is the per-case fixture: one simulation kernel, one OS under the
+// fixed-priority policy, one OSEK system of the case's conformance class.
+type env struct {
+	t   *testing.T
+	k   *sim.Kernel
+	os  *core.OS
+	sys *System
+}
+
+func newEnv(t *testing.T, class Class) *env {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Shutdown)
+	os := core.New(k, "ECU", core.PriorityPolicy{})
+	os.Init()
+	return &env{t: t, k: k, os: os, sys: NewSystem(os, class)}
+}
+
+// task declares a task, failing the test on a declaration error.
+func (e *env) task(d TaskDecl, body func(p *sim.Proc)) TaskID {
+	e.t.Helper()
+	id, st := e.sys.DeclareTask(d, body)
+	if st != EOk {
+		e.t.Fatalf("DeclareTask(%s) = %v", d.Name, st)
+	}
+	return id
+}
+
+// isr runs fn as an interrupt handler at simulated time `when`.
+func (e *env) isr(when sim.Time, name string, fn func(p *sim.Proc)) {
+	pr := e.k.Spawn(name, func(p *sim.Proc) {
+		p.WaitFor(when)
+		e.os.InterruptEnter(p, name)
+		fn(p)
+		e.os.InterruptReturn(p, name)
+	})
+	pr.SetDaemon(true)
+}
+
+// run starts the system and runs the simulation until it drains or the
+// horizon is reached (counters tick forever, so alarm cases need the
+// bound).
+func (e *env) run() { e.runUntil(1_000_000) }
+
+func (e *env) runUntil(h sim.Time) {
+	e.t.Helper()
+	e.sys.Start()
+	if err := e.k.RunUntil(h); err != nil {
+		e.t.Fatal(err)
+	}
+	if d := e.os.Diagnosis(); d != nil {
+		e.t.Fatal(d)
+	}
+}
+
+func wantSt(t *testing.T, what string, got, want StatusType) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// mustRes declares a resource, failing the test on an error.
+func mustRes(t *testing.T, s *System, name string, accessors ...TaskID) ResID {
+	t.Helper()
+	id, st := s.DeclareResource(name, accessors...)
+	if st != EOk {
+		t.Fatalf("DeclareResource(%s) = %v", name, st)
+	}
+	return id
+}
+
+// TestOSEKConformance is the OSEK OS 2.2.3 conformance table. Case names
+// are "<spec clause>/<behavior>".
+func TestOSEKConformance(t *testing.T) {
+	cases := []struct {
+		clause string // OSEK OS 2.2.3 (or AUTOSAR OS SWS) section
+		name   string
+		run    func(t *testing.T)
+	}{
+		// ------------------------------------------------------ task management
+		{"13.2.3.1-ActivateTask", "suspended-task-preempts-lower-caller", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var bStart sim.Time = -1
+			var hi TaskID
+			e.task(TaskDecl{Name: "lo", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 10)
+				wantSt(t, "ActivateTask(hi)", e.sys.ActivateTask(p, hi), EOk)
+				// hi (higher priority) preempted us here and already ran.
+				if bStart != 10 {
+					t.Errorf("hi had not run when control returned (start=%v)", bStart)
+				}
+			})
+			hi = e.task(TaskDecl{Name: "hi", Prio: 1}, func(p *sim.Proc) {
+				bStart = p.Now()
+			})
+			e.run()
+			if bStart != 10 {
+				t.Errorf("hi started at %v, want 10", bStart)
+			}
+		}},
+		{"13.2.3.1-ActivateTask", "E_OS_ID-invalid-task", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "ActivateTask(99)", e.sys.ActivateTask(p, 99), EOsID)
+			})
+			e.run()
+		}},
+		{"13.2.3.1-ActivateTask", "BCC1-E_OS_LIMIT-second-activation", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var lo TaskID
+			e.task(TaskDecl{Name: "hi", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 5)
+				wantSt(t, "first ActivateTask", e.sys.ActivateTask(p, lo), EOk)
+				// lo is READY (we outrank it): a second activation exceeds the
+				// BCC1 bound of one.
+				wantSt(t, "second ActivateTask", e.sys.ActivateTask(p, lo), EOsLimit)
+			})
+			lo = e.task(TaskDecl{Name: "lo", Prio: 5}, func(p *sim.Proc) {})
+			e.run()
+		}},
+		{"13.2.3.1-ActivateTask", "BCC2-queues-up-to-MaxActivations", func(t *testing.T) {
+			e := newEnv(t, BCC2)
+			runs := 0
+			var lo TaskID
+			e.task(TaskDecl{Name: "hi", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 5)
+				for i := 0; i < 3; i++ {
+					wantSt(t, "ActivateTask", e.sys.ActivateTask(p, lo), EOk)
+				}
+				wantSt(t, "4th ActivateTask", e.sys.ActivateTask(p, lo), EOsLimit)
+			})
+			lo = e.task(TaskDecl{Name: "lo", Prio: 5, MaxActivations: 3}, func(p *sim.Proc) {
+				runs++
+				e.os.TimeWait(p, 2)
+			})
+			e.run()
+			if runs != 3 {
+				t.Errorf("queued activations ran %d times, want 3", runs)
+			}
+			if got := e.sys.tasks[lo].task.Activations(); got != 3 {
+				t.Errorf("Activations() = %d, want 3", got)
+			}
+		}},
+		{"4.6.1-events", "activation-clears-pending-events", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var ext TaskID
+			first := true
+			var second EventMask = 0xff
+			ext = e.task(TaskDecl{Name: "ext", Prio: 1, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				if first {
+					first = false
+					wantSt(t, "SetEvent(self)", e.sys.SetEvent(p, ext, 0x4), EOk)
+					return // terminates with event 0x4 still set
+				}
+				second, _ = e.sys.GetEvent(ext)
+			})
+			e.task(TaskDecl{Name: "lo", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "re-ActivateTask", e.sys.ActivateTask(p, ext), EOk)
+			})
+			e.run()
+			if second != 0 {
+				t.Errorf("event set after re-activation = %#x, want 0 (cleared)", second)
+			}
+		}},
+		{"13.2.3.2-TerminateTask", "ends-in-SUSPENDED", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var hi TaskID
+			e.task(TaskDecl{Name: "lo", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "ActivateTask", e.sys.ActivateTask(p, hi), EOk)
+				// hi preempted, ran, terminated.
+				st, rc := e.sys.GetTaskState(hi)
+				wantSt(t, "GetTaskState", rc, EOk)
+				if st != Suspended {
+					t.Errorf("state after TerminateTask = %v, want SUSPENDED", st)
+				}
+			})
+			hi = e.task(TaskDecl{Name: "hi", Prio: 1}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 3)
+				wantSt(t, "TerminateTask", e.sys.TerminateTask(p), EOk)
+			})
+			e.run()
+		}},
+		{"13.2.3.2-TerminateTask", "E_OS_RESOURCE-while-occupying", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", a)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource", e.sys.GetResource(p, r), EOk)
+				wantSt(t, "TerminateTask holding r", e.sys.TerminateTask(p), EOsResource)
+				wantSt(t, "ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+			}
+			e.run()
+		}},
+		{"13.2.3.2-TerminateTask", "E_OS_CALLEVEL-at-interrupt-level", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 20)
+			})
+			e.isr(10, "irq", func(p *sim.Proc) {
+				wantSt(t, "TerminateTask from ISR", e.sys.TerminateTask(p), EOsCallevel)
+			})
+			e.run()
+		}},
+		{"4.7-implicit-terminate", "body-return-ends-activation", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			runs := 0
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				runs++
+			})
+			// b runs below a: a's first activation has finished (and parked in
+			// SUSPENDED) before b re-activates it.
+			e.task(TaskDecl{Name: "b", Prio: 9, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 5)
+				wantSt(t, "re-ActivateTask", e.sys.ActivateTask(p, a), EOk)
+			})
+			e.run()
+			if runs != 2 {
+				t.Errorf("body ran %d times, want 2 (return = implicit TerminateTask)", runs)
+			}
+			if got := e.sys.tasks[a].task.Activations(); got != 2 {
+				t.Errorf("Activations() = %d, want 2", got)
+			}
+		}},
+		{"13.2.3.3-ChainTask", "terminates-and-activates-successor", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var bStart sim.Time = -1
+			var b TaskID
+			e.task(TaskDecl{Name: "a", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 10)
+				wantSt(t, "ChainTask", e.sys.ChainTask(p, b), EOk)
+			})
+			b = e.task(TaskDecl{Name: "b", Prio: 5}, func(p *sim.Proc) {
+				bStart = p.Now()
+			})
+			e.run()
+			if bStart != 10 {
+				t.Errorf("successor started at %v, want 10 (at the chain point)", bStart)
+			}
+		}},
+		{"13.2.3.3-ChainTask", "self-chain-requeues-caller", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			runs := 0
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				runs++
+				if runs == 1 {
+					wantSt(t, "ChainTask(self)", e.sys.ChainTask(p, a), EOk)
+				}
+			})
+			e.run()
+			if runs != 2 {
+				t.Errorf("self-chained task ran %d times, want 2", runs)
+			}
+		}},
+		{"13.2.3.3-ChainTask", "E_OS_LIMIT-leaves-caller-running", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			ranAfter := false
+			var b TaskID
+			e.task(TaskDecl{Name: "a", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "ActivateTask(b)", e.sys.ActivateTask(p, b), EOk)
+				// b is READY: chaining it exceeds its activation bound, and the
+				// caller must NOT be terminated.
+				wantSt(t, "ChainTask(b)", e.sys.ChainTask(p, b), EOsLimit)
+				if st, _ := e.sys.GetTaskState(0); st != Running {
+					t.Errorf("caller state after failed chain = %v, want RUNNING", st)
+				}
+				ranAfter = true
+			})
+			b = e.task(TaskDecl{Name: "b", Prio: 5}, func(p *sim.Proc) {})
+			e.run()
+			if !ranAfter {
+				t.Error("caller did not continue after E_OS_LIMIT")
+			}
+		}},
+		{"13.2.3.3-ChainTask", "E_OS_ID-invalid-successor", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "ChainTask(99)", e.sys.ChainTask(p, 99), EOsID)
+			})
+			e.run()
+		}},
+		{"13.2.3.4-Schedule", "scheduling-point-of-non-preemptable-task", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var hiStart sim.Time = -1
+			var hi TaskID
+			e.task(TaskDecl{Name: "np", Prio: 5, NonPreemptable: true, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 10) // hi activated at t=5: no preemption
+				e.os.TimeWait(p, 10)
+				wantSt(t, "Schedule", e.sys.Schedule(p), EOk) // hi runs here
+				if hiStart != 20 {
+					t.Errorf("hi had not run after Schedule (start=%v)", hiStart)
+				}
+			})
+			hi = e.task(TaskDecl{Name: "hi", Prio: 1}, func(p *sim.Proc) {
+				hiStart = p.Now()
+			})
+			e.isr(5, "irq", func(p *sim.Proc) { e.sys.ActivateTask(p, hi) })
+			e.run()
+			if hiStart != 20 {
+				t.Errorf("hi started at %v, want 20 (the explicit Schedule point)", hiStart)
+			}
+		}},
+		{"13.2.3.4-Schedule", "E_OS_RESOURCE-while-occupying", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", a)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource", e.sys.GetResource(p, r), EOk)
+				wantSt(t, "Schedule holding r", e.sys.Schedule(p), EOsResource)
+				wantSt(t, "ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+			}
+			e.run()
+		}},
+		{"13.2.3.5-GetTaskID", "self-id-and-INVALID_TASK-from-ISR", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				id, rc := e.sys.GetTaskID(p)
+				wantSt(t, "GetTaskID", rc, EOk)
+				if id != a {
+					t.Errorf("GetTaskID = %d, want %d", id, a)
+				}
+				e.os.TimeWait(p, 20)
+			})
+			e.isr(10, "irq", func(p *sim.Proc) {
+				if id, _ := e.sys.GetTaskID(p); id != -1 {
+					t.Errorf("GetTaskID at interrupt level = %d, want -1 (INVALID_TASK)", id)
+				}
+			})
+			e.run()
+		}},
+		{"13.2.3.6-GetTaskState", "all-four-states", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var self, ready, susp, waiting TaskID
+			// waiting has the highest priority: it runs first at t=0 and
+			// blocks in WaitEvent before self's body checks the states.
+			waiting = e.task(TaskDecl{Name: "waiting", Prio: 0, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "WaitEvent", e.sys.WaitEvent(p, 0x1), EOk)
+			})
+			self = e.task(TaskDecl{Name: "self", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				check := func(id TaskID, want TaskStateType) {
+					got, rc := e.sys.GetTaskState(id)
+					wantSt(t, "GetTaskState", rc, EOk)
+					if got != want {
+						t.Errorf("state(%d) = %v, want %v", id, got, want)
+					}
+				}
+				wantSt(t, "ActivateTask(ready)", e.sys.ActivateTask(p, ready), EOk)
+				check(self, Running)
+				check(ready, Ready)
+				check(susp, Suspended)
+				check(waiting, Waiting)
+				wantSt(t, "SetEvent(waiting)", e.sys.SetEvent(p, waiting, 0x1), EOk)
+			})
+			ready = e.task(TaskDecl{Name: "ready", Prio: 5}, func(p *sim.Proc) {})
+			susp = e.task(TaskDecl{Name: "susp", Prio: 6}, func(p *sim.Proc) {})
+			if _, st := e.sys.GetTaskState(99); st != EOsID {
+				t.Errorf("GetTaskState(99) = %v, want E_OS_ID", st)
+			}
+			e.run()
+		}},
+
+		// -------------------------------------------------- conformance classes
+		{"3-conformance-classes", "extended-task-needs-ECC1", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			if _, st := e.sys.DeclareTask(TaskDecl{Name: "x", Prio: 1, Extended: true}, func(p *sim.Proc) {}); st != EOsAccess {
+				t.Errorf("DeclareTask(extended, BCC1) = %v, want E_OS_ACCESS", st)
+			}
+		}},
+		{"3-conformance-classes", "multiple-activations-need-BCC2", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			if _, st := e.sys.DeclareTask(TaskDecl{Name: "x", Prio: 1, MaxActivations: 2}, func(p *sim.Proc) {}); st != EOsValue {
+				t.Errorf("DeclareTask(2 activations, BCC1) = %v, want E_OS_VALUE", st)
+			}
+			e2 := newEnv(t, ECC1)
+			if _, st := e2.sys.DeclareTask(TaskDecl{Name: "x", Prio: 1, Extended: true, MaxActivations: 2}, func(p *sim.Proc) {}); st != EOsValue {
+				t.Errorf("DeclareTask(extended, 2 activations) = %v, want E_OS_VALUE", st)
+			}
+		}},
+
+		// ------------------------------------------- resources (ceiling protocol)
+		{"13.4.3.1-GetResource", "ceiling-boost-defers-contender", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var hiStart sim.Time = -1
+			var lo, hi TaskID
+			lo = e.task(TaskDecl{Name: "lo", Prio: 10, Autostart: true}, func(p *sim.Proc) {})
+			hi = e.task(TaskDecl{Name: "hi", Prio: 1}, func(p *sim.Proc) {
+				hiStart = p.Now()
+			})
+			r := mustRes(t, e.sys, "r", lo, hi) // ceiling = 1 (hi's priority)
+			e.sys.tasks[lo].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource", e.sys.GetResource(p, r), EOk)
+				e.os.TimeWait(p, 30) // hi activated at t=10: ceiling keeps us running
+				wantSt(t, "ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+				// The release restored our base priority: hi preempted here.
+				if hiStart != 30 {
+					t.Errorf("hi had not run after release (start=%v)", hiStart)
+				}
+			}
+			e.isr(10, "irq", func(p *sim.Proc) { e.sys.ActivateTask(p, hi) })
+			e.run()
+			if hiStart != 30 {
+				t.Errorf("contender started at %v, want 30 (after the release)", hiStart)
+			}
+		}},
+		{"13.4.3.1-GetResource", "E_OS_ID-invalid-resource", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "GetResource(99)", e.sys.GetResource(p, 99), EOsID)
+			})
+			e.run()
+		}},
+		{"13.4.3.1-GetResource", "E_OS_ACCESS-not-an-accessor", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a, b TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			b = e.task(TaskDecl{Name: "b", Prio: 6}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", b)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource as non-accessor", e.sys.GetResource(p, r), EOsAccess)
+			}
+			e.run()
+		}},
+		{"13.4.3.1-GetResource", "E_OS_ACCESS-nested-reentry", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", a)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource", e.sys.GetResource(p, r), EOk)
+				wantSt(t, "re-entrant GetResource", e.sys.GetResource(p, r), EOsAccess)
+				wantSt(t, "ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+			}
+			e.run()
+		}},
+		{"13.4.3.2-ReleaseResource", "E_OS_NOFUNC-not-occupied", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", a)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "ReleaseResource unheld", e.sys.ReleaseResource(p, r), EOsNofunc)
+			}
+			e.run()
+		}},
+		{"13.4.3.2-ReleaseResource", "LIFO-nesting-enforced", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			r1 := mustRes(t, e.sys, "r1", a)
+			r2 := mustRes(t, e.sys, "r2", a)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource(r1)", e.sys.GetResource(p, r1), EOk)
+				wantSt(t, "GetResource(r2)", e.sys.GetResource(p, r2), EOk)
+				wantSt(t, "ReleaseResource(r1) out of order", e.sys.ReleaseResource(p, r1), EOsNofunc)
+				wantSt(t, "ReleaseResource(r2)", e.sys.ReleaseResource(p, r2), EOk)
+				wantSt(t, "ReleaseResource(r1)", e.sys.ReleaseResource(p, r1), EOk)
+			}
+			e.run()
+		}},
+		{"8.5-OSEK_PRIORITY_CEILING", "prevents-priority-inversion", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var seq []string
+			var lo, mid, hi TaskID
+			lo = e.task(TaskDecl{Name: "lo", Prio: 10, Autostart: true}, func(p *sim.Proc) {})
+			mid = e.task(TaskDecl{Name: "mid", Prio: 5}, func(p *sim.Proc) {
+				seq = append(seq, "mid")
+				e.os.TimeWait(p, 5)
+			})
+			hi = e.task(TaskDecl{Name: "hi", Prio: 1}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", lo, hi) // ceiling = hi's priority
+			e.sys.tasks[lo].body = func(p *sim.Proc) {
+				wantSt(t, "lo GetResource", e.sys.GetResource(p, r), EOk)
+				seq = append(seq, "lo-cs")
+				e.os.TimeWait(p, 30)
+				wantSt(t, "lo ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+			}
+			e.sys.tasks[hi].body = func(p *sim.Proc) {
+				wantSt(t, "hi GetResource", e.sys.GetResource(p, r), EOk)
+				seq = append(seq, "hi-cs")
+				e.os.TimeWait(p, 10)
+				wantSt(t, "hi ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+			}
+			// The unbounded-inversion shape: mid becomes ready while lo holds
+			// the resource hi needs. Under the ceiling protocol lo already
+			// runs at hi's priority, so mid cannot lengthen hi's blocking.
+			e.isr(10, "irq-mid", func(p *sim.Proc) { e.sys.ActivateTask(p, mid) })
+			e.isr(12, "irq-hi", func(p *sim.Proc) { e.sys.ActivateTask(p, hi) })
+			e.run()
+			want := []string{"lo-cs", "hi-cs", "mid"}
+			if !reflect.DeepEqual(seq, want) {
+				t.Errorf("execution order = %v, want %v", seq, want)
+			}
+		}},
+		{"8.5-OSEK_PRIORITY_CEILING", "opposite-order-nesting-cannot-deadlock", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			done := 0
+			var a, b TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			b = e.task(TaskDecl{Name: "b", Prio: 4}, func(p *sim.Proc) {})
+			r1 := mustRes(t, e.sys, "r1", a, b)
+			r2 := mustRes(t, e.sys, "r2", a, b)
+			// a and b nest r1/r2 in opposite orders — the classic deadlock
+			// shape. The ceiling boost makes each critical section atomic
+			// with respect to the other accessor, so the cycle cannot form.
+			// (robustness_test.go pins the contrast with ITRON semaphores,
+			// where this same shape must be detected as a deadlock.)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "a Get(r1)", e.sys.GetResource(p, r1), EOk)
+				e.os.TimeWait(p, 10)
+				wantSt(t, "a Get(r2)", e.sys.GetResource(p, r2), EOk)
+				e.os.TimeWait(p, 10)
+				wantSt(t, "a Rel(r2)", e.sys.ReleaseResource(p, r2), EOk)
+				wantSt(t, "a Rel(r1)", e.sys.ReleaseResource(p, r1), EOk)
+				done++
+			}
+			e.sys.tasks[b].body = func(p *sim.Proc) {
+				wantSt(t, "b Get(r2)", e.sys.GetResource(p, r2), EOk)
+				e.os.TimeWait(p, 10)
+				wantSt(t, "b Get(r1)", e.sys.GetResource(p, r1), EOk)
+				e.os.TimeWait(p, 10)
+				wantSt(t, "b Rel(r1)", e.sys.ReleaseResource(p, r1), EOk)
+				wantSt(t, "b Rel(r2)", e.sys.ReleaseResource(p, r2), EOk)
+				done++
+			}
+			e.isr(5, "irq", func(p *sim.Proc) { e.sys.ActivateTask(p, b) })
+			e.run()
+			if done != 2 {
+				t.Errorf("%d tasks completed their critical sections, want 2", done)
+			}
+		}},
+		{"8.5-OSEK_PRIORITY_CEILING", "preempted-holder-requeues-at-ceiling-rank", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var seq []string
+			var hold, mid, hi TaskID
+			hold = e.task(TaskDecl{Name: "hold", Prio: 10, Autostart: true}, func(p *sim.Proc) {})
+			// peer only defines the ceiling (5); it is never activated.
+			peer := e.task(TaskDecl{Name: "peer", Prio: 5}, func(p *sim.Proc) {})
+			mid = e.task(TaskDecl{Name: "mid", Prio: 7}, func(p *sim.Proc) {
+				seq = append(seq, "mid")
+				e.os.TimeWait(p, 5)
+			})
+			hi = e.task(TaskDecl{Name: "hi", Prio: 1}, func(p *sim.Proc) {
+				seq = append(seq, "hi")
+				e.os.TimeWait(p, 5)
+			})
+			r := mustRes(t, e.sys, "r", hold, peer) // ceiling = peer's priority 5
+			e.sys.tasks[hold].body = func(p *sim.Proc) {
+				wantSt(t, "hold GetResource", e.sys.GetResource(p, r), EOk)
+				seq = append(seq, "hold-cs")
+				// Two delay segments: under the coarse time model hi's
+				// activation at t=10 preempts only at the t=15 boundary, which
+				// pushes the BOOSTED holder into the ready queue.
+				e.os.TimeWait(p, 15)
+				e.os.TimeWait(p, 15)
+				seq = append(seq, "hold-release")
+				wantSt(t, "hold ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+				seq = append(seq, "hold-end")
+			}
+			e.isr(10, "irq-hi", func(p *sim.Proc) { e.sys.ActivateTask(p, hi) })
+			e.isr(12, "irq-mid", func(p *sim.Proc) { e.sys.ActivateTask(p, mid) })
+			e.run()
+			// hold must be ranked at the ceiling (5) while queued: when hi
+			// exits, hold (static 10, boosted 5) beats mid (7). At the
+			// release the restore re-keys hold back to 10 and the reschedule
+			// point lets mid preempt before hold's final statement.
+			want := []string{"hold-cs", "hi", "hold-release", "mid", "hold-end"}
+			if !reflect.DeepEqual(seq, want) {
+				t.Errorf("execution order = %v, want %v", seq, want)
+			}
+		}},
+		{"13.4.3.1-GetResource", "nested-get-checks-static-not-boosted-priority", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			top := e.task(TaskDecl{Name: "top", Prio: 1}, func(p *sim.Proc) {})
+			low := e.task(TaskDecl{Name: "low", Prio: 4}, func(p *sim.Proc) {})
+			rHigh := mustRes(t, e.sys, "rHigh", a, top) // ceiling 1
+			rLow := mustRes(t, e.sys, "rLow", a, low)   // ceiling 4
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "a Get(rHigh)", e.sys.GetResource(p, rHigh), EOk)
+				// a now runs boosted to 1. The E_OS_ACCESS check of §13.4.3.1
+				// compares the STATICALLY assigned priority (5) against the
+				// ceiling (4), so nesting into the lower-ceiling resource is
+				// legal despite the transient boost above it.
+				wantSt(t, "a Get(rLow) while boosted", e.sys.GetResource(p, rLow), EOk)
+				wantSt(t, "a Rel(rLow)", e.sys.ReleaseResource(p, rLow), EOk)
+				wantSt(t, "a Rel(rHigh)", e.sys.ReleaseResource(p, rHigh), EOk)
+			}
+			e.run()
+		}},
+		{"13.4.2-DeclareResource", "declaration-errors", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {})
+			if _, st := e.sys.DeclareResource("empty"); st != EOsValue {
+				t.Errorf("DeclareResource(no accessors) = %v, want E_OS_VALUE", st)
+			}
+			if _, st := e.sys.DeclareResource("bad", 99); st != EOsID {
+				t.Errorf("DeclareResource(invalid accessor) = %v, want E_OS_ID", st)
+			}
+		}},
+
+		// ------------------------------------------------- events (ECC1 tasks)
+		{"13.5.3.4-WaitEvent", "blocks-until-SetEvent", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var wokeAt sim.Time = -1
+			var ext TaskID
+			ext = e.task(TaskDecl{Name: "ext", Prio: 1, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "WaitEvent", e.sys.WaitEvent(p, 0x1), EOk)
+				wokeAt = p.Now()
+				ev, rc := e.sys.GetEvent(ext)
+				wantSt(t, "GetEvent", rc, EOk)
+				if ev != 0x1 {
+					t.Errorf("events after wake = %#x, want 0x1", ev)
+				}
+				wantSt(t, "ClearEvent", e.sys.ClearEvent(p, 0x1), EOk)
+			})
+			e.task(TaskDecl{Name: "lo", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 40)
+				wantSt(t, "SetEvent", e.sys.SetEvent(p, ext, 0x1), EOk)
+			})
+			e.run()
+			if wokeAt != 40 {
+				t.Errorf("waiter woke at %v, want 40", wokeAt)
+			}
+		}},
+		{"13.5.3.4-WaitEvent", "already-set-event-returns-immediately", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var ext TaskID
+			ext = e.task(TaskDecl{Name: "ext", Prio: 1, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "SetEvent(self)", e.sys.SetEvent(p, ext, 0x1), EOk)
+				start := p.Now()
+				wantSt(t, "WaitEvent", e.sys.WaitEvent(p, 0x1), EOk)
+				if p.Now() != start {
+					t.Errorf("WaitEvent blocked %v with the event already set", p.Now()-start)
+				}
+			})
+			e.run()
+		}},
+		{"13.5.3.4-WaitEvent", "wakes-only-on-masked-event", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var wokeAt sim.Time = -1
+			var ext TaskID
+			ext = e.task(TaskDecl{Name: "ext", Prio: 1, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "WaitEvent", e.sys.WaitEvent(p, 0x1), EOk)
+				wokeAt = p.Now()
+				if ev, _ := e.sys.GetEvent(ext); ev != 0x3 {
+					t.Errorf("events after wake = %#x, want 0x3 (both deliveries kept)", ev)
+				}
+			})
+			e.task(TaskDecl{Name: "lo", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 10)
+				wantSt(t, "SetEvent(unmasked)", e.sys.SetEvent(p, ext, 0x2), EOk)
+				e.os.TimeWait(p, 10)
+				wantSt(t, "SetEvent(masked)", e.sys.SetEvent(p, ext, 0x1), EOk)
+			})
+			e.run()
+			if wokeAt != 20 {
+				t.Errorf("waiter woke at %v, want 20 (unmasked event must not wake)", wokeAt)
+			}
+		}},
+		{"13.5.3.4-WaitEvent", "E_OS_RESOURCE-while-occupying", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var a TaskID
+			a = e.task(TaskDecl{Name: "a", Prio: 5, Extended: true, Autostart: true}, func(p *sim.Proc) {})
+			r := mustRes(t, e.sys, "r", a)
+			e.sys.tasks[a].body = func(p *sim.Proc) {
+				wantSt(t, "GetResource", e.sys.GetResource(p, r), EOk)
+				wantSt(t, "WaitEvent holding r", e.sys.WaitEvent(p, 0x1), EOsResource)
+				wantSt(t, "ReleaseResource", e.sys.ReleaseResource(p, r), EOk)
+			}
+			e.run()
+		}},
+		{"13.5.3.1-SetEvent", "E_OS_ACCESS-basic-task", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var basic TaskID
+			e.task(TaskDecl{Name: "a", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "ActivateTask(basic)", e.sys.ActivateTask(p, basic), EOk)
+				wantSt(t, "SetEvent on basic task", e.sys.SetEvent(p, basic, 0x1), EOsAccess)
+				wantSt(t, "SetEvent invalid id", e.sys.SetEvent(p, 99, 0x1), EOsID)
+			})
+			basic = e.task(TaskDecl{Name: "basic", Prio: 5}, func(p *sim.Proc) {})
+			e.run()
+		}},
+		{"13.5.3.1-SetEvent", "E_OS_STATE-suspended-task", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var ext TaskID
+			e.task(TaskDecl{Name: "a", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 5) // well past start-up: ext is parked SUSPENDED
+				wantSt(t, "SetEvent on suspended task", e.sys.SetEvent(p, ext, 0x1), EOsState)
+			})
+			ext = e.task(TaskDecl{Name: "ext", Prio: 5, Extended: true}, func(p *sim.Proc) {})
+			e.run()
+		}},
+		{"13.5.3.2-ClearEvent", "clears-only-the-mask", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var ext TaskID
+			ext = e.task(TaskDecl{Name: "ext", Prio: 1, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "SetEvent", e.sys.SetEvent(p, ext, 0x3), EOk)
+				wantSt(t, "ClearEvent", e.sys.ClearEvent(p, 0x1), EOk)
+				if ev, _ := e.sys.GetEvent(ext); ev != 0x2 {
+					t.Errorf("events after partial clear = %#x, want 0x2", ev)
+				}
+				e.os.TimeWait(p, 20)
+			})
+			e.isr(10, "irq", func(p *sim.Proc) {
+				wantSt(t, "ClearEvent from ISR", e.sys.ClearEvent(p, 0x2), EOsCallevel)
+			})
+			e.run()
+		}},
+
+		// --------------------------------------------- counters, alarms, tables
+		{"13.6.3.3-SetRelAlarm", "one-shot-activates-task", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var start sim.Time = -1
+			job := e.task(TaskDecl{Name: "job", Prio: 1}, func(p *sim.Proc) {
+				start = p.Now()
+			})
+			c := e.sys.NewCounter("sys", 10, 1000)
+			al := e.sys.NewAlarm("wake", c, ActionActivateTask(job))
+			wantSt(t, "SetRelAlarm", al.SetRelAlarm(5, 0), EOk)
+			e.runUntil(200)
+			if start != 50 {
+				t.Errorf("alarm activation at %v, want 50 (5 ticks of 10)", start)
+			}
+			if _, st := al.GetAlarm(); st != EOsNofunc {
+				t.Errorf("GetAlarm after one-shot expiry = %v, want E_OS_NOFUNC", st)
+			}
+		}},
+		{"13.6.3.3-SetRelAlarm", "cyclic-reactivates-task", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var starts []sim.Time
+			job := e.task(TaskDecl{Name: "job", Prio: 1}, func(p *sim.Proc) {
+				starts = append(starts, p.Now())
+			})
+			c := e.sys.NewCounter("sys", 10, 1000)
+			al := e.sys.NewAlarm("cycle", c, ActionActivateTask(job))
+			wantSt(t, "SetRelAlarm", al.SetRelAlarm(2, 3), EOk)
+			e.runUntil(100)
+			want := []sim.Time{20, 50, 80}
+			if !reflect.DeepEqual(starts, want) {
+				t.Errorf("cyclic activations at %v, want %v", starts, want)
+			}
+		}},
+		{"13.6.3.3-SetRelAlarm", "E_OS_STATE-armed-and-E_OS_VALUE-bounds", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			job := e.task(TaskDecl{Name: "job", Prio: 1}, func(p *sim.Proc) {})
+			c := e.sys.NewCounter("sys", 10, 100)
+			al := e.sys.NewAlarm("a", c, ActionActivateTask(job))
+			wantSt(t, "SetRelAlarm(0)", al.SetRelAlarm(0, 0), EOsValue)
+			wantSt(t, "SetRelAlarm(beyond max)", al.SetRelAlarm(101, 0), EOsValue)
+			wantSt(t, "SetRelAlarm(bad cycle)", al.SetRelAlarm(5, 101), EOsValue)
+			wantSt(t, "SetRelAlarm", al.SetRelAlarm(5, 0), EOk)
+			wantSt(t, "SetRelAlarm while armed", al.SetRelAlarm(5, 0), EOsState)
+			wantSt(t, "SetAbsAlarm while armed", al.SetAbsAlarm(7, 0), EOsState)
+		}},
+		{"13.6.3.2-GetAlarm", "remaining-ticks", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var job TaskID
+			c := e.sys.NewCounter("sys", 10, 1000)
+			var al *Alarm
+			job = e.task(TaskDecl{Name: "job", Prio: 1, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 25) // counter value is 2 here
+				rem, rc := al.GetAlarm()
+				wantSt(t, "GetAlarm", rc, EOk)
+				if rem != 3 {
+					t.Errorf("GetAlarm remaining = %d ticks, want 3", rem)
+				}
+			})
+			al = e.sys.NewAlarm("a", c, ActionSetEvent(job, 0x1))
+			if _, st := al.GetAlarm(); st != EOsNofunc {
+				t.Errorf("GetAlarm unarmed = %v, want E_OS_NOFUNC", st)
+			}
+			wantSt(t, "SetRelAlarm", al.SetRelAlarm(5, 0), EOk)
+			e.runUntil(100)
+		}},
+		{"13.6.3.5-CancelAlarm", "cancel-prevents-expiry", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			fired := false
+			job := e.task(TaskDecl{Name: "job", Prio: 1}, func(p *sim.Proc) {
+				fired = true
+			})
+			c := e.sys.NewCounter("sys", 10, 1000)
+			al := e.sys.NewAlarm("a", c, ActionActivateTask(job))
+			if st := al.CancelAlarm(); st != EOsNofunc {
+				t.Errorf("CancelAlarm unarmed = %v, want E_OS_NOFUNC", st)
+			}
+			wantSt(t, "SetRelAlarm", al.SetRelAlarm(5, 0), EOk)
+			e.task(TaskDecl{Name: "canceller", Prio: 2, Autostart: true}, func(p *sim.Proc) {
+				e.os.TimeWait(p, 15)
+				wantSt(t, "CancelAlarm", al.CancelAlarm(), EOk)
+			})
+			e.runUntil(200)
+			if fired {
+				t.Error("canceled alarm still fired")
+			}
+		}},
+		{"9.2-alarm-action", "set-event-wakes-waiting-task", func(t *testing.T) {
+			e := newEnv(t, ECC1)
+			var wokeAt sim.Time = -1
+			ext := e.task(TaskDecl{Name: "ext", Prio: 1, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				wantSt(t, "WaitEvent", e.sys.WaitEvent(p, 0x1), EOk)
+				wokeAt = p.Now()
+			})
+			c := e.sys.NewCounter("sys", 10, 1000)
+			al := e.sys.NewAlarm("tick", c, ActionSetEvent(ext, 0x1))
+			wantSt(t, "SetRelAlarm", al.SetRelAlarm(3, 0), EOk)
+			e.runUntil(100)
+			if wokeAt != 30 {
+				t.Errorf("alarm event woke the task at %v, want 30", wokeAt)
+			}
+		}},
+		{"AUTOSAR-8.4.8-schedule-table", "expiry-points-fire-in-order", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var starts []sim.Time
+			var names []string
+			mk := func(name string) TaskID {
+				return e.task(TaskDecl{Name: name, Prio: 1}, func(p *sim.Proc) {
+					starts = append(starts, p.Now())
+					names = append(names, name)
+				})
+			}
+			ta, tb, tc := mk("a"), mk("b"), mk("c")
+			c := e.sys.NewCounter("sys", 10, 1000)
+			st := e.sys.NewScheduleTable("tbl", c, 10, false,
+				ExpiryPoint{Offset: 2, Action: ActionActivateTask(ta)},
+				ExpiryPoint{Offset: 5, Action: ActionActivateTask(tb)},
+				ExpiryPoint{Offset: 8, Action: ActionActivateTask(tc)})
+			wantSt(t, "StartRel", st.StartRel(1), EOk)
+			e.runUntil(200)
+			if want := []string{"a", "b", "c"}; !reflect.DeepEqual(names, want) {
+				t.Errorf("expiry order = %v, want %v", names, want)
+			}
+			if want := []sim.Time{30, 60, 90}; !reflect.DeepEqual(starts, want) {
+				t.Errorf("expiry times = %v, want %v", starts, want)
+			}
+			if st.Running() {
+				t.Error("one-shot table still running after its duration")
+			}
+		}},
+		{"AUTOSAR-8.4.8-schedule-table", "repeating-table-wraps", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			var starts []sim.Time
+			job := e.task(TaskDecl{Name: "job", Prio: 1}, func(p *sim.Proc) {
+				starts = append(starts, p.Now())
+			})
+			c := e.sys.NewCounter("sys", 10, 1000)
+			st := e.sys.NewScheduleTable("tbl", c, 5, true,
+				ExpiryPoint{Offset: 2, Action: ActionActivateTask(job)})
+			wantSt(t, "StartRel", st.StartRel(1), EOk)
+			e.runUntil(140)
+			want := []sim.Time{30, 80, 130}
+			if !reflect.DeepEqual(starts, want) {
+				t.Errorf("repeating expiries at %v, want %v", starts, want)
+			}
+			if !st.Running() {
+				t.Error("repeating table stopped")
+			}
+		}},
+		{"AUTOSAR-schedule-table", "start-stop-status-codes", func(t *testing.T) {
+			e := newEnv(t, BCC1)
+			job := e.task(TaskDecl{Name: "job", Prio: 1}, func(p *sim.Proc) {})
+			c := e.sys.NewCounter("sys", 10, 100)
+			st := e.sys.NewScheduleTable("tbl", c, 5, false,
+				ExpiryPoint{Offset: 1, Action: ActionActivateTask(job)})
+			if rc := st.Stop(); rc != EOsNofunc {
+				t.Errorf("Stop while stopped = %v, want E_OS_NOFUNC", rc)
+			}
+			wantSt(t, "StartRel(0)", st.StartRel(0), EOsValue)
+			wantSt(t, "StartRel", st.StartRel(2), EOk)
+			wantSt(t, "StartRel while running", st.StartRel(2), EOsState)
+			wantSt(t, "Stop", st.Stop(), EOk)
+		}},
+	}
+
+	if len(cases) < 30 {
+		t.Fatalf("conformance table has %d cases, want >= 30", len(cases))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cases {
+		key := c.clause + "/" + c.name
+		if seen[key] {
+			t.Fatalf("duplicate conformance case %q", key)
+		}
+		seen[key] = true
+		t.Run(key, c.run)
+	}
+}

@@ -1,0 +1,91 @@
+package osek
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// EventMask is a bit mask of per-task events (OSEK OS 2.2.3 §7). Events
+// belong to extended tasks: each extended task owns its event set, and
+// only ECC1 systems have extended tasks.
+type EventMask uint32
+
+// SetEvent sets events of an extended task (§13.5.3.1) and releases it
+// when it is waiting on any of them. E_OS_ID for an invalid task,
+// E_OS_ACCESS for a basic task, E_OS_STATE for a suspended task.
+// Callable from task and interrupt level.
+func (s *System) SetEvent(p *sim.Proc, id TaskID, mask EventMask) StatusType {
+	tc, ok := s.tcb(id)
+	if !ok {
+		return EOsID
+	}
+	if !tc.decl.Extended {
+		return EOsAccess
+	}
+	if tc.task.Proc() == nil || tc.suspended() && !tc.inWait {
+		return EOsState
+	}
+	tc.events |= mask
+	if tc.inWait && tc.events&tc.waiting != 0 {
+		tc.inWait = false
+		s.os.Resume(p, tc.task)
+	}
+	return EOk
+}
+
+// ClearEvent clears events of the calling extended task (§13.5.3.2):
+// E_OS_ACCESS from a basic task, E_OS_CALLEVEL at interrupt level.
+func (s *System) ClearEvent(p *sim.Proc, mask EventMask) StatusType {
+	tc := s.currentTCB(p)
+	if tc == nil {
+		return EOsCallevel
+	}
+	if !tc.decl.Extended {
+		return EOsAccess
+	}
+	tc.events &^= mask
+	return EOk
+}
+
+// GetEvent returns the current event set of an extended task
+// (§13.5.3.3).
+func (s *System) GetEvent(id TaskID) (EventMask, StatusType) {
+	tc, ok := s.tcb(id)
+	if !ok {
+		return 0, EOsID
+	}
+	if !tc.decl.Extended {
+		return 0, EOsAccess
+	}
+	if tc.task.Proc() == nil || tc.suspended() && !tc.inWait {
+		return 0, EOsState
+	}
+	return tc.events, EOk
+}
+
+// WaitEvent transfers the calling extended task into the WAITING state
+// until at least one event of mask is set (§13.5.3.4). An already-set
+// event returns immediately. E_OS_ACCESS for a basic task,
+// E_OS_RESOURCE while occupying a resource (waiting with a held
+// resource would defeat the ceiling protocol), E_OS_CALLEVEL at
+// interrupt level.
+func (s *System) WaitEvent(p *sim.Proc, mask EventMask) StatusType {
+	tc := s.currentTCB(p)
+	if tc == nil {
+		return EOsCallevel
+	}
+	if !tc.decl.Extended {
+		return EOsAccess
+	}
+	if len(tc.resStack) > 0 {
+		return EOsResource
+	}
+	if tc.events&mask != 0 {
+		return EOk
+	}
+	tc.waiting = mask
+	tc.inWait = true
+	s.os.Suspend(p, core.TaskWaitingEvent, "event:"+tc.decl.Name)
+	tc.inWait = false
+	return EOk
+}

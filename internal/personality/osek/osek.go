@@ -1,0 +1,443 @@
+// Package osek models an OSEK/VDX OS 2.2.3 (and AUTOSAR OS classic)
+// kernel personality on top of the shared abstract-RTOS dispatcher
+// (internal/core): static task declaration with BCC1/BCC2/ECC1
+// conformance classes, multiple-activation queueing, the immediate
+// priority-ceiling resource protocol (OSEK_PRIORITY_CEILING), per-task
+// events for extended tasks, counters/alarms/schedule tables, and
+// explicit Schedule() points for non-preemptable tasks.
+//
+// Services return OSEK StatusType codes (extended-status error checking)
+// so conformance tests can pin the specified error semantics clause by
+// clause. Priorities keep the repository convention smaller = higher
+// (OSEK numbers priorities the other way around; only the ordering
+// matters to the model).
+//
+// OSEK task bodies follow the specification's control flow: a body runs
+// once per activation and must end each activation with TerminateTask or
+// ChainTask (returning from the body is treated as TerminateTask, as
+// implementations do in their error hook). Code after a successful
+// TerminateTask/ChainTask call must not execute; bodies must return
+// immediately after these calls.
+package osek
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// StatusType is the OSEK service return status (OSEK OS 2.2.3 §13.1).
+type StatusType uint8
+
+// OSEK standard status codes.
+const (
+	EOk         StatusType = 0
+	EOsAccess   StatusType = 1 // service on an object without access right
+	EOsCallevel StatusType = 2 // call at interrupt level where forbidden
+	EOsID       StatusType = 3 // object identifier invalid
+	EOsLimit    StatusType = 4 // too many task activations
+	EOsNofunc   StatusType = 5 // service rejected in the object's state
+	EOsResource StatusType = 6 // resource occupancy rule violated
+	EOsState    StatusType = 7 // object state forbids the service
+	EOsValue    StatusType = 8 // value outside admissible limits
+)
+
+func (s StatusType) String() string {
+	switch s {
+	case EOk:
+		return "E_OK"
+	case EOsAccess:
+		return "E_OS_ACCESS"
+	case EOsCallevel:
+		return "E_OS_CALLEVEL"
+	case EOsID:
+		return "E_OS_ID"
+	case EOsLimit:
+		return "E_OS_LIMIT"
+	case EOsNofunc:
+		return "E_OS_NOFUNC"
+	case EOsResource:
+		return "E_OS_RESOURCE"
+	case EOsState:
+		return "E_OS_STATE"
+	case EOsValue:
+		return "E_OS_VALUE"
+	}
+	return fmt.Sprintf("StatusType(%d)", uint8(s))
+}
+
+// Class is the OSEK conformance class (OSEK OS 2.2.3 §3): BCC1 — basic
+// tasks, one activation; BCC2 — basic tasks, multiple activations and
+// shared priorities; ECC1 — extended tasks (events), one activation.
+type Class int
+
+const (
+	BCC1 Class = iota
+	BCC2
+	ECC1
+)
+
+func (c Class) String() string {
+	switch c {
+	case BCC1:
+		return "BCC1"
+	case BCC2:
+		return "BCC2"
+	case ECC1:
+		return "ECC1"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// TaskID identifies a declared task.
+type TaskID int
+
+// TaskStateType is the OSEK task-state model (§4.2): RUNNING, READY,
+// WAITING (extended tasks only) and SUSPENDED.
+type TaskStateType int
+
+const (
+	Suspended TaskStateType = iota
+	Ready
+	Running
+	Waiting
+)
+
+func (s TaskStateType) String() string {
+	switch s {
+	case Suspended:
+		return "SUSPENDED"
+	case Ready:
+		return "READY"
+	case Running:
+		return "RUNNING"
+	case Waiting:
+		return "WAITING"
+	}
+	return fmt.Sprintf("TaskStateType(%d)", int(s))
+}
+
+// TaskDecl declares one task of the static OSEK application (OIL TASK
+// object): base priority (smaller = higher), activation bound,
+// extended/basic, preemptability, and autostart.
+type TaskDecl struct {
+	Name           string
+	Prio           int
+	MaxActivations int  // concurrent activation bound (1 unless BCC2)
+	Extended       bool // may wait on events (ECC1)
+	NonPreemptable bool // runs to its next scheduling point
+	Autostart      bool // activated at system start
+}
+
+// System is one OSEK personality instance over a core.OS. Tasks,
+// resources, counters and alarms are declared before Start, matching
+// OSEK's static configuration.
+type System struct {
+	os      *core.OS
+	class   Class
+	tasks   []*TCB
+	byTask  map[*core.Task]*TCB
+	res     []*Res
+	started bool
+}
+
+// NewSystem attaches an OSEK personality of the given conformance class
+// to an OS instance.
+func NewSystem(os *core.OS, class Class) *System {
+	return &System{os: os, class: class, byTask: make(map[*core.Task]*TCB)}
+}
+
+// OS returns the underlying dispatcher instance.
+func (s *System) OS() *core.OS { return s.os }
+
+// Classof returns the system's conformance class.
+func (s *System) Classof() Class { return s.class }
+
+// TCB is the OSEK extension of a task control block.
+type TCB struct {
+	sys  *System
+	id   TaskID
+	decl TaskDecl
+	task *core.Task
+	body func(p *sim.Proc)
+
+	pending  int // queued activations beyond the current one
+	preStart int // activations that arrived before the task's process bound
+	finished bool
+
+	events   EventMask // pending event set (extended tasks)
+	waiting  EventMask // wait mask while in WaitEvent
+	inWait   bool
+	resStack []*Res // LIFO of occupied resources
+	oldPrio  []int  // priorities saved by GetResource boosts
+}
+
+// Task returns the TCB's dispatcher-level task.
+func (tc *TCB) Task() *core.Task { return tc.task }
+
+// ID returns the task's identifier.
+func (tc *TCB) ID() TaskID { return tc.id }
+
+// DeclareTask declares a task before Start. Conformance-class rules are
+// enforced here: extended tasks need ECC1, multiple activations need
+// BCC2 (E_OS_ACCESS / E_OS_VALUE otherwise).
+func (s *System) DeclareTask(d TaskDecl, body func(p *sim.Proc)) (TaskID, StatusType) {
+	if s.started {
+		return -1, EOsState
+	}
+	if d.MaxActivations <= 0 {
+		d.MaxActivations = 1
+	}
+	if d.Extended && s.class != ECC1 {
+		return -1, EOsAccess
+	}
+	if d.MaxActivations > 1 && s.class != BCC2 {
+		return -1, EOsValue
+	}
+	if d.Extended && d.MaxActivations > 1 {
+		return -1, EOsValue
+	}
+	tc := &TCB{sys: s, id: TaskID(len(s.tasks)), decl: d, body: body}
+	s.tasks = append(s.tasks, tc)
+	return tc.id, EOk
+}
+
+// SetBody replaces a declared task's body before Start. Resource, event
+// and alarm identifiers only exist after the tasks they reference are
+// declared, so bodies that use them are typically bound late through
+// this hook.
+func (s *System) SetBody(id TaskID, body func(p *sim.Proc)) StatusType {
+	if s.started {
+		return EOsState
+	}
+	if int(id) < 0 || int(id) >= len(s.tasks) {
+		return EOsID
+	}
+	s.tasks[id].body = body
+	return EOk
+}
+
+// Start instantiates all declared tasks on the dispatcher and begins
+// the simulation's OS operation; autostart tasks are activated.
+func (s *System) Start() {
+	if s.started {
+		panic("osek: Start called twice")
+	}
+	s.started = true
+	k := s.os.Kernel()
+	for _, tc := range s.tasks {
+		tc.task = s.os.TaskCreate(tc.decl.Name, core.Aperiodic, 0, 0, tc.decl.Prio)
+		if tc.decl.NonPreemptable {
+			tc.task.SetPreemptable(false)
+		}
+		s.byTask[tc.task] = tc
+		tcc := tc
+		pr := k.Spawn(tc.decl.Name, func(p *sim.Proc) { s.taskLoop(p, tcc) })
+		// OSEK tasks live for the whole system run and park in SUSPENDED
+		// between activations; as daemons they don't hold the simulation
+		// open once all productive work has drained.
+		pr.SetDaemon(true)
+	}
+	s.os.Start(nil)
+}
+
+// taskLoop is the per-task driver: it binds the process, parks
+// non-autostart tasks, and runs the body once per activation.
+func (s *System) taskLoop(p *sim.Proc, tc *TCB) {
+	switch {
+	case tc.decl.Autostart:
+		tc.pending += tc.preStart
+		tc.preStart = 0
+		s.os.TaskActivate(p, tc.task)
+	case tc.preStart > 0:
+		// Activated during the start-up delta cycles, before this process
+		// bound to the task: consume one activation now, queue the rest.
+		tc.pending += tc.preStart - 1
+		tc.preStart = 0
+		s.os.TaskActivate(p, tc.task)
+	default:
+		s.os.Adopt(p, tc.task)
+	}
+	for {
+		tc.finished = false
+		tc.body(p)
+		if !tc.finished {
+			// Returning from the body without TerminateTask: treated as an
+			// implicit TerminateTask (§4.7, behavior of conforming
+			// implementations' error hooks).
+			s.TerminateTask(p)
+		}
+	}
+}
+
+// tcb validates a TaskID.
+func (s *System) tcb(id TaskID) (*TCB, bool) {
+	if id < 0 || int(id) >= len(s.tasks) {
+		return nil, false
+	}
+	return s.tasks[id], true
+}
+
+// currentTCB resolves the calling process to the running task's TCB
+// (nil at interrupt level or for foreign processes).
+func (s *System) currentTCB(p *sim.Proc) *TCB {
+	t := s.os.Current()
+	if t == nil || t.Proc() != p {
+		return nil
+	}
+	return s.byTask[t]
+}
+
+// suspended reports whether the task is in the OSEK SUSPENDED state.
+func (tc *TCB) suspended() bool {
+	st := tc.task.State()
+	return st == core.TaskSuspended || st == core.TaskCreated
+}
+
+// ---------------------------------------------------------------------------
+// Task management services (OSEK OS 2.2.3 §13.2).
+
+// ActivateTask transfers a suspended task into the ready state, or — for
+// BCC2 tasks already active — queues the activation (§13.2.3.1):
+// E_OS_LIMIT when the activation bound is exceeded, E_OS_ID for an
+// invalid task. Callable from task and interrupt level.
+func (s *System) ActivateTask(p *sim.Proc, id TaskID) StatusType {
+	tc, ok := s.tcb(id)
+	if !ok {
+		return EOsID
+	}
+	if tc.task.Proc() == nil {
+		// The task's process has not bound yet (start-up delta cycles):
+		// record the activation for delivery when it does.
+		act := 1 + tc.preStart
+		if tc.decl.Autostart {
+			act++
+		}
+		if act > tc.decl.MaxActivations {
+			return EOsLimit
+		}
+		tc.preStart++
+		return EOk
+	}
+	if tc.suspended() {
+		tc.events = 0 // activation clears the event set (§4.6.1)
+		s.os.TaskActivate(p, tc.task)
+		return EOk
+	}
+	if 1+tc.pending >= tc.decl.MaxActivations {
+		return EOsLimit
+	}
+	tc.pending++
+	return EOk
+}
+
+// TerminateTask ends the calling task's current activation (§13.2.3.2).
+// With a queued activation pending, the task re-enters the ready queue
+// from the rear; otherwise it moves to SUSPENDED. E_OS_RESOURCE while
+// still occupying a resource, E_OS_CALLEVEL at interrupt level. The
+// body must return immediately after a successful call.
+func (s *System) TerminateTask(p *sim.Proc) StatusType {
+	tc := s.currentTCB(p)
+	if tc == nil {
+		return EOsCallevel
+	}
+	if len(tc.resStack) > 0 {
+		return EOsResource
+	}
+	tc.finished = true
+	tc.task.NoteActivation()
+	if tc.pending > 0 {
+		tc.pending--
+		s.os.Requeue(p)
+	} else {
+		s.os.TaskSleep(p)
+	}
+	return EOk
+}
+
+// ChainTask terminates the calling task and activates the successor in
+// one atomic operation (§13.2.3.3): the successor is readied before the
+// caller's termination performs the dispatch decision. Chaining self
+// queues a new activation of the caller. E_OS_LIMIT is returned — with
+// the caller NOT terminated — when the successor's activation bound is
+// exceeded.
+func (s *System) ChainTask(p *sim.Proc, id TaskID) StatusType {
+	tc := s.currentTCB(p)
+	if tc == nil {
+		return EOsCallevel
+	}
+	succ, ok := s.tcb(id)
+	if !ok {
+		return EOsID
+	}
+	if len(tc.resStack) > 0 {
+		return EOsResource
+	}
+	if succ == tc {
+		tc.pending++
+	} else if succ.suspended() {
+		succ.events = 0
+		s.os.MakeReady(succ.task)
+	} else {
+		if 1+succ.pending >= succ.decl.MaxActivations {
+			return EOsLimit
+		}
+		succ.pending++
+	}
+	tc.finished = true
+	tc.task.NoteActivation()
+	if tc.pending > 0 {
+		tc.pending--
+		s.os.Requeue(p)
+	} else {
+		s.os.TaskSleep(p)
+	}
+	return EOk
+}
+
+// Schedule is the explicit scheduling point of non-preemptable tasks
+// (§13.2.3.4): a ready task with higher priority is dispatched.
+// E_OS_RESOURCE while occupying a resource, E_OS_CALLEVEL at interrupt
+// level.
+func (s *System) Schedule(p *sim.Proc) StatusType {
+	tc := s.currentTCB(p)
+	if tc == nil {
+		return EOsCallevel
+	}
+	if len(tc.resStack) > 0 {
+		return EOsResource
+	}
+	s.os.Yield(p)
+	return EOk
+}
+
+// GetTaskID returns the calling task's identifier, or -1 at interrupt
+// level (§13.2.3.5).
+func (s *System) GetTaskID(p *sim.Proc) (TaskID, StatusType) {
+	tc := s.currentTCB(p)
+	if tc == nil {
+		return -1, EOk // INVALID_TASK
+	}
+	return tc.id, EOk
+}
+
+// GetTaskState returns the OSEK state of a task (§13.2.3.6).
+func (s *System) GetTaskState(id TaskID) (TaskStateType, StatusType) {
+	tc, ok := s.tcb(id)
+	if !ok {
+		return Suspended, EOsID
+	}
+	switch st := tc.task.State(); {
+	case tc.task == s.os.Current():
+		return Running, EOk
+	case st == core.TaskReady:
+		return Ready, EOk
+	case st == core.TaskSuspended, st == core.TaskCreated:
+		return Suspended, EOk
+	case !st.Alive():
+		return Suspended, EOk
+	default:
+		return Waiting, EOk
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/refine"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -14,45 +15,65 @@ import (
 
 // instance is the channel set visible to one PE's behaviors during a run.
 // In single-PE runs it holds every channel; in mapped runs each PE gets
-// its own instance sharing the inter-PE links.
+// its own instance sharing the inter-PE links. Queues and semaphores are
+// held behind the personality interfaces so a model's `personality`
+// directive swaps their native kind without touching the interpreter
+// (handshakes have no personality mapping and stay spec-level).
 type instance struct {
-	queues     map[string]*channel.Queue[int64]
-	sems       map[string]*channel.Semaphore
+	queues     map[string]personality.Queue
+	sems       map[string]personality.Semaphore
 	handshakes map[string]*channel.Handshake
 	links      map[string]*arch.Link[int64]
 }
 
 func newInstance() *instance {
 	return &instance{
-		queues:     map[string]*channel.Queue[int64]{},
-		sems:       map[string]*channel.Semaphore{},
+		queues:     map[string]personality.Queue{},
+		sems:       map[string]personality.Semaphore{},
 		handshakes: map[string]*channel.Handshake{},
 		links:      map[string]*arch.Link[int64]{},
+	}
+}
+
+// makeChannel instantiates one declared channel into inst, through the
+// personality runtime when one is present (architecture models on a
+// software PE) and through the PE factory otherwise (specification
+// model, hardware PEs).
+func (inst *instance) makeChannel(c ChannelDecl, f channel.Factory, rt personality.Runtime) {
+	switch c.Kind {
+	case ChanQueue:
+		if rt != nil {
+			inst.queues[c.Name] = rt.NewQueue(c.Name, c.Arg)
+		} else {
+			inst.queues[c.Name] = channel.NewQueue[int64](f, c.Name, c.Arg)
+		}
+	case ChanSemaphore:
+		if rt != nil {
+			inst.sems[c.Name] = rt.NewSemaphore(c.Name, c.Arg)
+		} else {
+			inst.sems[c.Name] = channel.NewSemaphore(f, c.Name, c.Arg)
+		}
+	case ChanHandshake:
+		inst.handshakes[c.Name] = channel.NewHandshake(f, c.Name)
 	}
 }
 
 // build instantiates channels, behaviors, stimuli and ISRs on a PE and
 // returns the root behavior tree — the SDL equivalent of elaborating a
 // SpecC design. The PE's factory performs the synchronization refinement,
-// so one builder serves both models.
-func (m *Model) build(pe *arch.PE, rec *trace.Recorder) (*refine.Behavior, error) {
+// so one builder serves both models; rt (nil for the specification
+// model) selects the RTOS personality carrying the channels.
+func (m *Model) build(pe *arch.PE, rec *trace.Recorder, rt personality.Runtime) (*refine.Behavior, error) {
 	f := pe.Factory()
 	inst := newInstance()
 	for _, c := range m.Channels {
-		switch c.Kind {
-		case ChanQueue:
-			inst.queues[c.Name] = channel.NewQueue[int64](f, c.Name, c.Arg)
-		case ChanSemaphore:
-			inst.sems[c.Name] = channel.NewSemaphore(f, c.Name, c.Arg)
-		case ChanHandshake:
-			inst.handshakes[c.Name] = channel.NewHandshake(f, c.Name)
-		}
+		inst.makeChannel(c, f, rt)
 	}
 	// In the pre-mapping views (unscheduled specification, single-PE
 	// architecture) inter-PE links are still plain message channels — the
 	// bus only exists after mapping.
 	for _, l := range m.Links {
-		inst.queues[l.Name] = channel.NewQueue[int64](f, l.Name, 1)
+		inst.makeChannel(ChannelDecl{Name: l.Name, Kind: ChanQueue, Arg: 1}, f, rt)
 	}
 
 	// Interrupts: ISR releases the semaphore; a stimulus process raises
@@ -156,12 +177,14 @@ func (m *Model) mapping() refine.Mapping {
 	return mp
 }
 
-// RunUnscheduled elaborates and simulates the specification model.
+// RunUnscheduled elaborates and simulates the specification model. The
+// `personality` directive does not apply here: the specification model
+// has no RTOS, so channels are always the spec-level primitives.
 func (m *Model) RunUnscheduled() (*trace.Recorder, error) {
 	k := sim.NewKernel()
 	pe := arch.NewHWPE(k, "PE")
 	rec := trace.New("sdl-spec")
-	root, err := m.build(pe, rec)
+	root, err := m.build(pe, rec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +193,10 @@ func (m *Model) RunUnscheduled() (*trace.Recorder, error) {
 }
 
 // RunArchitecture elaborates and simulates the RTOS-based architecture
-// model under the given policy and time model. An optional telemetry bus
-// is attached to the RTOS instance.
+// model under the given policy and time model; the model's `personality`
+// directive (default generic) selects the RTOS API whose native channel
+// kinds carry the declared queues and semaphores. An optional telemetry
+// bus is attached to the RTOS instance.
 func (m *Model) RunArchitecture(policy core.Policy, tm core.TimeModel, bus ...*telemetry.Bus) (*trace.Recorder, *core.OS, error) {
 	k := sim.NewKernel()
 	pe := arch.NewSWPE(k, "PE", policy, core.WithTimeModel(tm))
@@ -181,7 +206,11 @@ func (m *Model) RunArchitecture(policy core.Policy, tm core.TimeModel, bus ...*t
 		b.Attach(pe.OS())
 		rec.TeeMarkers(b)
 	}
-	root, err := m.build(pe, rec)
+	rt, err := personality.New(m.Personality, pe.OS())
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := m.build(pe, rec, rt)
 	if err != nil {
 		return nil, nil, err
 	}

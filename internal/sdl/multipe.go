@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
-	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/refine"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -32,6 +32,7 @@ func (m *Model) RunMapped(policy core.Policy, tm core.TimeModel, bus ...*telemet
 
 	pes := map[string]*arch.PE{}
 	oss := map[string]*core.OS{}
+	rts := map[string]personality.Runtime{}
 	for _, pd := range m.PEs {
 		if pd.SW {
 			pe := arch.NewSWPE(k, pd.Name, policy, core.WithTimeModel(tm))
@@ -41,6 +42,13 @@ func (m *Model) RunMapped(policy core.Policy, tm core.TimeModel, bus ...*telemet
 			}
 			pes[pd.Name] = pe
 			oss[pd.Name] = pe.OS()
+			// Every software PE runs its own instance of the model's
+			// personality; hardware PEs have no RTOS and keep spec channels.
+			rt, err := personality.New(m.Personality, pe.OS())
+			if err != nil {
+				return nil, nil, err
+			}
+			rts[pd.Name] = rt
 		} else {
 			pes[pd.Name] = arch.NewHWPE(k, pd.Name)
 		}
@@ -94,16 +102,7 @@ func (m *Model) RunMapped(policy core.Policy, tm core.TimeModel, bus ...*telemet
 		if !used {
 			owner = m.PEs[0].Name // unused channels: arbitrary home
 		}
-		inst := instFor(owner)
-		f := pes[owner].Factory()
-		switch cd.Kind {
-		case ChanQueue:
-			inst.queues[cd.Name] = channel.NewQueue[int64](f, cd.Name, cd.Arg)
-		case ChanSemaphore:
-			inst.sems[cd.Name] = channel.NewSemaphore(f, cd.Name, cd.Arg)
-		case ChanHandshake:
-			inst.handshakes[cd.Name] = channel.NewHandshake(f, cd.Name)
-		}
+		instFor(owner).makeChannel(cd, pes[owner].Factory(), rts[owner])
 	}
 
 	// Interrupts attach to the PE owning the released semaphore.

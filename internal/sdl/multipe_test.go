@@ -262,3 +262,44 @@ task consumer priority 1
 		t.Errorf("single-PE end = %v, want 1200 (serialized 12×100)", s)
 	}
 }
+
+// TestRunMappedPersonalities reruns the two-PE model with a personality
+// directive: every software PE gets its own native kernel instance, and
+// the mapped schedule must be unchanged — link traffic crosses the bus
+// below the personality layer, and the per-PE local channels see no
+// contended grants in this model.
+func TestRunMappedPersonalities(t *testing.T) {
+	ref, _, err := mustParse(t, twoPEModel).RunMapped(core.PriorityPolicy{}, core.TimeModelCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pers := range []string{"itron", "osek"} {
+		m := mustParse(t, twoPEModel+"\npersonality "+pers+"\n")
+		rec, oss, err := m.RunMapped(core.PriorityPolicy{}, core.TimeModelCoarse)
+		if err != nil {
+			t.Fatalf("%s: %v", pers, err)
+		}
+		if len(oss) != 2 {
+			t.Fatalf("%s: oss = %d, want 2", pers, len(oss))
+		}
+		want := ref.MarkerTimes("out")
+		got := rec.MarkerTimes("out")
+		if len(got) != len(want) {
+			t.Fatalf("%s: outputs = %v, want %v", pers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: out[%d] at %v, want %v", pers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *Model {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -65,6 +65,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/personality"
 	"repro/internal/sim"
 )
 
@@ -180,16 +181,17 @@ type MapDecl struct {
 
 // Model is a parsed SDL file.
 type Model struct {
-	Channels  []ChannelDecl
-	Behaviors []BehaviorDecl
-	Composes  []ComposeDecl
-	IRQs      []IRQDecl
-	Tasks     []TaskDecl
-	PEs       []PEDecl
-	Buses     []BusDecl
-	Links     []LinkDecl
-	Maps      []MapDecl
-	Top       string
+	Channels    []ChannelDecl
+	Behaviors   []BehaviorDecl
+	Composes    []ComposeDecl
+	IRQs        []IRQDecl
+	Tasks       []TaskDecl
+	PEs         []PEDecl
+	Buses       []BusDecl
+	Links       []LinkDecl
+	Maps        []MapDecl
+	Top         string
+	Personality string // RTOS personality for architecture runs ("" = generic)
 }
 
 // MultiPE reports whether the model declares processing elements (and
@@ -230,6 +232,8 @@ func Parse(src string) (*Model, error) {
 			err = p.mapDecl(m)
 		case "top":
 			m.Top, err = p.ident()
+		case "personality":
+			m.Personality, err = p.ident()
 		default:
 			err = fmt.Errorf("unexpected %q at top level", word)
 		}
@@ -621,6 +625,9 @@ func (p *parser) mapDecl(m *Model) error {
 func (m *Model) Validate() error {
 	if m.Top == "" {
 		return fmt.Errorf("sdl: no top declaration")
+	}
+	if !personality.Valid(m.Personality) {
+		return fmt.Errorf("sdl: unknown personality %q (have %v)", m.Personality, personality.Kinds())
 	}
 	chans := map[string]ChannelKind{}
 	for _, c := range m.Channels {

@@ -235,3 +235,45 @@ task p priority 1 period 100us wcet 10us
 		t.Errorf("mapping = %+v", mp["p"])
 	}
 }
+
+// TestPersonalityDirective pins the `personality` directive: the figure3
+// model runs under every RTOS personality and must hit the same paper
+// milestones — the generic run byte-for-byte (passthrough), the native
+// kernels on the same schedule since the model's queue traffic never
+// contends (capacity 1, strictly alternating producer/consumer).
+func TestPersonalityDirective(t *testing.T) {
+	for _, pers := range []string{"", "generic", "itron", "osek"} {
+		src := figure3SDL
+		if pers != "" {
+			src += "\npersonality " + pers + "\n"
+		}
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", pers, err)
+		}
+		if m.Personality != pers {
+			t.Errorf("Personality = %q, want %q", m.Personality, pers)
+		}
+		arch, osm, err := m.RunArchitecture(core.PriorityPolicy{}, core.TimeModelCoarse)
+		if err != nil {
+			t.Fatalf("%q: %v", pers, err)
+		}
+		if ts := arch.MarkerTimes("ext-data"); len(ts) != 1 || ts[0] != 390 {
+			t.Errorf("%q: ext-data at %v, want [390]", pers, ts)
+		}
+		if arch.End() != 610 {
+			t.Errorf("%q: arch end = %v, want 610", pers, arch.End())
+		}
+		if cs := osm.StatsSnapshot().ContextSwitches; cs < 4 {
+			t.Errorf("%q: context switches = %d", pers, cs)
+		}
+	}
+}
+
+// TestPersonalityDirectiveErrors pins rejection of unknown kinds.
+func TestPersonalityDirectiveErrors(t *testing.T) {
+	_, err := Parse(figure3SDL + "\npersonality vxworks\n")
+	if err == nil || !strings.Contains(err.Error(), "unknown personality") {
+		t.Errorf("err = %v, want unknown personality", err)
+	}
+}

@@ -74,6 +74,22 @@ func CheckJobs(s *Scenario, jobs int) []Failure {
 			fails = append(fails, Failure{Config: cfg, Violations: vs})
 		}
 	}
+	// Cross-personality oracle: a personality changes kernel API semantics
+	// (channel grant order, wakeup bookkeeping), never the modeled work.
+	// Pair each itron/osek run with its generic sibling and compare the
+	// completion set, activation counts and per-task CPU time. Response
+	// times and deadline misses are NOT compared — grant order legitimately
+	// shifts when blocked tasks run.
+	for _, cfg := range cfgs {
+		if cfg.CPUs != 1 || cfg.Personality == "" {
+			continue
+		}
+		gen := cfg
+		gen.Personality = ""
+		if vs := diffPersonalities(byKey[gen.String()], byKey[cfg.String()]); len(vs) > 0 {
+			fails = append(fails, Failure{Config: cfg, Violations: vs})
+		}
+	}
 	return fails
 }
 
@@ -121,6 +137,44 @@ func diffRuns(coarse, segmented *RunResult) []Violation {
 		}
 		if c.CPUTime != g.CPUTime {
 			add("task %s consumed %v CPU coarse but %v segmented", c.Name, c.CPUTime, g.CPUTime)
+		}
+	}
+	return vs
+}
+
+// diffPersonalities compares one itron/osek run against its generic
+// sibling (same policy, time model, PE): with the horizon draining the
+// whole workload, the personalities must agree on which tasks completed,
+// how many activations each ran and how much CPU each consumed — the
+// busy-time totals follow. A divergence means a personality kernel lost
+// or duplicated work (a dropped wakeup, a double grant), not merely
+// reordered it.
+func diffPersonalities(generic, native *RunResult) []Violation {
+	if generic == nil || native == nil || generic.Err != nil || native.Err != nil {
+		return nil // run errors are already reported per config
+	}
+	var vs []Violation
+	add := func(format string, args ...interface{}) {
+		vs = append(vs, Violation{Kind: "personality", Msg: fmt.Sprintf(format, args...)})
+	}
+	if generic.Stats.BusyTime != native.Stats.BusyTime {
+		add("%s busy time %v != %s busy time %v",
+			generic.Config, generic.Stats.BusyTime, native.Config, native.Stats.BusyTime)
+	}
+	if len(generic.Tasks) != len(native.Tasks) {
+		add("task count %d != %d", len(generic.Tasks), len(native.Tasks))
+		return vs
+	}
+	for i := range generic.Tasks {
+		g, n := generic.Tasks[i], native.Tasks[i]
+		if g.Terminated != n.Terminated {
+			add("task %s terminated=%v generic but %v under %s", g.Name, g.Terminated, n.Terminated, native.Config.Personality)
+		}
+		if g.Activations != n.Activations {
+			add("task %s ran %d activations generic but %d under %s", g.Name, g.Activations, n.Activations, native.Config.Personality)
+		}
+		if g.CPUTime != n.CPUTime {
+			add("task %s consumed %v CPU generic but %v under %s", g.Name, g.CPUTime, n.CPUTime, native.Config.Personality)
 		}
 	}
 	return vs

@@ -1,0 +1,122 @@
+package simcheck
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/personality"
+	"repro/internal/runner"
+)
+
+var updateCorpus = flag.Bool("update", false, "rewrite the cross-personality corpus from its seeds")
+
+// crossSeeds are the seeds of the committed cross-personality corpus in
+// testdata/simcheck/: every one generates a scenario with both a queue
+// topology and a semaphore, so the itron and osek personalities take
+// their native grant paths (mailbox FIFO handoff, OSEK-COM queued
+// messages) rather than the degenerate channel-free passthrough.
+var crossSeeds = []int64{5, 10, 12, 18, 23, 30, 33, 40, 53, 71, 90}
+
+func crossPath(seed int64) string {
+	return filepath.Join("..", "..", "testdata", "simcheck", fmt.Sprintf("cross_seed%d.json", seed))
+}
+
+// TestPersonalityMatrix pins the shape of the configuration matrix: every
+// uniprocessor policy runs under both time models and all three
+// personalities, and the SMP rows stay personality-free (the smp package
+// has its own service surface).
+func TestPersonalityMatrix(t *testing.T) {
+	s := Generate(5) // has channels: no SMP rows
+	count := map[string]int{}
+	for _, cfg := range Matrix(s) {
+		if cfg.CPUs != 1 {
+			t.Errorf("channel-bearing scenario got SMP config %s", cfg)
+			continue
+		}
+		count[cfg.Personality]++
+	}
+	for _, pers := range []string{"", personality.ITRON, personality.OSEK} {
+		if count[pers] != 10 { // 5 policies x 2 time models
+			t.Errorf("personality %q has %d matrix rows, want 10", pers, count[pers])
+		}
+	}
+	for _, cfg := range Matrix(Generate(1)) { // periodic-only: SMP eligible
+		if cfg.CPUs > 1 && cfg.Personality != "" {
+			t.Errorf("SMP config %s carries a personality", cfg)
+		}
+	}
+}
+
+// tracesByConfig runs the scenario's full matrix with the given worker
+// count and returns each config's canonical trace bytes.
+func tracesByConfig(s *Scenario, jobs int) map[string][]byte {
+	cfgs := Matrix(s)
+	runs := runner.Map(len(cfgs), runner.Options{Jobs: jobs}, func(i int) (*RunResult, error) {
+		return safeRun(s, cfgs[i]), nil
+	})
+	out := make(map[string][]byte, len(cfgs))
+	for i, cfg := range cfgs {
+		out[cfg.String()] = runs[i].Value.Trace
+	}
+	return out
+}
+
+// TestCrossPersonalityCorpus replays the committed corpus: each scenario
+// must (a) round-trip its seed (generation is a pure function of the
+// seed, so the file is self-checking), (b) pass the full invariant and
+// oracle matrix — including the cross-personality differential oracle —
+// and (c) produce byte-identical traces whether the matrix runs on one
+// worker or eight, which is the determinism contract cmd/simfuzz -jobs
+// relies on (run under -race, this also shakes out data races between
+// concurrent matrix points).
+func TestCrossPersonalityCorpus(t *testing.T) {
+	for _, seed := range crossSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := Generate(seed)
+			if len(s.Channels) < 2 {
+				t.Fatalf("seed %d has %d channels; corpus seeds must exercise queues and semaphores", seed, len(s.Channels))
+			}
+			want := s.MarshalIndent()
+			path := crossPath(seed)
+			if *updateCorpus {
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate the corpus)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s does not match Generate(%d); run with -update", path, seed)
+			}
+			loaded, err := ParseScenario(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if fails := CheckJobs(loaded, 8); len(fails) > 0 {
+				for _, f := range fails {
+					t.Errorf("%v", f)
+				}
+			}
+			seq := tracesByConfig(loaded, 1)
+			par := tracesByConfig(loaded, 8)
+			for key, a := range seq {
+				if b := par[key]; !bytes.Equal(a, b) {
+					t.Errorf("config %s: trace differs between -jobs 1 and -jobs 8\n%s",
+						key, firstTraceDiff(a, b))
+				}
+			}
+		})
+	}
+	if len(crossSeeds) < 10 {
+		t.Errorf("cross-personality corpus has %d scenarios, want >= 10", len(crossSeeds))
+	}
+}

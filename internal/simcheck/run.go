@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"fmt"
 
-	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/trace"
@@ -18,6 +18,14 @@ type Config struct {
 	CPUs      int      // 1: core.OS single PE; >1: smp.OS global scheduler
 	Quantum   sim.Time // round-robin slice ("rr" only)
 
+	// Personality selects the RTOS service surface the scenario's tasks
+	// program against ("" or "generic", "itron", "osek"; CPUs=1 only — the
+	// SMP model has its own service surface). The generic personality is a
+	// 1:1 passthrough, so its traces are byte-identical to the pre-
+	// personality runner; itron/osek change channel grant order and wakeup
+	// bookkeeping, which the cross-personality differential oracle bounds.
+	Personality string
+
 	// LinearReady forces the scheduler's linear ready-list scan instead of
 	// the indexed ready queue. Scheduling decisions must be byte-identical
 	// either way; the equivalence suite diffs traces across this flag.
@@ -28,21 +36,28 @@ type Config struct {
 func (c Config) Segmented() bool { return c.TimeModel == "segmented" }
 
 func (c Config) String() string {
-	return fmt.Sprintf("%s/%s/%dcpu", c.Policy, c.TimeModel, c.CPUs)
+	s := fmt.Sprintf("%s/%s/%dcpu", c.Policy, c.TimeModel, c.CPUs)
+	if c.Personality != "" {
+		s += "/" + c.Personality
+	}
+	return s
 }
 
 // Matrix returns every configuration the scenario is eligible for: all
-// five uniprocessor policies under both time models, plus the global SMP
-// policies for channel-free scenarios (the SMP model's service surface).
+// five uniprocessor policies under both time models and all three RTOS
+// personalities, plus the global SMP policies for channel-free scenarios
+// (the SMP model's service surface, generic personality only).
 func Matrix(s *Scenario) []Config {
 	var out []Config
 	for _, tm := range []string{"coarse", "segmented"} {
-		for _, pol := range []string{"priority", "fcfs", "rr", "edf", "rm"} {
-			cfg := Config{Policy: pol, TimeModel: tm, CPUs: 1}
-			if pol == "rr" {
-				cfg.Quantum = 25 * sim.Microsecond
+		for _, pers := range []string{"", personality.ITRON, personality.OSEK} {
+			for _, pol := range []string{"priority", "fcfs", "rr", "edf", "rm"} {
+				cfg := Config{Policy: pol, TimeModel: tm, CPUs: 1, Personality: pers}
+				if pol == "rr" {
+					cfg.Quantum = 25 * sim.Microsecond
+				}
+				out = append(out, cfg)
 			}
-			out = append(out, cfg)
 		}
 		if s.ChannelFree() {
 			for _, pol := range []string{"g-fp", "g-edf"} {
@@ -116,12 +131,21 @@ func (e SMPEvent) String() string {
 // collected trace, statistics and per-task outcomes.
 func Run(s *Scenario, cfg Config) *RunResult {
 	if cfg.CPUs > 1 {
+		if cfg.Personality != "" {
+			// Personalities are uniprocessor kernel APIs layered over
+			// core.OS services; the global SMP scheduler has its own task
+			// model, so the combination is a configuration error rather
+			// than a silently ignored axis.
+			return &RunResult{Config: cfg,
+				Err: fmt.Errorf("simcheck: personality %q requires CPUs=1", cfg.Personality)}
+		}
 		return runSMP(s, cfg)
 	}
 	return runSingle(s, cfg)
 }
 
-// runSingle executes the scenario on one core.OS instance.
+// runSingle executes the scenario on one core.OS instance, programming
+// the tasks against the config's personality runtime.
 func runSingle(s *Scenario, cfg Config) *RunResult {
 	res := &RunResult{Config: cfg}
 	policy, err := core.PolicyByName(cfg.Policy, cfg.Quantum)
@@ -140,15 +164,19 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 	rec := trace.New("simcheck")
 	rec.Attach(rtos)
 
-	f := channel.RTOSFactory{OS: rtos}
-	queues := map[string]*channel.Queue[int]{}
-	sems := map[string]*channel.Semaphore{}
+	rt, err := personality.New(cfg.Personality, rtos)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	queues := map[string]personality.Queue{}
+	sems := map[string]personality.Semaphore{}
 	for _, c := range s.Channels {
 		switch c.Kind {
 		case "queue":
-			queues[c.Name] = channel.NewQueue[int](f, c.Name, c.Arg)
+			queues[c.Name] = rt.NewQueue(c.Name, c.Arg)
 		case "semaphore":
-			sems[c.Name] = channel.NewSemaphore(f, c.Name, c.Arg)
+			sems[c.Name] = rt.NewSemaphore(c.Name, c.Arg)
 		}
 	}
 
@@ -159,34 +187,34 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 		spec := &s.Tasks[i]
 		switch spec.Type {
 		case "periodic":
-			task := rtos.TaskCreate(spec.Name, core.Periodic, spec.Period, spec.Work()/sim.Time(spec.Cycles), spec.Prio)
+			task := rt.TaskCreate(spec.Name, core.Periodic, spec.Period, spec.Work()/sim.Time(spec.Cycles), spec.Prio)
 			tasks[i] = task
 			k.Spawn(spec.Name, func(p *sim.Proc) {
-				rtos.TaskActivate(p, task)
+				rt.Activate(p, task)
 				for c := 0; c < spec.Cycles; c++ {
 					rel := task.Release()
 					for _, seg := range spec.Segments {
-						rtos.TimeWait(p, seg)
+						rt.Compute(p, seg)
 					}
 					if done := task.LastWorkDone(); done > rel && done-rel > resp[i] {
 						resp[i] = done - rel
 					}
-					rtos.TaskEndCycle(p)
+					rt.EndCycle(p)
 				}
-				rtos.TaskTerminate(p)
+				rt.Terminate(p)
 			})
 		case "aperiodic":
-			task := rtos.TaskCreate(spec.Name, core.Aperiodic, 0, spec.Work(), spec.Prio)
+			task := rt.TaskCreate(spec.Name, core.Aperiodic, 0, spec.Work(), spec.Prio)
 			tasks[i] = task
 			k.Spawn(spec.Name, func(p *sim.Proc) {
 				if spec.Start > 0 {
 					p.WaitFor(spec.Start)
 				}
-				rtos.TaskActivate(p, task)
+				rt.Activate(p, task)
 				for _, op := range spec.Ops {
 					switch op.Kind {
 					case OpDelay:
-						rtos.TimeWait(p, op.Dur)
+						rt.Compute(p, op.Dur)
 					case OpSend:
 						queues[op.Ch].Send(p, 1)
 					case OpRecv:
@@ -195,7 +223,7 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 						sems[op.Ch].Acquire(p)
 					}
 				}
-				rtos.TaskTerminate(p)
+				rt.Terminate(p)
 			})
 		}
 	}

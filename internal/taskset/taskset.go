@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -29,11 +30,12 @@ type Task struct {
 
 // Set is the top-level task-set description.
 type Set struct {
-	Policy    string  `json:"policy"`
-	QuantumUs float64 `json:"quantumUs"`
-	TimeModel string  `json:"timeModel"` // "coarse" (default) or "segmented"
-	HorizonMs float64 `json:"horizonMs"`
-	Tasks     []Task  `json:"tasks"`
+	Policy      string  `json:"policy"`
+	QuantumUs   float64 `json:"quantumUs"`
+	TimeModel   string  `json:"timeModel"`             // "coarse" (default) or "segmented"
+	Personality string  `json:"personality,omitempty"` // "generic" (default), "itron" or "osek"
+	HorizonMs   float64 `json:"horizonMs"`
+	Tasks       []Task  `json:"tasks"`
 }
 
 // Parse decodes and validates a JSON task set.
@@ -93,6 +95,9 @@ func (s *Set) Validate() error {
 	if s.TimeModel != "" && s.TimeModel != "coarse" && s.TimeModel != "segmented" {
 		return fmt.Errorf("taskset: unknown time model %q", s.TimeModel)
 	}
+	if !personality.Valid(s.Personality) {
+		return fmt.Errorf("taskset: unknown personality %q (have %v)", s.Personality, personality.Kinds())
+	}
 	if s.QuantumUs < 0 {
 		return fmt.Errorf("taskset: negative quantumUs %g", s.QuantumUs)
 	}
@@ -120,13 +125,14 @@ type TaskResult struct {
 
 // Result is the outcome of Run.
 type Result struct {
-	Policy    string
-	TimeModel core.TimeModel
-	Horizon   sim.Time
-	End       sim.Time
-	Tasks     []TaskResult
-	Stats     core.Stats
-	Trace     *trace.Recorder
+	Policy      string
+	TimeModel   core.TimeModel
+	Personality string
+	Horizon     sim.Time
+	End         sim.Time
+	Tasks       []TaskResult
+	Stats       core.Stats
+	Trace       *trace.Recorder
 }
 
 // Run simulates the set and returns per-task and OS-level statistics plus
@@ -168,37 +174,41 @@ func Run(s *Set, bus ...*telemetry.Bus) (*Result, error) {
 		b.Attach(rtos)
 		rec.TeeMarkers(b)
 	}
+	rt, err := personality.New(s.Personality, rtos)
+	if err != nil {
+		return nil, err
+	}
 
 	var tasks []*core.Task
 	for _, tj := range s.Tasks {
 		tj := tj
 		switch tj.Type {
 		case "periodic", "":
-			task := rtos.TaskCreate(tj.Name, core.Periodic, us(tj.PeriodUs), us(tj.WcetUs), tj.Prio)
+			task := rt.TaskCreate(tj.Name, core.Periodic, us(tj.PeriodUs), us(tj.WcetUs), tj.Prio)
 			tasks = append(tasks, task)
 			p := k.Spawn(tj.Name, func(p *sim.Proc) {
-				rtos.TaskActivate(p, task)
+				rt.Activate(p, task)
 				for c := 0; tj.Cycles == 0 || c < tj.Cycles; c++ {
-					rtos.TimeWait(p, us(tj.WcetUs))
-					rtos.TaskEndCycle(p)
+					rt.Compute(p, us(tj.WcetUs))
+					rt.EndCycle(p)
 				}
-				rtos.TaskTerminate(p)
+				rt.Terminate(p)
 			})
 			if tj.Cycles == 0 {
 				p.SetDaemon(true)
 			}
 		case "aperiodic":
-			task := rtos.TaskCreate(tj.Name, core.Aperiodic, 0, us(tj.WcetUs), tj.Prio)
+			task := rt.TaskCreate(tj.Name, core.Aperiodic, 0, us(tj.WcetUs), tj.Prio)
 			tasks = append(tasks, task)
 			k.Spawn(tj.Name, func(p *sim.Proc) {
 				if tj.StartUs > 0 {
 					p.WaitFor(us(tj.StartUs))
 				}
-				rtos.TaskActivate(p, task)
+				rt.Activate(p, task)
 				for _, c := range tj.ComputeUs {
-					rtos.TimeWait(p, us(float64(c)))
+					rt.Compute(p, us(float64(c)))
 				}
-				rtos.TaskTerminate(p)
+				rt.Terminate(p)
 			})
 		}
 	}
@@ -213,12 +223,13 @@ func Run(s *Set, bus ...*telemetry.Bus) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{
-		Policy:    policy.Name(),
-		TimeModel: tm,
-		Horizon:   horizon,
-		End:       k.Now(),
-		Stats:     rtos.StatsSnapshot(),
-		Trace:     rec,
+		Policy:      policy.Name(),
+		TimeModel:   tm,
+		Personality: rt.Kind(),
+		Horizon:     horizon,
+		End:         k.Now(),
+		Stats:       rtos.StatsSnapshot(),
+		Trace:       rec,
 	}
 	for _, t := range tasks {
 		res.Tasks = append(res.Tasks, TaskResult{

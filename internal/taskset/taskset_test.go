@@ -123,6 +123,7 @@ func TestValidationErrors(t *testing.T) {
 		{"neg-quantum", `{"quantumUs":-1,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "negative quantumUs"},
 		{"rr-no-quantum", `{"policy":"rr","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "quantumUs > 0"},
 		{"bad-policy", `{"policy":"lottery","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "lottery"},
+		{"bad-personality", `{"personality":"vxworks","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "unknown personality"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -172,5 +173,44 @@ func TestOverloadDetected(t *testing.T) {
 	}
 	if missed == 0 {
 		t.Error("overloaded set reported no misses")
+	}
+}
+
+// TestPersonalityEquivalence runs the same set under every RTOS
+// personality. Task lifecycle operations (activate, compute, end-cycle,
+// terminate) are identical passthroughs in all three adapters, so every
+// per-task outcome — and the trace itself — must be byte-equivalent to
+// the generic run; only the Result label differs.
+func TestPersonalityEquivalence(t *testing.T) {
+	base, err := Parse([]byte(goodJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Personality != "generic" {
+		t.Errorf("default personality = %q, want generic", ref.Personality)
+	}
+	for _, pers := range []string{"generic", "itron", "osek"} {
+		s := *base
+		s.Personality = pers
+		res, err := Run(&s)
+		if err != nil {
+			t.Fatalf("%s: %v", pers, err)
+		}
+		if res.Personality != pers {
+			t.Errorf("Result.Personality = %q, want %q", res.Personality, pers)
+		}
+		for i, tr := range res.Tasks {
+			if tr != ref.Tasks[i] {
+				t.Errorf("%s: task %s = %+v, want %+v", pers, tr.Name, tr, ref.Tasks[i])
+			}
+		}
+		if res.Stats.ContextSwitches != ref.Stats.ContextSwitches {
+			t.Errorf("%s: context switches = %d, want %d",
+				pers, res.Stats.ContextSwitches, ref.Stats.ContextSwitches)
+		}
 	}
 }

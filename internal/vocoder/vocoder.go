@@ -28,6 +28,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/personality"
 	"repro/internal/refine"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -96,14 +97,31 @@ func (r Results) String() string {
 		r.Model, r.Frames, r.SimEnd, r.Wall, r.ContextSwitches, r.TranscodingDelay)
 }
 
+// specQueue adapts a factory-built queue to the personality.Queue shape,
+// so the behavior tree builds identically for the specification model
+// (no RTOS, no personality) and every RTOS personality.
+type specQueue struct{ q *channel.Queue[int64] }
+
+func (w specQueue) Send(p *sim.Proc, v int64) { w.q.Send(p, v) }
+func (w specQueue) Recv(p *sim.Proc) int64    { return w.q.Recv(p) }
+
 // build constructs the codec's behavior tree, frame interrupt and
 // channels on the given PE; shared between the specification and
-// architecture models (the PE's factory performs the synchronization
-// refinement).
-func build(pe *arch.PE, rec *trace.Recorder, par Params) *refine.Behavior {
-	f := pe.Factory()
-	frameSem := channel.NewSemaphore(f, "frame.sem", 0)
-	coded := channel.NewQueue[int](f, "coded", par.Subframes*2)
+// architecture models. rt selects the RTOS personality whose native
+// channel kinds carry the frame semaphore and the coded-subframe queue;
+// nil (the specification model) uses the PE factory's spec-level
+// channels, which the personality interface subsumes.
+func build(pe *arch.PE, rec *trace.Recorder, par Params, rt personality.Runtime) *refine.Behavior {
+	var frameSem personality.Semaphore
+	var coded personality.Queue
+	if rt != nil {
+		frameSem = rt.NewSemaphore("frame.sem", 0)
+		coded = rt.NewQueue("coded", par.Subframes*2)
+	} else {
+		f := pe.Factory()
+		frameSem = channel.NewSemaphore(f, "frame.sem", 0)
+		coded = specQueue{q: channel.NewQueue[int64](f, "coded", par.Subframes*2)}
+	}
 
 	irq := pe.AttachISR("frame.irq", par.ISRTime, func(p *sim.Proc) {
 		frameSem.Release(p)
@@ -125,7 +143,7 @@ func build(pe *arch.PE, rec *trace.Recorder, par Params) *refine.Behavior {
 			frameSem.Acquire(p)
 			for s := 0; s < par.Subframes; s++ {
 				x.Delay(par.EncSubTime) // LPC/LTP/codebook search share
-				coded.Send(p, i*par.Subframes+s)
+				coded.Send(p, int64(i*par.Subframes+s))
 			}
 		}
 	})
@@ -172,7 +190,7 @@ func RunSpec(par Params, bus ...*telemetry.Bus) (Results, *trace.Recorder, error
 	for _, b := range bus {
 		rec.TeeMarkers(b)
 	}
-	root := build(pe, rec, par)
+	root := build(pe, rec, par, nil)
 	refine.RunUnscheduled(k, rec, root)
 	start := time.Now()
 	err := k.Run()
@@ -181,9 +199,20 @@ func RunSpec(par Params, bus ...*telemetry.Bus) (Results, *trace.Recorder, error
 }
 
 // RunArch executes the architecture model: the codec's behaviors refined
-// into tasks on the abstract RTOS model. An optional telemetry bus is
-// attached to the RTOS instance and receives the frame markers.
+// into tasks on the abstract RTOS model under the generic (paper-model)
+// personality. An optional telemetry bus is attached to the RTOS
+// instance and receives the frame markers.
 func RunArch(par Params, policy core.Policy, tm core.TimeModel, bus ...*telemetry.Bus) (Results, *trace.Recorder, error) {
+	return RunArchPersonality(par, policy, tm, personality.Generic, bus...)
+}
+
+// RunArchPersonality is RunArch with an explicit RTOS personality: the
+// codec's frame semaphore and coded-subframe queue take the selected
+// kernel's native forms (ITRON direct-handoff semaphore and mailbox,
+// OSEK-COM queued messages), while the task structure, priorities and
+// compute stay identical — the paper's RTOS-library axis on the
+// evaluation application.
+func RunArchPersonality(par Params, policy core.Policy, tm core.TimeModel, kind string, bus ...*telemetry.Bus) (Results, *trace.Recorder, error) {
 	k := sim.NewKernel()
 	defer k.Shutdown()
 	var opts []core.Option
@@ -198,7 +227,11 @@ func RunArch(par Params, policy core.Policy, tm core.TimeModel, bus ...*telemetr
 		b.Attach(pe.OS())
 		rec.TeeMarkers(b)
 	}
-	root := build(pe, rec, par)
+	rt, err := personality.New(kind, pe.OS())
+	if err != nil {
+		return Results{}, rec, err
+	}
+	root := build(pe, rec, par, rt)
 	refine.RunArchitecture(k, pe.OS(), rec, root, refine.Mapping{
 		"vocoder": {Priority: 0},
 		"encoder": {Priority: par.PrioEnc},
@@ -206,7 +239,7 @@ func RunArch(par Params, policy core.Policy, tm core.TimeModel, bus ...*telemetr
 	})
 	pe.OS().Start(nil)
 	start := time.Now()
-	err := k.Run()
+	err = k.Run()
 	if d := pe.OS().Diagnosis(); err == nil && d != nil {
 		// The always-armed runtime diagnosis (deadlock/stall/starvation)
 		// outranks a silently wrong result.

@@ -44,6 +44,22 @@ TELEMETRY_OVERHEAD_GUARD=1 go test -run TestTelemetryOverheadGuard -count=1 -v .
 echo "== ready-queue equivalence matrix"
 go test -run 'TestReadyQueueEquivalence' -count=1 ./internal/simcheck
 
+# RTOS personality conformance: the µITRON 4.0 and OSEK OS 2.2.3 suites
+# (spec-clause-keyed, table-driven) plus the seeded cross-personality
+# corpus whose per-task outcomes must match the generic kernel run for
+# every seed. (go test ./... above already ran these; the explicit pass keeps
+# the personality layer's contract visible in the gate.)
+echo "== personality conformance suites (itron, osek) + cross corpus"
+go test -run 'TestITRONConformance' -count=1 ./internal/personality/itron
+go test -run 'TestOSEKConformance' -count=1 ./internal/personality/osek
+go test -run 'TestCrossPersonalityCorpus' -count=1 ./internal/simcheck
+
+# Personality dispatch overhead guard: the personality interface in
+# front of the core services must stay within 5% of direct calls on the
+# context-switch scenario (generic passthrough isolates the indirection).
+echo "== personality dispatch overhead guard"
+PERSONALITY_OVERHEAD_GUARD=1 go test -run TestPersonalityOverheadGuard -count=1 -v .
+
 # Kernel performance gate: re-run the benchmark scenarios and compare
 # against the committed baseline (BENCH_kernel.json). Allocation counts
 # are gated exactly — any steady-state alloc regression fails here — while
