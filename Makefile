@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline equivalence conformance personality-overhead
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline equivalence engine-equivalence conformance personality-overhead
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -55,6 +55,9 @@ bench-baseline: ## re-record BENCH_kernel.json (review the diff!)
 
 equivalence: ## indexed-vs-linear ready-queue byte-equivalence matrix
 	go test -run 'TestReadyQueueEquivalence' -count=1 ./internal/simcheck
+
+engine-equivalence: ## goroutine-vs-run-to-completion engine byte-equivalence matrix
+	go test -run 'TestEngineEquivalence' -count=1 ./internal/simcheck ./internal/taskset
 
 conformance: ## RTOS personality conformance suites (µITRON 4.0, OSEK OS 2.2.3)
 	go test -run 'TestITRONConformance' -count=1 -v ./internal/personality/itron | tail -3

@@ -44,6 +44,7 @@ func main() {
 	horizonMs := flag.Float64("horizon", 1000, "simulation horizon in ms (when the file sets none)")
 	tmFlag := flag.String("timemodel", "", "override time model (coarse|segmented)")
 	persFlag := flag.String("personality", "", "override RTOS personality (generic|itron|osek)")
+	engineFlag := flag.String("engine", "", "execution engine (goroutine|rtc); rtc is the run-to-completion engine")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
 	events := flag.Bool("events", false, "print the event list")
 	csvOut := flag.String("csv", "", "write the trace as CSV to a file")
@@ -83,6 +84,9 @@ func main() {
 	}
 	if *persFlag != "" {
 		set.Personality = *persFlag
+	}
+	if *engineFlag != "" {
+		set.Engine = *engineFlag
 	}
 	if set.HorizonMs == 0 {
 		set.HorizonMs = *horizonMs

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/perf"
@@ -32,10 +33,23 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_kernel.json", "baseline document for -check")
 		check     = flag.Bool("check", false, "compare against -baseline and fail on regression")
 		tolerance = flag.Float64("tolerance", 0.5, "relative ns/op tolerance for -check")
+		engine    = flag.String("engine", "", "restrict to one execution engine: goroutine (skips rtc/* scenarios) or rtc (only rtc/*)")
 	)
 	flag.Parse()
 
-	rep := perf.Collect()
+	var keep func(string) bool
+	switch *engine {
+	case "":
+	case "goroutine":
+		keep = func(name string) bool { return !strings.HasPrefix(name, "rtc/") }
+	case "rtc":
+		keep = func(name string) bool { return strings.HasPrefix(name, "rtc/") }
+	default:
+		fmt.Fprintf(os.Stderr, "simbench: unknown engine %q (have \"goroutine\", \"rtc\")\n", *engine)
+		os.Exit(2)
+	}
+
+	rep := perf.CollectOnly(keep)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "SCENARIO\tNS/OP\tB/OP\tALLOCS/OP\tSWITCHES/S")
@@ -61,6 +75,17 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
+		}
+		if keep != nil {
+			// The baseline covers both engines; a restricted run must not
+			// flag the other engine's scenarios as missing.
+			var kept []perf.Result
+			for _, s := range base.Scenarios {
+				if keep(s.Name) {
+					kept = append(kept, s)
+				}
+			}
+			base.Scenarios = kept
 		}
 		violations := perf.Compare(rep, base, *tolerance)
 		if len(violations) > 0 {

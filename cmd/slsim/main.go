@@ -30,6 +30,7 @@ func main() {
 	quantumUs := flag.Float64("quantum", 1000, "round-robin quantum in µs")
 	tmFlag := flag.String("timemodel", "coarse", "time model (coarse|segmented)")
 	persFlag := flag.String("personality", "", "override the model's RTOS personality (generic|itron|osek)")
+	engineFlag := flag.String("engine", "", "execution engine (goroutine); SDL models compose hierarchical behaviors and need the goroutine kernel")
 	gantt := flag.Bool("gantt", true, "print ASCII Gantt charts")
 	events := flag.Bool("events", false, "print event lists")
 	vcdOut := flag.String("vcd", "", "write the architecture trace as VCD")
@@ -39,6 +40,15 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "slsim: need exactly one .sdl file")
+		os.Exit(2)
+	}
+	switch *engineFlag {
+	case "", "goroutine":
+	case "rtc":
+		fmt.Fprintln(os.Stderr, "slsim: engine \"rtc\" runs flat task sets only; SDL models compose hierarchical behaviors over the goroutine kernel — use rtossim -engine=rtc for task-set workloads")
+		os.Exit(2)
+	default:
+		fmt.Fprintf(os.Stderr, "slsim: unknown engine %q (have \"goroutine\")\n", *engineFlag)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))

@@ -178,7 +178,15 @@ type OS struct {
 	ranker      Ranker
 	forceLinear bool
 
-	seq       int // ready-queue FIFO sequence source
+	seq int // ready-queue FIFO sequence source
+
+	// OSEK-conformant preemption re-insertion: a preempted task re-enters
+	// its priority level as the oldest ready task, not the newest. The
+	// front counter runs downward so front re-inserts order before every
+	// normal arrival under the unchanged ascending-seq dispatch order.
+	frontReinsert bool
+	frontSeq      int // decrementing seq source for front re-inserts
+
 	idleSince sim.Time
 	idleValid bool
 
@@ -282,6 +290,7 @@ func (os *OS) Init() {
 	os.current = nil
 	os.lastRun = nil
 	os.seq = 0
+	os.frontSeq = 0
 	os.stats = Stats{}
 	os.idleValid = false
 	os.delayValid = false
@@ -751,6 +760,18 @@ func (os *OS) SetLinearReady(on bool) {
 	os.rebuildReady()
 }
 
+// SetPreemptFrontReinsert selects where a preempted task re-enters its
+// priority level: at the back, as the newest ready task (the default,
+// the paper's plain FIFO tie-break), or at the front, as the oldest —
+// the ordering OSEK OS 2.2.3 §4.6.5 mandates ("a preempted task is
+// considered to be the first (oldest) task in the ready list of its
+// current priority"). The OSEK personality enables it; other
+// personalities keep the default. Voluntary waits and fresh activations
+// always enqueue at the back in either mode.
+func (os *OS) SetPreemptFrontReinsert(on bool) {
+	os.frontReinsert = on
+}
+
 // pushReady inserts an already-sequenced ready task into the active
 // ready structure.
 func (os *OS) pushReady(t *Task) {
@@ -812,6 +833,30 @@ func (os *OS) makeReady(t *Task) {
 	os.emitReadyQueue()
 }
 
+// makeReadyPreempted re-inserts a task that lost the CPU involuntarily.
+// Default mode is identical to makeReady (re-enter as newest); under
+// SetPreemptFrontReinsert the task re-enters as the oldest of its rank,
+// drawing its seq from the decrementing front counter so both the
+// indexed front-push and the linear scan's seq tie-break agree.
+func (os *OS) makeReadyPreempted(t *Task) {
+	if !os.frontReinsert {
+		os.makeReady(t)
+		return
+	}
+	if !t.state.Alive() {
+		return
+	}
+	os.setState(t, TaskReady)
+	os.frontSeq--
+	t.readySeq = os.frontSeq
+	if os.ranker != nil {
+		os.rq.PushFront(t, os.ranker.Rank(t), t.readySeq)
+	} else {
+		os.ready = append(os.ready, t)
+	}
+	os.emitReadyQueue()
+}
+
 // removeReady drops t from the ready queue if present.
 func (os *OS) removeReady(t *Task) {
 	if os.ranker != nil {
@@ -865,7 +910,7 @@ func (os *OS) yieldCPU(p *sim.Proc, t *Task) {
 			o.OnPreempt(os.k.Now(), t, by)
 		}
 	}
-	os.makeReady(t)
+	os.makeReadyPreempted(t)
 	os.current = nil
 	os.dispatchBest(p, t)
 	os.waitUntilDispatched(p, t)

@@ -42,9 +42,17 @@ const switchesMetric = "switches/s"
 
 // Collect runs every scenario and returns the report. Each scenario is
 // measured by testing.Benchmark (standard auto-scaling of b.N).
-func Collect() Report {
+func Collect() Report { return CollectOnly(nil) }
+
+// CollectOnly runs the scenarios whose name keep accepts (nil keeps all)
+// and returns the report. Filtering happens before measurement, so a
+// restricted run costs only the scenarios it reports.
+func CollectOnly(keep func(name string) bool) Report {
 	rep := Report{Schema: Schema}
 	for _, s := range Scenarios() {
+		if keep != nil && !keep(s.Name) {
+			continue
+		}
 		br := testing.Benchmark(s.Bench)
 		res := Result{
 			Name:        s.Name,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/rtc"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -44,6 +45,21 @@ func Scenarios() []Scenario {
 		scns = append(scns, Scenario{
 			Name:  fmt.Sprintf("sweep/tasks-%d", n),
 			Bench: func(b *testing.B) { benchScheduler(b, core.EDFPolicy{}, n, 0.9, 250*sim.Millisecond) },
+		})
+	}
+	// The same hot paths on the run-to-completion engine (internal/rtc):
+	// trace-equivalent to the goroutine kernel, so these measure pure
+	// execution-engine overhead against their kernel/* and sched/*
+	// counterparts.
+	scns = append(scns,
+		Scenario{Name: "rtc/context-switch", Bench: benchRTCContextSwitch},
+		Scenario{Name: "rtc/timer/churn", Bench: benchRTCTimerChurn},
+	)
+	for _, pol := range []string{"fcfs", "rr", "priority", "rm", "edf"} {
+		pol := pol
+		scns = append(scns, Scenario{
+			Name:  "rtc/sched/" + pol,
+			Bench: func(b *testing.B) { benchRTCScheduler(b, pol, 8, 0.85, 2*sim.Second) },
 		})
 	}
 	return scns
@@ -137,6 +153,97 @@ func benchTimerChurn(b *testing.B) {
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchRTCContextSwitch is benchContextSwitch on the run-to-completion
+// engine: the identical ping/pong semaphore pair, dispatched without
+// goroutines or channels. Reports modeled context switches per second.
+func benchRTCContextSwitch(b *testing.B) {
+	b.ReportAllocs()
+	n := b.N
+	w := rtc.Workload{
+		Policy: "priority",
+		Channels: []rtc.ChannelDef{
+			{Name: "ping", Kind: "semaphore", Arg: 0},
+			{Name: "pong", Kind: "semaphore", Arg: 0},
+		},
+		Tasks: []rtc.TaskDef{
+			{Name: "a", Type: "aperiodic", Prio: 1, Repeat: n, Ops: []rtc.Op{
+				{Kind: "delay", Dur: 1},
+				{Kind: "release", Ch: "ping"},
+				{Kind: "acquire", Ch: "pong"},
+			}},
+			{Name: "b", Type: "aperiodic", Prio: 2, Repeat: n, Ops: []rtc.Op{
+				{Kind: "acquire", Ch: "ping"},
+				{Kind: "release", Ch: "pong"},
+			}},
+		},
+		Horizon: sim.Time(n)*8 + sim.Second,
+	}
+	b.ResetTimer()
+	r := rtc.Run(w)
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(r.Stats.ContextSwitches)/sec, switchesMetric)
+	}
+}
+
+// benchRTCTimerChurn is a preemption storm on the hierarchical timing
+// wheel: a fast high-priority ticker preempts a long low-priority delay
+// under the segmented model, so every tick cancels the running segment's
+// wheel entry and re-arms it with the remaining time.
+func benchRTCTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	n := b.N
+	w := rtc.Workload{
+		Policy:    "priority",
+		TimeModel: core.TimeModelSegmented,
+		Tasks: []rtc.TaskDef{
+			{Name: "tick", Type: "periodic", Prio: 1, Period: 10 * sim.Microsecond,
+				Cycles: n, Segments: []sim.Time{sim.Microsecond}},
+			{Name: "crunch", Type: "aperiodic", Prio: 2,
+				Ops: []rtc.Op{{Kind: "delay", Dur: 3600 * sim.Second}}},
+		},
+		Horizon: sim.Time(n)*10*sim.Microsecond + sim.Millisecond,
+	}
+	b.ResetTimer()
+	r := rtc.Run(w)
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+}
+
+// benchRTCScheduler is benchScheduler on the run-to-completion engine:
+// the same synthetic periodic set (same RNG seed), segmented time model,
+// one full simulation per op.
+func benchRTCScheduler(b *testing.B, policy string, n int, util float64, horizon sim.Time) {
+	b.ReportAllocs()
+	var switches uint64
+	for i := 0; i < b.N; i++ {
+		specs := workload.PeriodicSet(workload.NewRNG(7), n, util)
+		w := rtc.Workload{
+			Policy:    policy,
+			Quantum:   5 * sim.Millisecond,
+			TimeModel: core.TimeModelSegmented,
+			Horizon:   horizon,
+		}
+		for _, s := range specs {
+			w.Tasks = append(w.Tasks, rtc.TaskDef{
+				Name: s.Name, Type: "periodic", Prio: s.Prio,
+				Period: s.Period, Segments: []sim.Time{s.WCET},
+			})
+		}
+		r := rtc.Run(w)
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+		switches += r.Stats.ContextSwitches
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(switches)/sec, switchesMetric)
 	}
 }
 

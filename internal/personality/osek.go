@@ -18,7 +18,12 @@ type osekRT struct {
 	os *core.OS
 }
 
-func newOSEK(os *core.OS) Runtime { return &osekRT{os: os} }
+func newOSEK(os *core.OS) Runtime {
+	// OSEK OS 2.2.3 §4.6.5: a preempted task re-enters its priority level
+	// as the oldest ready task, not the newest.
+	os.SetPreemptFrontReinsert(true)
+	return &osekRT{os: os}
+}
 
 func (r *osekRT) Kind() string { return OSEK }
 func (r *osekRT) OS() *core.OS { return r.os }

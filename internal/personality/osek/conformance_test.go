@@ -180,6 +180,97 @@ func TestOSEKConformance(t *testing.T) {
 				t.Errorf("event set after re-activation = %#x, want 0 (cleared)", second)
 			}
 		}},
+		{"4.6.5-FullPreemptive", "preempted-task-is-oldest-at-its-priority", func(t *testing.T) {
+			// "A preempted task is considered to be the first (oldest)
+			// task in the ready list of its current priority": with three
+			// tasks sharing one priority, the preempted one must resume
+			// ahead of the two that were already queued behind it.
+			e := newEnv(t, BCC2)
+			var order []string
+			log := func(s string) { order = append(order, s) }
+			var b, c, h TaskID
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				log("a:run")
+				wantSt(t, "ActivateTask(b)", e.sys.ActivateTask(p, b), EOk)
+				wantSt(t, "ActivateTask(c)", e.sys.ActivateTask(p, c), EOk)
+				e.os.TimeWait(p, 10)
+				// h preempts at the activation point; when it terminates, a
+				// must be dispatched again before b and c.
+				wantSt(t, "ActivateTask(h)", e.sys.ActivateTask(p, h), EOk)
+				log("a:resume")
+				e.os.TimeWait(p, 10)
+			})
+			b = e.task(TaskDecl{Name: "b", Prio: 5}, func(p *sim.Proc) { log("b:run") })
+			c = e.task(TaskDecl{Name: "c", Prio: 5}, func(p *sim.Proc) { log("c:run") })
+			h = e.task(TaskDecl{Name: "h", Prio: 1}, func(p *sim.Proc) {
+				log("h:run")
+				e.os.TimeWait(p, 5)
+			})
+			e.run()
+			want := []string{"a:run", "h:run", "a:resume", "b:run", "c:run"}
+			if !reflect.DeepEqual(order, want) {
+				t.Errorf("execution order = %v, want %v", order, want)
+			}
+		}},
+		{"4.6.5-FullPreemptive", "isr-preemption-keeps-oldest-position", func(t *testing.T) {
+			// Same clause via the interrupt path: an ISR activates the
+			// high-priority task while a computes; a yields at its next
+			// scheduling point and must still resume ahead of its
+			// same-priority peers.
+			e := newEnv(t, BCC2)
+			var order []string
+			log := func(s string) { order = append(order, s) }
+			var b, c, h TaskID
+			e.task(TaskDecl{Name: "a", Prio: 5, Autostart: true}, func(p *sim.Proc) {
+				log("a:run")
+				wantSt(t, "ActivateTask(b)", e.sys.ActivateTask(p, b), EOk)
+				wantSt(t, "ActivateTask(c)", e.sys.ActivateTask(p, c), EOk)
+				e.os.TimeWait(p, 10) // ISR fires at 5; a yields to h at 10
+				log("a:resume")
+				e.os.TimeWait(p, 10)
+			})
+			b = e.task(TaskDecl{Name: "b", Prio: 5}, func(p *sim.Proc) { log("b:run") })
+			c = e.task(TaskDecl{Name: "c", Prio: 5}, func(p *sim.Proc) { log("c:run") })
+			h = e.task(TaskDecl{Name: "h", Prio: 1}, func(p *sim.Proc) { log("h:run") })
+			e.isr(5, "irq", func(p *sim.Proc) {
+				wantSt(t, "ISR ActivateTask(h)", e.sys.ActivateTask(p, h), EOk)
+			})
+			e.run()
+			want := []string{"a:run", "h:run", "a:resume", "b:run", "c:run"}
+			if !reflect.DeepEqual(order, want) {
+				t.Errorf("execution order = %v, want %v", order, want)
+			}
+		}},
+		{"4.6.5-FullPreemptive", "waiting-task-re-enters-as-newest", func(t *testing.T) {
+			// The contrast half of the clause: only *preemption* grants the
+			// oldest position. A task that left RUNNING voluntarily
+			// (WaitEvent) re-enters its priority level as the newest task
+			// and runs after peers that queued while it waited.
+			e := newEnv(t, ECC1)
+			var order []string
+			log := func(s string) { order = append(order, s) }
+			var w, b, c TaskID
+			w = e.task(TaskDecl{Name: "w", Prio: 5, Extended: true, Autostart: true}, func(p *sim.Proc) {
+				log("w:run")
+				wantSt(t, "ActivateTask(b)", e.sys.ActivateTask(p, b), EOk)
+				wantSt(t, "WaitEvent", e.sys.WaitEvent(p, 0x1), EOk)
+				log("w:resume")
+			})
+			b = e.task(TaskDecl{Name: "b", Prio: 5}, func(p *sim.Proc) {
+				log("b:run")
+				wantSt(t, "ActivateTask(c)", e.sys.ActivateTask(p, c), EOk)
+				e.os.TimeWait(p, 10) // ISR releases w at 5: w queues behind c
+			})
+			c = e.task(TaskDecl{Name: "c", Prio: 5}, func(p *sim.Proc) { log("c:run") })
+			e.isr(5, "irq", func(p *sim.Proc) {
+				wantSt(t, "ISR SetEvent(w)", e.sys.SetEvent(p, w, 0x1), EOk)
+			})
+			e.run()
+			want := []string{"w:run", "b:run", "c:run", "w:resume"}
+			if !reflect.DeepEqual(order, want) {
+				t.Errorf("execution order = %v, want %v", order, want)
+			}
+		}},
 		{"13.2.3.2-TerminateTask", "ends-in-SUSPENDED", func(t *testing.T) {
 			e := newEnv(t, BCC1)
 			var hi TaskID

@@ -145,6 +145,8 @@ type System struct {
 // NewSystem attaches an OSEK personality of the given conformance class
 // to an OS instance.
 func NewSystem(os *core.OS, class Class) *System {
+	// §4.6.5: preempted tasks re-enter their priority level as oldest.
+	os.SetPreemptFrontReinsert(true)
 	return &System{os: os, class: class, byTask: make(map[*core.Task]*TCB)}
 }
 

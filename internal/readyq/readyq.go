@@ -159,6 +159,39 @@ func (q *Queue[T]) Push(t T, key Key, seq int) {
 	q.size++
 }
 
+// PushFront inserts t at the head of its rank's FIFO in O(1): the
+// re-insertion an OSEK-conformant dispatcher performs for a preempted
+// task, which re-enters its priority level as the *oldest* ready task
+// (OSEK OS 2.2.3 §4.6.5), not the newest. The caller must supply a seq
+// that orders at or before the bucket's current head (the OS keeps a
+// separate decrementing front counter), preserving the ascending-seq
+// chain invariant Push and Update rely on; PushFront panics otherwise.
+func (q *Queue[T]) PushFront(t T, key Key, seq int) {
+	l := q.links(t)
+	if l.b != nil {
+		panic("readyq: PushFront of an already queued task")
+	}
+	i, ok := q.find(key)
+	if !ok {
+		// Empty rank: indistinguishable from a plain push.
+		q.Push(t, key, seq)
+		return
+	}
+	b := q.buckets[i]
+	if q.links(b.head).seq < seq {
+		panic("readyq: PushFront seq would not order first in its rank")
+	}
+	var zero T
+	l.seq = seq
+	l.b = b
+	l.prev = zero
+	l.next = b.head
+	q.links(b.head).prev = t
+	b.head = t
+	b.n++
+	q.size++
+}
+
 // Remove unlinks t and reports whether it was queued.
 func (q *Queue[T]) Remove(t T) bool {
 	l := q.links(t)

@@ -1,0 +1,80 @@
+package rtc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// pingPong is the context-switch workload of internal/perf's
+// rtc/context-switch scenario: two tasks handing the CPU back and forth
+// through a semaphore pair, n rounds.
+func pingPong(n int) Workload {
+	return Workload{
+		Policy: "priority",
+		Channels: []ChannelDef{
+			{Name: "ping", Kind: "semaphore", Arg: 0},
+			{Name: "pong", Kind: "semaphore", Arg: 0},
+		},
+		Tasks: []TaskDef{
+			{Name: "a", Type: "aperiodic", Prio: 1, Repeat: n, Ops: []Op{
+				{Kind: "delay", Dur: 1},
+				{Kind: "release", Ch: "ping"},
+				{Kind: "acquire", Ch: "pong"},
+			}},
+			{Name: "b", Type: "aperiodic", Prio: 2, Repeat: n, Ops: []Op{
+				{Kind: "acquire", Ch: "ping"},
+				{Kind: "release", Ch: "pong"},
+			}},
+		},
+		Horizon: sim.Time(n)*8 + sim.Second,
+	}
+}
+
+func BenchmarkContextSwitch(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := Run(pingPong(b.N))
+	if r.Err != nil {
+		b.Fatal(r.Err)
+	}
+}
+
+// TestSteadyStateAllocs pins the zero-alloc claim: after warm-up the
+// engine's dispatch/timer/channel paths must not allocate.
+func TestSteadyStateAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(3, func() {
+		r := Run(pingPong(2000))
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	})
+	// A run allocates its kernel, machines and frames once; 2000 rounds
+	// must not scale that. Generous fixed budget for the setup.
+	if allocs > 200 {
+		t.Errorf("AllocsPerRun = %.0f for 2000 rounds; steady state allocates", allocs)
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := Workload{
+			Policy:    "priority",
+			TimeModel: core.TimeModelSegmented,
+			Horizon:   250 * sim.Millisecond,
+		}
+		for j := 0; j < 8; j++ {
+			w.Tasks = append(w.Tasks, TaskDef{
+				Name: fmt.Sprintf("t%d", j), Type: "periodic", Prio: j,
+				Period:   sim.Time(j+1) * sim.Millisecond,
+				Segments: []sim.Time{sim.Time(j+1) * 100 * sim.Microsecond},
+			})
+		}
+		if r := Run(w); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package rtc
+
+import "repro/internal/core"
+
+// rQueue and rSem are the engine-side channel interfaces. Each step
+// method is a resumable state machine over an opFrame's pc, porting the
+// corresponding personality's primitive call-for-call — including the
+// exact ordering of monitor bookkeeping around each blocking point, so
+// stall diagnoses stay identical across engines.
+type rQueue interface {
+	stepSend(m *machine, f *opFrame) status
+	stepRecv(m *machine, f *opFrame) status
+}
+
+type rSem interface {
+	stepAcquire(m *machine, f *opFrame) status
+	stepRelease(m *machine, f *opFrame) status
+}
+
+type opKind uint8
+
+const (
+	opSend opKind = iota
+	opRecv
+	opAcquire
+	opRelease
+)
+
+// opFrame is the single reusable channel-operation frame per machine;
+// it dispatches to the bound channel's state machine.
+type opFrame struct {
+	kind opKind
+	q    rQueue
+	s    rSem
+	v    int64
+	ret  int64
+	t    *task
+	pc   int
+}
+
+func (f *opFrame) step(m *machine) status {
+	switch f.kind {
+	case opSend:
+		return f.q.stepSend(m, f)
+	case opRecv:
+		return f.q.stepRecv(m, f)
+	case opAcquire:
+		return f.s.stepAcquire(m, f)
+	default:
+		return f.s.stepRelease(m, f)
+	}
+}
+
+func (m *machine) callSend(q rQueue, v int64) status {
+	m.fOp = opFrame{kind: opSend, q: q, v: v}
+	return m.push(&m.fOp)
+}
+
+func (m *machine) callRecv(q rQueue) status {
+	m.fOp = opFrame{kind: opRecv, q: q}
+	return m.push(&m.fOp)
+}
+
+func (m *machine) callAcquire(s rSem) status {
+	m.fOp = opFrame{kind: opAcquire, s: s}
+	return m.push(&m.fOp)
+}
+
+func (m *machine) callRelease(s rSem) status {
+	m.fOp = opFrame{kind: opRelease, s: s}
+	return m.push(&m.fOp)
+}
+
+// --- generic personality (internal/channel over OS events) ---
+
+// genQueue ports channel.Queue: a bounded buffer with one condition
+// variable (an OS event named <name>.q) for both directions.
+type genQueue struct {
+	os       *osState
+	cond     *osEvent
+	buf      []int64
+	capacity int
+	res      *resource
+}
+
+func newGenQueue(os *osState, name string, capacity int) *genQueue {
+	return &genQueue{
+		os:       os,
+		cond:     os.newOSEvent(name + ".q"),
+		capacity: capacity,
+		res:      os.monitor.newResource(name, "queue"),
+	}
+}
+
+func (q *genQueue) stepSend(m *machine, f *opFrame) status {
+	for {
+		switch f.pc {
+		case 0:
+			if len(q.buf) == q.capacity {
+				q.res.block(m)
+				f.pc = 1
+				continue
+			}
+			f.pc = 3
+		case 1: // cond-wait loop while full
+			if len(q.buf) == q.capacity {
+				return m.callEventWait(q.cond, q.os)
+			}
+			f.pc = 2
+		case 2:
+			q.res.unblock(m)
+			f.pc = 3
+		case 3:
+			q.buf = append(q.buf, f.v)
+			return m.tailEventNotify(q.cond, q.os)
+		default:
+			return statDone
+		}
+	}
+}
+
+func (q *genQueue) stepRecv(m *machine, f *opFrame) status {
+	for {
+		switch f.pc {
+		case 0:
+			if len(q.buf) == 0 {
+				q.res.block(m)
+				f.pc = 1
+				continue
+			}
+			f.pc = 3
+		case 1: // cond-wait loop while empty
+			if len(q.buf) == 0 {
+				return m.callEventWait(q.cond, q.os)
+			}
+			f.pc = 2
+		case 2:
+			q.res.unblock(m)
+			f.pc = 3
+		case 3:
+			f.ret = q.buf[0]
+			q.buf = q.buf[1:]
+			return m.tailEventNotify(q.cond, q.os)
+		default:
+			return statDone
+		}
+	}
+}
+
+// genSem ports channel.Semaphore (note: like the original, Acquire
+// never calls res.unblock — the monitor clears the edge on acquire).
+type genSem struct {
+	os    *osState
+	cond  *osEvent
+	count int
+	res   *resource
+}
+
+func newGenSem(os *osState, name string, count int) *genSem {
+	return &genSem{
+		os:    os,
+		cond:  os.newOSEvent(name + ".sem"),
+		count: count,
+		res:   os.monitor.newResource(name, "semaphore"),
+	}
+}
+
+func (s *genSem) stepAcquire(m *machine, f *opFrame) status {
+	for {
+		switch f.pc {
+		case 0:
+			if s.count == 0 {
+				s.res.block(m)
+				f.pc = 1
+				continue
+			}
+			f.pc = 2
+		case 1:
+			if s.count == 0 {
+				return m.callEventWait(s.cond, s.os)
+			}
+			f.pc = 2
+		case 2:
+			s.count--
+			s.res.acquire(m)
+			return statDone
+		}
+	}
+}
+
+func (s *genSem) stepRelease(m *machine, f *opFrame) status {
+	s.count++
+	s.res.release(m)
+	return m.tailEventNotify(s.cond, s.os)
+}
+
+// --- ITRON personality (internal/personality/itron) ---
+
+// itronSem ports itron.Semaphore: twai_sem with TMO_FEVR (a plain
+// suspend) and an ISR-safe sig_sem with direct handoff to the oldest
+// waiter, bypassing the counter.
+type itronSem struct {
+	os    *osState
+	site  string
+	count int
+	max   int
+	wq    []*task
+	res   *resource
+}
+
+func newItronSem(os *osState, name string, count int) *itronSem {
+	return &itronSem{
+		os:    os,
+		site:  "semaphore:" + name,
+		count: count,
+		max:   1<<31 - 1, // TMaxSemCnt
+		res:   os.monitor.newResource(name, "semaphore"),
+	}
+}
+
+func (s *itronSem) stepAcquire(m *machine, f *opFrame) status {
+	os := s.os
+	switch f.pc {
+	case 0:
+		t := os.mustCurrent(m)
+		if s.count > 0 {
+			s.count--
+			s.res.acquire(m)
+			return statDone
+		}
+		s.wq = append(s.wq, t)
+		s.res.block(m)
+		f.pc = 1
+		return m.callSuspend(core.TaskWaitingEvent, s.site, os)
+	default:
+		s.res.acquire(m) // direct handoff: the releaser skipped the counter
+		return statDone
+	}
+}
+
+func (s *itronSem) stepRelease(m *machine, f *opFrame) status {
+	switch f.pc {
+	case 0:
+		s.res.release(m)
+		if len(s.wq) > 0 {
+			t := s.wq[0]
+			copy(s.wq, s.wq[1:])
+			s.wq[len(s.wq)-1] = nil
+			s.wq = s.wq[:len(s.wq)-1]
+			return m.tailResume(t, s.os)
+		}
+		if s.count < s.max {
+			s.count++
+		}
+		return statDone
+	default:
+		return statDone
+	}
+}
+
+// itronMailbox ports itron.Mailbox: snd_mbx never blocks (direct
+// message handoff to the oldest waiter), rcv_mbx suspends when empty.
+type itronMailbox struct {
+	os   *osState
+	site string
+	msgs []int64
+	wq   []*task
+	res  *resource
+}
+
+func newItronMailbox(os *osState, name string) *itronMailbox {
+	return &itronMailbox{
+		os:   os,
+		site: "mailbox:" + name,
+		res:  os.monitor.newResource(name, "mailbox"),
+	}
+}
+
+func (q *itronMailbox) stepSend(m *machine, f *opFrame) status {
+	switch f.pc {
+	case 0:
+		q.res.release(m)
+		if len(q.wq) > 0 {
+			t := q.wq[0]
+			copy(q.wq, q.wq[1:])
+			q.wq[len(q.wq)-1] = nil
+			q.wq = q.wq[:len(q.wq)-1]
+			t.msg = f.v
+			return m.tailResume(t, q.os)
+		}
+		q.msgs = append(q.msgs, f.v)
+		return statDone
+	default:
+		return statDone
+	}
+}
+
+func (q *itronMailbox) stepRecv(m *machine, f *opFrame) status {
+	os := q.os
+	switch f.pc {
+	case 0:
+		t := os.mustCurrent(m)
+		if len(q.msgs) > 0 {
+			f.ret = q.msgs[0]
+			q.msgs = q.msgs[1:]
+			q.res.acquire(m)
+			return statDone
+		}
+		q.wq = append(q.wq, t)
+		q.res.block(m)
+		f.t = t
+		f.pc = 1
+		return m.callSuspend(core.TaskWaitingEvent, q.site, os)
+	default:
+		q.res.acquire(m)
+		f.ret = f.t.msg
+		return statDone
+	}
+}
+
+// --- OSEK personality (internal/personality/osek) ---
+
+// osekSem ports the OSEK counting semaphore: a single blocking check
+// (no re-check loop — the releaser hands over directly).
+type osekSem struct {
+	os    *osState
+	site  string
+	count int
+	wq    []*task
+	res   *resource
+}
+
+func newOsekSem(os *osState, name string, count int) *osekSem {
+	return &osekSem{
+		os:    os,
+		site:  "semaphore:" + name,
+		count: count,
+		res:   os.monitor.newResource(name, "semaphore"),
+	}
+}
+
+func (s *osekSem) stepAcquire(m *machine, f *opFrame) status {
+	os := s.os
+	switch f.pc {
+	case 0:
+		if s.count > 0 {
+			s.count--
+			s.res.acquire(m)
+			return statDone
+		}
+		t := os.current
+		s.wq = append(s.wq, t)
+		s.res.block(m)
+		f.pc = 1
+		return m.callSuspend(core.TaskWaitingEvent, s.site, os)
+	default:
+		s.res.unblock(m)
+		s.res.acquire(m)
+		return statDone
+	}
+}
+
+func (s *osekSem) stepRelease(m *machine, f *opFrame) status {
+	switch f.pc {
+	case 0:
+		s.res.release(m)
+		if len(s.wq) > 0 {
+			t := s.wq[0]
+			copy(s.wq, s.wq[1:])
+			s.wq[len(s.wq)-1] = nil
+			s.wq = s.wq[:len(s.wq)-1]
+			return m.tailResume(t, s.os)
+		}
+		s.count++
+		return statDone
+	default:
+		return statDone
+	}
+}
+
+// osekQueue ports the OSEK bounded queue with separate sender and
+// receiver wait lists and re-check loops on both sides.
+type osekQueue struct {
+	os       *osState
+	site     string
+	buf      []int64
+	capacity int
+	sendQ    []*task
+	recvQ    []*task
+	res      *resource
+}
+
+func newOsekQueue(os *osState, name string, capacity int) *osekQueue {
+	return &osekQueue{
+		os:       os,
+		site:     "queue:" + name,
+		capacity: capacity,
+		res:      os.monitor.newResource(name, "queue"),
+	}
+}
+
+func (q *osekQueue) stepSend(m *machine, f *opFrame) status {
+	os := q.os
+	for {
+		switch f.pc {
+		case 0:
+			if q.capacity > 0 && len(q.buf) >= q.capacity {
+				t := os.current
+				q.sendQ = append(q.sendQ, t)
+				q.res.block(m)
+				f.pc = 1
+				return m.callSuspend(core.TaskWaitingEvent, q.site, os)
+			}
+			f.pc = 2
+		case 1:
+			q.res.unblock(m)
+			f.pc = 0 // re-check capacity
+		case 2:
+			q.buf = append(q.buf, f.v)
+			if len(q.recvQ) > 0 {
+				t := q.recvQ[0]
+				copy(q.recvQ, q.recvQ[1:])
+				q.recvQ[len(q.recvQ)-1] = nil
+				q.recvQ = q.recvQ[:len(q.recvQ)-1]
+				return m.tailResume(t, os)
+			}
+			return statDone
+		default:
+			return statDone
+		}
+	}
+}
+
+func (q *osekQueue) stepRecv(m *machine, f *opFrame) status {
+	os := q.os
+	for {
+		switch f.pc {
+		case 0:
+			if len(q.buf) == 0 {
+				t := os.current
+				q.recvQ = append(q.recvQ, t)
+				q.res.block(m)
+				f.pc = 1
+				return m.callSuspend(core.TaskWaitingEvent, q.site, os)
+			}
+			f.pc = 2
+		case 1:
+			q.res.unblock(m)
+			f.pc = 0 // re-check emptiness
+		case 2:
+			f.ret = q.buf[0]
+			q.buf = q.buf[1:]
+			if len(q.sendQ) > 0 {
+				t := q.sendQ[0]
+				copy(q.sendQ, q.sendQ[1:])
+				q.sendQ[len(q.sendQ)-1] = nil
+				q.sendQ = q.sendQ[:len(q.sendQ)-1]
+				return m.tailResume(t, os)
+			}
+			return statDone
+		default:
+			return statDone
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package rtc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/timewheel"
+)
+
+// Time aliases the simulation time type so workloads move between the
+// two engines without conversion.
+type Time = sim.Time
+
+// mState is the coroutine-level machine state (distinct from the RTOS
+// task state). It mirrors sim.State just closely enough for the event
+// flush guard and liveness accounting.
+type mState uint8
+
+const (
+	mCreated mState = iota
+	mReady
+	mRunning
+	mWaitEvent   // blocked on events (Wait)
+	mWaitTime    // blocked on a timer (WaitFor)
+	mWaitTimeout // blocked on events with a timeout timer (WaitTimeout)
+	mDone
+)
+
+// status is a frame step's verdict: the frame finished, it pushed a
+// child frame, or the machine blocked and control returns to the
+// scheduler loop.
+type status uint8
+
+const (
+	statDone status = iota
+	statCall
+	statBlocked
+)
+
+// frame is one resumable segment of a machine's call stack. step runs
+// until the frame completes, calls into a child frame, or blocks; on
+// re-entry after a block the frame's program counter field resumes it
+// past the blocking point.
+type frame interface {
+	step(m *machine) status
+}
+
+// event is the engine's notification primitive, a port of sim.Event:
+// flush wakes every registered waiter into the next delta cycle.
+type event struct {
+	name    string
+	waiters []*machine
+}
+
+func (e *event) removeWaiter(m *machine) {
+	for i, w := range e.waiters {
+		if w == m {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// timerEntry is one pending timer: a machine timeout (m != nil) or a
+// timed notification (e != nil), fired in (at, seq) order.
+type timerEntry struct {
+	at   Time
+	seq  int
+	m    *machine
+	e    *event
+	node timewheel.Node[*timerEntry]
+}
+
+// kernel is the run-to-completion simulation core: the same delta-cycle
+// and timer microstructure as sim.Kernel, but machines resume by a plain
+// method call on one goroutine instead of a channel rendezvous per
+// context switch.
+type kernel struct {
+	now   Time
+	delta uint64
+
+	ready   []*machine // runnable in the current delta cycle, FIFO
+	readyAt int        // consumption index into ready
+	next    []*machine // runnable in the next delta cycle, FIFO
+
+	wheel     *timewheel.Wheel[*timerEntry]
+	timerSeq  int
+	timerFree []*timerEntry
+	due       []*timerEntry // scratch batch for CollectDue
+	// nextDue caches the wheel's earliest due time (valid only when
+	// nextDueOK); addTimer keeps it exact, cancel/fire invalidate it, so
+	// the common push-then-fire cycle skips the wheel's NextTime scan.
+	nextDue   Time
+	nextDueOK bool
+
+	machines []*machine
+	active   int
+	stopped  bool
+	failure  error
+	limit    Time
+
+	onStall func() error
+}
+
+func newKernel() *kernel {
+	return &kernel{
+		wheel: timewheel.New(
+			func(e *timerEntry) *timewheel.Node[*timerEntry] { return &e.node },
+			func(e *timerEntry) int64 { return int64(e.at) },
+			func(e *timerEntry) int { return e.seq },
+		),
+	}
+}
+
+// machine is one resumable control flow: the engine's replacement for a
+// simulation process goroutine. Its stack of frames encodes the exact
+// call structure the goroutine kernel's task bodies and OS services
+// have, so the two engines take identical scheduling decisions. The
+// embedded service frames are reused across calls — a machine executes
+// sequentially, so each frame type is on its stack at most once.
+type machine struct {
+	k      *kernel
+	name   string
+	state  mState
+	daemon bool
+	task   *task // nil for ISR and watchdog machines
+
+	stack      []frame
+	waitEvents []*event
+	timer      *timerEntry
+	wokenBy    *event
+	timedOut   bool
+
+	// Preallocated service frames (zero-alloc steady state).
+	fAct fActivate
+	fEnd fEndCycle
+	fTW  fTimeWait
+	fWD  fWaitDispatched
+	fY   fYieldCPU
+	fDec fDecideFrom
+	fEW  fEventWait
+	fEN  fEventNotify
+	fSus fSuspend
+	fRes fResume
+	fOp  opFrame
+}
+
+func (k *kernel) newEvent(name string) *event { return &event{name: name} }
+
+// spawn creates a machine whose initial stack is the given body frame.
+// Like sim.Kernel.Spawn it enters the current delta cycle, so machines
+// spawned before the run start at time zero in creation order.
+func (k *kernel) spawn(name string, body frame, daemon bool) *machine {
+	m := &machine{k: k, name: name, daemon: daemon, state: mCreated}
+	m.stack = append(m.stack, body)
+	k.machines = append(k.machines, m)
+	k.active++
+	k.enqueueReady(m)
+	return m
+}
+
+func (k *kernel) enqueueReady(m *machine) { k.ready = append(k.ready, m) }
+func (k *kernel) enqueueNext(m *machine)  { k.next = append(k.next, m) }
+
+func (k *kernel) popReady() *machine {
+	if k.readyAt >= len(k.ready) {
+		return nil
+	}
+	m := k.ready[k.readyAt]
+	k.ready[k.readyAt] = nil
+	k.readyAt++
+	if k.readyAt == len(k.ready) {
+		k.ready = k.ready[:0]
+		k.readyAt = 0
+	}
+	return m
+}
+
+// nextRunnable advances delta cycles and simulated time exactly like
+// sim.Kernel.nextRunnable: drain the current delta, swap in the next,
+// then fire the earliest timers within the horizon.
+func (k *kernel) nextRunnable() *machine {
+	for {
+		if m := k.popReady(); m != nil {
+			return m
+		}
+		if len(k.next) > 0 {
+			k.ready, k.next = k.next, k.ready[:0]
+			k.readyAt = 0
+			k.delta++
+			continue
+		}
+		t, ok := k.nextTime()
+		if !ok || t > k.limit {
+			return nil
+		}
+		k.now = t
+		k.delta = 0
+		k.fireTimers(t)
+	}
+}
+
+// nextTime is wheel.NextTime behind the kernel's cache.
+func (k *kernel) nextTime() (Time, bool) {
+	if k.nextDueOK {
+		return k.nextDue, true
+	}
+	t, ok := k.wheel.NextTime()
+	if ok {
+		k.nextDue, k.nextDueOK = Time(t), true
+	}
+	return Time(t), ok
+}
+
+// fireTimers wakes every entry due at exactly t in (at, seq) order —
+// the order both sim timer backends are pinned to. Waking only enqueues
+// machines; none of them runs (and none can schedule a new timer) until
+// the scheduler loop resumes them, so one CollectDue batch is complete.
+func (k *kernel) fireTimers(t Time) {
+	k.nextDueOK = false // everything due at t leaves the wheel
+	k.due = k.wheel.CollectDue(int64(t), k.due[:0])
+	for i, e := range k.due {
+		if e.m != nil {
+			e.m.wakeFromTimer()
+		} else {
+			k.flush(e.e)
+		}
+		k.due[i] = nil
+		k.recycleTimer(e)
+	}
+}
+
+func (k *kernel) addTimer(at Time, m *machine, e *event) *timerEntry {
+	k.timerSeq++
+	var entry *timerEntry
+	if n := len(k.timerFree); n > 0 {
+		entry = k.timerFree[n-1]
+		k.timerFree[n-1] = nil
+		k.timerFree = k.timerFree[:n-1]
+		entry.at, entry.seq, entry.m, entry.e = at, k.timerSeq, m, e
+	} else {
+		entry = &timerEntry{at: at, seq: k.timerSeq, m: m, e: e}
+	}
+	k.wheel.Push(entry)
+	if k.nextDueOK {
+		if at < k.nextDue {
+			k.nextDue = at
+		}
+	} else if k.wheel.Len() == 1 {
+		// The sole entry: the cache can be (re)seeded exactly. With other
+		// entries pending it stays invalid — one of them may be earlier.
+		k.nextDue, k.nextDueOK = at, true
+	}
+	return entry
+}
+
+func (k *kernel) recycleTimer(e *timerEntry) {
+	e.m, e.e = nil, nil
+	k.timerFree = append(k.timerFree, e)
+}
+
+func (k *kernel) cancelTimer(e *timerEntry) {
+	if k.wheel.Cancel(e) {
+		if k.nextDueOK && e.at == k.nextDue {
+			k.nextDueOK = false
+		}
+		k.recycleTimer(e)
+	}
+}
+
+// pendingTimers counts live timers (the watchdog's hidden-stall check).
+func (k *kernel) pendingTimers() int { return k.wheel.Len() }
+
+// flush wakes every current waiter of e into the next delta cycle
+// (sim.Event.flush, including its state guard and reslice idiom).
+func (k *kernel) flush(e *event) {
+	if len(e.waiters) == 0 {
+		return
+	}
+	woken := e.waiters
+	e.waiters = e.waiters[:0]
+	for _, m := range woken {
+		if m.state == mWaitEvent || m.state == mWaitTimeout {
+			m.wakeFromEvent(e)
+		}
+	}
+}
+
+// fail stops the run with err; the first failure wins (sim.Kernel.Fail).
+func (k *kernel) fail(err error) {
+	if k.failure == nil {
+		k.failure = err
+	}
+	k.stopped = true
+}
+
+// runUntil executes up to and including limit, mirroring
+// sim.Kernel.RunUntil's epilogue: a Fail error, then the horizon check,
+// then stall diagnosis over the live (non-daemon, unfinished) machines.
+func (k *kernel) runUntil(limit Time) error {
+	k.limit = limit
+	for !k.stopped {
+		m := k.nextRunnable()
+		if m == nil {
+			break
+		}
+		m.state = mRunning
+		m.exec()
+	}
+	if k.stopped {
+		return k.failure
+	}
+	if t, ok := k.wheel.NextTime(); ok && Time(t) > limit {
+		return nil // horizon reached; state preserved
+	}
+	live := 0
+	for _, m := range k.machines {
+		if !m.daemon && m.state != mDone {
+			live++
+		}
+	}
+	if live > 0 {
+		if k.onStall != nil {
+			if err := k.onStall(); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("rtc: deadlock at %s: %d machines blocked with no pending timer", k.now, live)
+	}
+	return nil
+}
+
+// exec resumes the machine's top frame and keeps stepping until the
+// machine blocks or its stack drains — the run-to-completion core: a
+// context switch is this function returning and the scheduler loop
+// calling exec on the next machine. No channel operations, no
+// goroutine handoff.
+func (m *machine) exec() {
+	for {
+		n := len(m.stack)
+		if n == 0 {
+			m.finish()
+			return
+		}
+		switch m.stack[n-1].step(m) {
+		case statDone:
+			m.stack[n-1] = nil
+			m.stack = m.stack[:n-1]
+		case statCall:
+			// child frame pushed (or tail-called); step it next
+		case statBlocked:
+			return
+		}
+	}
+}
+
+func (m *machine) finish() {
+	m.state = mDone
+	m.k.active--
+}
+
+func (m *machine) push(f frame) status {
+	m.stack = append(m.stack, f)
+	return statCall
+}
+
+// tailcall replaces the calling frame with f: a frame whose last action
+// is a child call returns this instead of push, saving the pop and the
+// no-op re-entry step. The caller is never stepped again.
+func (m *machine) tailcall(f frame) status {
+	m.stack[len(m.stack)-1] = f
+	return statCall
+}
+
+// sleep blocks the machine for d (sim.Proc.WaitFor): a non-positive d
+// yields into the next delta cycle instead. The calling frame must
+// return statBlocked immediately after.
+func (m *machine) sleep(d Time) {
+	if d <= 0 {
+		m.yieldDelta()
+		return
+	}
+	m.timer = m.k.addTimer(m.k.now+d, m, nil)
+	m.state = mWaitTime
+}
+
+// yieldDelta re-queues the machine into the next delta cycle
+// (sim.Proc.YieldDelta).
+func (m *machine) yieldDelta() {
+	m.state = mReady
+	m.k.enqueueNext(m)
+}
+
+// wait blocks the machine on e (sim.Proc.Wait).
+func (m *machine) wait(e *event) {
+	m.waitEvents = append(m.waitEvents[:0], e)
+	e.waiters = append(e.waiters, m)
+	m.state = mWaitEvent
+}
+
+// waitTimeout blocks on e with timeout d (sim.Proc.WaitTimeout); after
+// resumption !m.timedOut reports whether the event fired first.
+func (m *machine) waitTimeout(e *event, d Time) {
+	if d < 0 {
+		d = 0
+	}
+	m.waitEvents = append(m.waitEvents[:0], e)
+	e.waiters = append(e.waiters, m)
+	m.timer = m.k.addTimer(m.k.now+d, m, nil)
+	m.state = mWaitTimeout
+}
+
+// afterWait clears the event registrations once a blocked frame resumes
+// (the tail of sim.Proc.Wait/WaitTimeout).
+func (m *machine) afterWait() {
+	m.waitEvents = m.waitEvents[:0]
+}
+
+// wakeFromTimer mirrors sim.Proc.wakeFromTimer: the machine re-enters
+// the *current* delta cycle.
+func (m *machine) wakeFromTimer() {
+	for _, e := range m.waitEvents {
+		e.removeWaiter(m)
+	}
+	m.timer = nil
+	m.wokenBy = nil
+	m.timedOut = true
+	m.state = mReady
+	m.k.enqueueReady(m)
+}
+
+// wakeFromEvent mirrors sim.Proc.wakeFromEvent: the machine re-enters
+// the *next* delta cycle, cancelling its other registrations.
+func (m *machine) wakeFromEvent(e *event) {
+	for _, other := range m.waitEvents {
+		if other != e {
+			other.removeWaiter(m)
+		}
+	}
+	if m.timer != nil {
+		m.k.cancelTimer(m.timer)
+		m.timer = nil
+	}
+	m.wokenBy = e
+	m.timedOut = false
+	m.state = mReady
+	m.k.enqueueNext(m)
+}

@@ -1,0 +1,424 @@
+// Package rtc is the run-to-completion execution engine: an alternative
+// to the goroutine-per-process simulation kernel (internal/sim +
+// internal/core) in which delay-annotated behaviors compile to resumable
+// frame lists executed to completion on a single goroutine. A context
+// switch is a method return plus an index increment — zero channel
+// operations — while every scheduling decision, accounting rule, and
+// trace record mirrors the goroutine kernel byte for byte (pinned by
+// internal/simcheck's engine-equivalence suite). Timers run on the
+// hierarchical timing wheel shared with the goroutine kernel
+// (internal/timewheel), which fires in the same (deadline, sequence)
+// order as the default binary heap.
+package rtc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/personality"
+	"repro/internal/trace"
+)
+
+// Op is one step of an aperiodic task body.
+type Op struct {
+	Kind string // "delay", "send", "recv", "acquire", "release"
+	Dur  Time   // delay duration
+	Ch   string // channel name for send/recv/acquire/release
+}
+
+// TaskDef describes one task of a workload (the engine-level mirror of
+// simcheck.TaskSpec, plus Repeat for benchmark loops).
+type TaskDef struct {
+	Name     string
+	Type     string // "periodic" or "aperiodic"
+	Prio     int
+	Period   Time   // periodic
+	Cycles   int    // periodic; 0 runs forever on a daemon machine
+	Segments []Time // periodic: per-cycle compute segments
+	Start    Time   // aperiodic: release offset
+	Ops      []Op   // aperiodic body
+	Repeat   int    // aperiodic: run Ops this many times (0/1 = once)
+}
+
+// ChannelDef describes a communication object: kind "queue" (Arg =
+// capacity) or "semaphore" (Arg = initial count).
+type ChannelDef struct {
+	Name string
+	Kind string
+	Arg  int
+}
+
+// IRQDef describes an interrupt source that releases a semaphore.
+type IRQDef struct {
+	Name  string
+	Sem   string
+	At    Time
+	Every Time
+	Count int
+}
+
+// Workload is a complete single-PE scenario for the engine.
+type Workload struct {
+	Name           string // PE name; defaults to "PE"
+	Policy         string
+	Quantum        Time
+	TimeModel      core.TimeModel
+	Personality    string // "", "generic", "itron", "osek"
+	Tasks          []TaskDef
+	Channels       []ChannelDef
+	IRQs           []IRQDef
+	WatchdogWindow Time
+	Horizon        Time
+	Trace          bool
+}
+
+// TaskResult is one task's outcome, directly comparable with the
+// goroutine engine's per-task fields.
+type TaskResult struct {
+	Name        string
+	Prio        int
+	Terminated  bool
+	Activations int
+	Missed      int
+	CPUTime     Time
+	MaxResp     Time
+}
+
+// Result is a completed (or failed) run.
+type Result struct {
+	Err          error
+	End          Time
+	Records      []trace.Record
+	Stats        core.Stats
+	Tasks        []TaskResult
+	Diag         *core.DiagnosisError
+	Conservation error
+	Personality  string
+}
+
+// Run executes the workload to its horizon and returns the outcome.
+// Configuration errors are reported via Result.Err, like the goroutine
+// engine's harness.
+func Run(w Workload) *Result {
+	res := &Result{}
+	name := w.Name
+	if name == "" {
+		name = "PE"
+	}
+	pers := w.Personality
+	if pers == "" {
+		pers = "generic"
+	}
+	if !personality.Valid(w.Personality) {
+		res.Err = fmt.Errorf("rtc: unknown personality %q", w.Personality)
+		return res
+	}
+	res.Personality = pers
+
+	k := newKernel()
+	os := newOSState(k, name)
+	os.tmodel = w.TimeModel
+	os.tracing = w.Trace
+	kind, preemptive, slice, err := policyByName(w.Policy, w.Quantum)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	os.polKind, os.preemptive, os.quantum = kind, preemptive, slice
+	if pers == "osek" {
+		os.frontReinsert = true
+	}
+
+	// Channels in declaration order (resource order feeds findCycle).
+	queues := map[string]rQueue{}
+	sems := map[string]rSem{}
+	for _, c := range w.Channels {
+		switch c.Kind {
+		case "queue":
+			switch pers {
+			case "itron":
+				queues[c.Name] = newItronMailbox(os, c.Name)
+			case "osek":
+				queues[c.Name] = newOsekQueue(os, c.Name, c.Arg)
+			default:
+				queues[c.Name] = newGenQueue(os, c.Name, c.Arg)
+			}
+		case "semaphore":
+			switch pers {
+			case "itron":
+				sems[c.Name] = newItronSem(os, c.Name, c.Arg)
+			case "osek":
+				sems[c.Name] = newOsekSem(os, c.Name, c.Arg)
+			default:
+				sems[c.Name] = newGenSem(os, c.Name, c.Arg)
+			}
+		default:
+			res.Err = fmt.Errorf("rtc: unknown channel kind %q", c.Kind)
+			return res
+		}
+	}
+
+	// Tasks: create all control blocks first (ids fix diagnosis order),
+	// then spawn their machines in the same order the goroutine harness
+	// spawns processes.
+	bodies := make([]frame, len(w.Tasks))
+	tasks := make([]*task, len(w.Tasks))
+	for i, td := range w.Tasks {
+		switch td.Type {
+		case "periodic":
+			t := os.newTask(td.Name, core.Periodic, td.Period, td.Prio)
+			tasks[i] = t
+			bodies[i] = &fPeriodicBody{os: os, t: t, segments: td.Segments, cycles: td.Cycles}
+		case "aperiodic":
+			t := os.newTask(td.Name, core.Aperiodic, 0, td.Prio)
+			tasks[i] = t
+			ops, err := bindOps(td.Ops, queues, sems)
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			repeat := td.Repeat
+			if repeat < 1 {
+				repeat = 1
+			}
+			bodies[i] = &fAperiodicBody{os: os, t: t, start: td.Start, ops: ops, repeat: repeat}
+		default:
+			res.Err = fmt.Errorf("rtc: unknown task type %q", td.Type)
+			return res
+		}
+	}
+	for i, td := range w.Tasks {
+		daemon := td.Type == "periodic" && td.Cycles == 0
+		m := k.spawn(td.Name, bodies[i], daemon)
+		m.task = tasks[i]
+	}
+	for _, irq := range w.IRQs {
+		sem, ok := sems[irq.Sem]
+		if !ok {
+			res.Err = fmt.Errorf("rtc: irq %q releases unknown semaphore %q", irq.Name, irq.Sem)
+			return res
+		}
+		body := &fIRQBody{os: os, name: irq.Name, sem: sem,
+			at: irq.At, every: irq.Every, count: irq.Count}
+		k.spawn("irq:"+irq.Name, body, true)
+	}
+	if w.WatchdogWindow > 0 {
+		body := &fWatchdogBody{os: os, window: w.WatchdogWindow, last: ^uint64(0)}
+		k.spawn("watchdog:"+name, body, true)
+	}
+
+	os.start()
+	res.Err = k.runUntil(w.Horizon)
+	res.End = k.now
+	res.Records = os.recs
+	res.Stats = os.stats
+	res.Diag = os.diagnosis
+	if res.Diag == nil {
+		res.Diag = os.diagnoseStall()
+	}
+	res.Conservation = os.checkConservation()
+	for i, t := range tasks {
+		tr := TaskResult{
+			Name:        t.name,
+			Prio:        t.prio,
+			Terminated:  t.state == core.TaskTerminated,
+			Activations: t.activations,
+			Missed:      t.missed,
+			CPUTime:     t.cpuTime,
+		}
+		if pb, ok := bodies[i].(*fPeriodicBody); ok {
+			tr.MaxResp = pb.resp
+		}
+		res.Tasks = append(res.Tasks, tr)
+	}
+	return res
+}
+
+// bodyOp is a resolved Op with its channel bound.
+type bodyOp struct {
+	kind opKind
+	del  bool
+	dur  Time
+	q    rQueue
+	s    rSem
+}
+
+func bindOps(ops []Op, queues map[string]rQueue, sems map[string]rSem) ([]bodyOp, error) {
+	out := make([]bodyOp, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case "delay":
+			out[i] = bodyOp{del: true, dur: op.Dur}
+		case "send", "recv":
+			q, ok := queues[op.Ch]
+			if !ok {
+				return nil, fmt.Errorf("rtc: op %q references unknown queue %q", op.Kind, op.Ch)
+			}
+			k := opSend
+			if op.Kind == "recv" {
+				k = opRecv
+			}
+			out[i] = bodyOp{kind: k, q: q}
+		case "acquire", "release":
+			s, ok := sems[op.Ch]
+			if !ok {
+				return nil, fmt.Errorf("rtc: op %q references unknown semaphore %q", op.Kind, op.Ch)
+			}
+			k := opAcquire
+			if op.Kind == "release" {
+				k = opRelease
+			}
+			out[i] = bodyOp{kind: k, s: s}
+		default:
+			return nil, fmt.Errorf("rtc: unknown op kind %q", op.Kind)
+		}
+	}
+	return out, nil
+}
+
+// fPeriodicBody is the harness body for a periodic task: activate, then
+// per cycle run the compute segments, track the worst response time, and
+// end the cycle — the same loop simcheck's goroutine harness runs.
+type fPeriodicBody struct {
+	os       *osState
+	t        *task
+	segments []Time
+	cycles   int // 0 = forever
+	c        int
+	segIx    int
+	rel      Time
+	resp     Time
+	pc       int
+}
+
+func (f *fPeriodicBody) step(m *machine) status {
+	os := f.os
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			return m.callActivate(f.t, os)
+		case 1: // cycle head
+			if f.cycles > 0 && f.c >= f.cycles {
+				os.taskTerminate(m)
+				return statDone
+			}
+			f.rel = f.t.release
+			f.segIx = 0
+			f.pc = 2
+		case 2: // segments
+			if f.segIx < len(f.segments) {
+				d := f.segments[f.segIx]
+				f.segIx++
+				return m.callTimeWait(d, os)
+			}
+			if done := f.t.lastWorkDone; done > f.rel && done-f.rel > f.resp {
+				f.resp = done - f.rel
+			}
+			f.c++
+			f.pc = 1
+			return m.callEndCycle(os)
+		}
+	}
+}
+
+// fAperiodicBody is the harness body for an aperiodic task: optional
+// start delay, activate, run the op list (Repeat times), terminate.
+type fAperiodicBody struct {
+	os     *osState
+	t      *task
+	start  Time
+	ops    []bodyOp
+	repeat int
+	rep    int
+	opIx   int
+	pc     int
+}
+
+func (f *fAperiodicBody) step(m *machine) status {
+	os := f.os
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			if f.start > 0 {
+				m.sleep(f.start)
+				return statBlocked
+			}
+		case 1:
+			f.pc = 2
+			return m.callActivate(f.t, os)
+		case 2:
+			if f.opIx < len(f.ops) {
+				op := &f.ops[f.opIx]
+				f.opIx++
+				if op.del {
+					return m.callTimeWait(op.dur, os)
+				}
+				switch op.kind {
+				case opSend:
+					return m.callSend(op.q, 1)
+				case opRecv:
+					return m.callRecv(op.q)
+				case opAcquire:
+					return m.callAcquire(op.s)
+				default:
+					return m.callRelease(op.s)
+				}
+			}
+			if f.rep+1 < f.repeat {
+				f.rep++
+				f.opIx = 0
+				continue
+			}
+			os.taskTerminate(m)
+			return statDone
+		}
+	}
+}
+
+// fIRQBody is simcheck's interrupt-source process: at At (and then
+// every Every), enter the ISR, release the semaphore, return.
+type fIRQBody struct {
+	os    *osState
+	name  string
+	sem   rSem
+	at    Time
+	every Time
+	count int
+	i     int
+	pc    int
+}
+
+func (f *fIRQBody) step(m *machine) status {
+	os := f.os
+	for {
+		switch f.pc {
+		case 0:
+			f.pc = 1
+			m.sleep(f.at)
+			return statBlocked
+		case 1: // firing loop head
+			if f.i >= f.count {
+				return statDone
+			}
+			f.pc = 2
+			if f.i > 0 {
+				m.sleep(f.every)
+				return statBlocked
+			}
+		case 2: // InterruptEnter + semaphore release
+			os.emitIRQ(f.name, true)
+			f.pc = 3
+			return m.callRelease(f.sem)
+		case 3: // InterruptReturn
+			os.stats.IRQs++
+			os.emitIRQ(f.name, false)
+			f.pc = 4
+			return m.callDecide(os)
+		case 4:
+			f.i++
+			f.pc = 1
+		}
+	}
+}

@@ -154,6 +154,7 @@ type TaskDecl struct {
 type PEDecl struct {
 	Name string
 	SW   bool // software PE with an RTOS instance; false = hardware
+	CPUs int  // 0/1: uniprocessor (the only mapped configuration)
 }
 
 // BusDecl declares a shared bus.
@@ -538,7 +539,7 @@ func (p *parser) task(m *Model) error {
 	return nil
 }
 
-// pe parses: pe NAME sw|hw
+// pe parses: pe NAME sw|hw [cpus N]
 func (p *parser) pe(m *Model) error {
 	name, err := p.ident()
 	if err != nil {
@@ -548,7 +549,17 @@ func (p *parser) pe(m *Model) error {
 	if kind != "sw" && kind != "hw" {
 		return fmt.Errorf("pe %s: expected sw or hw, got %q", name, kind)
 	}
-	m.PEs = append(m.PEs, PEDecl{Name: name, SW: kind == "sw"})
+	d := PEDecl{Name: name, SW: kind == "sw"}
+	if p.peek() == "cpus" {
+		p.next()
+		if d.CPUs, err = p.int(); err != nil {
+			return fmt.Errorf("pe %s: %v", name, err)
+		}
+		if d.CPUs < 1 {
+			return fmt.Errorf("pe %s: cpus %d must be >= 1", name, d.CPUs)
+		}
+	}
+	m.PEs = append(m.PEs, d)
 	return nil
 }
 
@@ -628,6 +639,21 @@ func (m *Model) Validate() error {
 	}
 	if !personality.Valid(m.Personality) {
 		return fmt.Errorf("sdl: unknown personality %q (have %v)", m.Personality, personality.Kinds())
+	}
+	for _, pe := range m.PEs {
+		// Reject impossible mappings at parse time rather than deep inside
+		// a simulation run: the RTOS model (and every personality layered
+		// on it) is uniprocessor, so an SMP software PE has no builder.
+		if pe.CPUs > 1 {
+			if !pe.SW {
+				return fmt.Errorf("sdl: pe %q: cpus %d on a hardware PE; hw PEs are unscheduled and have no CPU count", pe.Name, pe.CPUs)
+			}
+			if m.Personality != "" {
+				return fmt.Errorf("sdl: pe %q: personality %q models a uniprocessor RTOS and cannot run on %d CPUs; declare one sw pe per CPU or drop the personality directive",
+					pe.Name, m.Personality, pe.CPUs)
+			}
+			return fmt.Errorf("sdl: pe %q: cpus %d: SMP software PEs are not supported by the mapped builder; declare one sw pe per CPU", pe.Name, pe.CPUs)
+		}
 	}
 	chans := map[string]ChannelKind{}
 	for _, c := range m.Channels {

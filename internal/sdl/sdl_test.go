@@ -277,3 +277,47 @@ func TestPersonalityDirectiveErrors(t *testing.T) {
 		t.Errorf("err = %v, want unknown personality", err)
 	}
 }
+
+// TestPECPUsClause pins the optional `cpus N` clause on pe declarations:
+// cpus 1 parses and runs, while every unsupported combination — and in
+// particular personality + cpus>1, the configuration that used to fail
+// only deep inside a simulation run — is rejected at parse time with an
+// actionable message.
+func TestPECPUsClause(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // "" = must parse
+	}{
+		{"cpus-1-ok", strings.Replace(twoPEModel, "pe CPU0 sw", "pe CPU0 sw cpus 1", 1), ""},
+		{"cpus-0", strings.Replace(twoPEModel, "pe CPU0 sw", "pe CPU0 sw cpus 0", 1), "must be >= 1"},
+		{"cpus-not-int", strings.Replace(twoPEModel, "pe CPU0 sw", "pe CPU0 sw cpus many", 1), "expected integer"},
+		{"personality-smp",
+			strings.Replace(twoPEModel, "pe CPU0 sw", "pe CPU0 sw cpus 2", 1) + "\npersonality itron\n",
+			`personality "itron" models a uniprocessor RTOS`},
+		{"generic-smp", strings.Replace(twoPEModel, "pe CPU0 sw", "pe CPU0 sw cpus 2", 1),
+			"declare one sw pe per CPU"},
+		{"hw-smp", strings.Replace(twoPEModel, "pe CPU0 sw\npe CPU1 sw", "pe CPU0 sw\npe CPU1 hw cpus 2", 1),
+			"hardware PE"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := Parse(c.src)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				if m.PEs[0].CPUs != 1 {
+					t.Errorf("PEs[0].CPUs = %d, want 1", m.PEs[0].CPUs)
+				}
+				if _, _, err := m.RunMapped(core.PriorityPolicy{}, core.TimeModelCoarse); err != nil {
+					t.Errorf("RunMapped: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}

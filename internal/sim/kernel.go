@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 	"sync"
@@ -21,10 +20,9 @@ type Kernel struct {
 	readyAt int     // consumption index into ready (avoids slice creep)
 	next    []*Proc // runnable in the next delta cycle, FIFO
 
-	timers         timerHeap
-	timerSeq       int
-	timerFree      []*timerEntry // recycled entries (zero-alloc steady state)
-	canceledTimers int           // live count of canceled-but-unpopped entries
+	timers    timerBackend // heap by default; see SetTimingWheel
+	timerSeq  int
+	timerFree []*timerEntry // recycled entries (zero-alloc steady state)
 
 	yield   chan struct{} // process -> kernel handoff
 	killAck chan struct{} // killed process -> killer handoff
@@ -50,9 +48,28 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		yield:   make(chan struct{}),
 		killAck: make(chan struct{}),
+	}
+	k.timers = &heapTimers{k: k}
+	return k
+}
+
+// SetTimingWheel selects the timer backend: the hierarchical timing
+// wheel (on) or the default binary heap (off). The wheel turns the
+// O(log n) schedule/cancel of timer-churn workloads (timeouts that are
+// almost always canceled) into O(1); both backends fire in the identical
+// (time, seq) order, pinned by the differential test in this package.
+// The backend must be chosen before any timer is scheduled.
+func (k *Kernel) SetTimingWheel(on bool) {
+	if k.timers.live() > 0 {
+		panic("sim: SetTimingWheel with timers pending")
+	}
+	if on {
+		k.timers = newWheelTimers(k)
+	} else {
+		k.timers = &heapTimers{k: k}
 	}
 }
 
@@ -221,7 +238,7 @@ func (k *Kernel) RunUntil(limit Time) error {
 	if k.stopped {
 		return k.failure
 	}
-	if t, ok := k.timers.nextTime(k); ok && t > limit {
+	if t, ok := k.timers.nextTime(); ok && t > limit {
 		return nil // time horizon reached; state preserved
 	}
 	if live := k.liveProcs(); len(live) > 0 {
@@ -258,7 +275,7 @@ func (k *Kernel) nextRunnable() *Proc {
 			}
 			continue
 		}
-		t, ok := k.timers.nextTime(k)
+		t, ok := k.timers.nextTime()
 		if !ok || t > k.limit {
 			return nil // nothing scheduled, or horizon reached
 		}
@@ -321,7 +338,7 @@ func (k *Kernel) OnStall(h StallHandler) { k.stallHandlers = append(k.stallHandl
 // processes use it to recognize that only their own timer keeps the
 // simulation alive.
 func (k *Kernel) PendingTimers() int {
-	return len(k.timers) - k.canceledTimers
+	return k.timers.live()
 }
 
 // SetDeltaLimit bounds the number of delta cycles within one time step
@@ -374,11 +391,10 @@ func (k *Kernel) Shutdown() {
 // timed notifications.
 func (k *Kernel) fireTimers(t Time) {
 	for {
-		e, ok := k.timers.peek(k)
-		if !ok || e.at != t {
+		e := k.timers.popDue(t)
+		if e == nil {
 			return
 		}
-		heap.Pop(&k.timers)
 		switch {
 		case e.p != nil:
 			e.p.wakeFromTimer()
@@ -403,58 +419,22 @@ func (k *Kernel) addTimer(at Time, p *Proc, e *Event) *timerEntry {
 	} else {
 		entry = &timerEntry{at: at, seq: k.timerSeq, p: p, e: e}
 	}
-	heap.Push(&k.timers, entry)
+	k.timers.push(entry)
 	return entry
 }
 
-// recycleTimer returns a popped (no longer heap-resident) entry to the
+// recycleTimer returns a popped (no longer backend-resident) entry to the
 // free list.
 func (k *Kernel) recycleTimer(e *timerEntry) {
 	e.p, e.e = nil, nil
 	k.timerFree = append(k.timerFree, e)
 }
 
-// timerCompactMin is the cancelation count below which the heap tolerates
-// dead entries; above it, compaction triggers once dead entries are the
-// majority, keeping the heap length within 2x the live entry count (plus
-// the threshold) under cancel-heavy load.
-const timerCompactMin = 64
-
-// cancelTimer lazily removes a heap-resident entry. The heap pop skips
-// canceled entries; when canceled entries pile up faster than pops drain
-// them (timeout-heavy or fault-injection workloads), the heap is compacted
-// in place so its length stays bounded by the live timer count.
+// cancelTimer removes a pending entry; how immediately it is reclaimed is
+// the backend's affair (the heap cancels lazily, the wheel unlinks in
+// O(1)).
 func (k *Kernel) cancelTimer(e *timerEntry) {
-	if e.canceled {
-		return
-	}
-	e.canceled = true
-	k.canceledTimers++
-	if k.canceledTimers >= timerCompactMin && k.canceledTimers*2 >= len(k.timers) {
-		k.compactTimers()
-	}
-}
-
-// compactTimers rebuilds the heap without its canceled entries, recycling
-// them to the free list.
-func (k *Kernel) compactTimers() {
-	live := k.timers[:0]
-	for _, e := range k.timers {
-		if e.canceled {
-			k.recycleTimer(e)
-			continue
-		}
-		live = append(live, e)
-	}
-	for i := len(live); i < len(k.timers); i++ {
-		k.timers[i] = nil
-	}
-	k.timers = live
-	for i, e := range k.timers {
-		e.index = i
-	}
-	heap.Init(&k.timers)
-	k.canceledTimers = 0
+	k.timers.cancel(e)
 }
 
 // kill terminates target and its children recursively; see Proc.Kill.
@@ -536,67 +516,4 @@ func (e *DeadlockError) Error() string {
 		return e.msg
 	}
 	return e.format()
-}
-
-// timerEntry is a pending timeout or timed notification.
-type timerEntry struct {
-	at       Time
-	seq      int // tie-break: FIFO among equal times
-	p        *Proc
-	e        *Event
-	canceled bool
-	index    int // heap index
-}
-
-// timerHeap is a min-heap of timer entries ordered by (at, seq).
-type timerHeap []*timerEntry
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *timerHeap) Push(x interface{}) {
-	e := x.(*timerEntry)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
-// peek returns the earliest live entry without popping it, discarding (and
-// recycling) canceled entries encountered at the top.
-func (h *timerHeap) peek(k *Kernel) (*timerEntry, bool) {
-	for h.Len() > 0 {
-		top := (*h)[0]
-		if !top.canceled {
-			return top, true
-		}
-		heap.Pop(h)
-		k.canceledTimers--
-		k.recycleTimer(top)
-	}
-	return nil, false
-}
-
-// nextTime returns the earliest pending timer time.
-func (h *timerHeap) nextTime(k *Kernel) (Time, bool) {
-	e, ok := h.peek(k)
-	if !ok {
-		return 0, false
-	}
-	return e.at, true
 }

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wheelWorkload drives a kernel through the timer shapes that
+// distinguish the backends — same-instant timers in seq order, timeouts
+// canceled by a same-instant notification, periodic churn, far-future
+// daemons — and returns the observed wake order.
+func wheelWorkload(t *testing.T, wheel bool) []string {
+	t.Helper()
+	k := NewKernel()
+	k.SetTimingWheel(wheel)
+	defer k.Shutdown()
+	var log []string
+	trace := func(format string, args ...interface{}) {
+		log = append(log, fmt.Sprintf("%-8v ", k.Now())+fmt.Sprintf(format, args...))
+	}
+
+	ev := k.NewEvent("ev")
+	// Notifier wakes the racer at the exact instant its timeout expires:
+	// the event flush must win and cancel the in-flight timer.
+	k.Spawn("notifier", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.WaitFor(10 * Microsecond)
+			p.Notify(ev)
+			trace("notify %d", i)
+		}
+	})
+	k.Spawn("racer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			notified := p.WaitTimeout(ev, 10*Microsecond)
+			trace("racer %d notified=%v", i, notified)
+		}
+	})
+	// Same-instant timers from distinct processes: FIFO by schedule order.
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("tick%d", i), func(p *Proc) {
+			for c := 0; c < 3; c++ {
+				p.WaitFor(7 * Microsecond)
+				trace("tick%d c%d", i, c)
+			}
+		})
+	}
+	// Churn: short timeouts that always cancel, far past the others.
+	churn := k.NewEvent("churn")
+	k.Spawn("churn-notify", func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			p.WaitFor(Microsecond)
+			p.Notify(churn)
+		}
+	})
+	k.Spawn("churn-wait", func(p *Proc) {
+		for i := 0; i < 200; i++ {
+			if !p.WaitTimeout(churn, Millisecond) {
+				trace("churn timeout %d", i)
+			}
+		}
+		trace("churn done")
+	})
+	// A far-future daemon timer exercises the overflow heap.
+	far := k.Spawn("far", func(p *Proc) { p.WaitFor(Second); trace("far") })
+	far.SetDaemon(true)
+
+	if err := k.RunUntil(100 * Microsecond); err != nil {
+		t.Fatalf("wheel=%v: %v", wheel, err)
+	}
+	log = append(log, fmt.Sprintf("end %v pending %d", k.Now(), k.PendingTimers()))
+	return log
+}
+
+// TestTimingWheelKernelEquivalence pins that the wheel-backed kernel
+// replays the heap-backed kernel's behavior event for event.
+func TestTimingWheelKernelEquivalence(t *testing.T) {
+	heapLog := wheelWorkload(t, false)
+	wheelLog := wheelWorkload(t, true)
+	if len(heapLog) != len(wheelLog) {
+		t.Fatalf("log lengths differ: heap %d, wheel %d", len(heapLog), len(wheelLog))
+	}
+	for i := range heapLog {
+		if heapLog[i] != wheelLog[i] {
+			t.Fatalf("logs diverge at %d:\n  heap:  %s\n  wheel: %s", i, heapLog[i], wheelLog[i])
+		}
+	}
+}
+
+// TestSetTimingWheelGuard pins the must-configure-before-use contract.
+func TestSetTimingWheelGuard(t *testing.T) {
+	k := NewKernel()
+	defer k.Shutdown()
+	k.Spawn("sleeper", func(p *Proc) { p.WaitFor(Millisecond) })
+	if err := k.RunUntil(0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetTimingWheel with pending timers did not panic")
+		}
+	}()
+	k.SetTimingWheel(true)
+}

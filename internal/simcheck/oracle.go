@@ -41,9 +41,15 @@ func Check(s *Scenario) []Failure { return CheckJobs(s, runtime.NumCPU()) }
 // collected in submission order.
 func CheckJobs(s *Scenario, jobs int) []Failure {
 	cfgs := Matrix(s)
-	type pair struct{ r1, r2 *RunResult }
+	type pair struct{ r1, r2, rtc *RunResult }
 	runs := runner.Map(len(cfgs), runner.Options{Jobs: jobs}, func(i int) (pair, error) {
-		return pair{r1: safeRun(s, cfgs[i]), r2: safeRun(s, cfgs[i])}, nil
+		p := pair{r1: safeRun(s, cfgs[i]), r2: safeRun(s, cfgs[i])}
+		if cfgs[i].CPUs == 1 {
+			rcfg := cfgs[i]
+			rcfg.Engine = "rtc"
+			p.rtc = safeRun(s, rcfg)
+		}
+		return p, nil
 	})
 	var fails []Failure
 	byKey := map[string]*RunResult{}
@@ -54,6 +60,25 @@ func CheckJobs(s *Scenario, jobs int) []Failure {
 			vs = append(vs, Violation{Kind: "determinism", At: r1.End,
 				Msg: fmt.Sprintf("two runs of seed %d under %s produced different traces (%d vs %d bytes)",
 					s.Seed, cfg, len(r1.Trace), len(r2.Trace))})
+		}
+		// Engine-differential oracle: the run-to-completion engine must be
+		// byte-identical to the goroutine kernel on every uniprocessor
+		// config — trace, statistics, end time, per-task outcomes, and the
+		// diagnosis verdict.
+		if rr := runs[i].Value.rtc; rr != nil {
+			if (rr.Err == nil) != (r1.Err == nil) {
+				vs = append(vs, Violation{Kind: "engine", At: r1.End,
+					Msg: fmt.Sprintf("rtc engine err=%v but goroutine kernel err=%v under %s", rr.Err, r1.Err, cfg)})
+			} else if !bytes.Equal(rr.Trace, r1.Trace) {
+				vs = append(vs, Violation{Kind: "engine", At: r1.End,
+					Msg: fmt.Sprintf("rtc engine trace diverges from goroutine kernel under %s (%d vs %d bytes)",
+						cfg, len(rr.Trace), len(r1.Trace))})
+			}
+			if (rr.Diag == nil) != (r1.Diag == nil) {
+				vs = append(vs, Violation{Kind: "engine", At: r1.End,
+					Msg: fmt.Sprintf("rtc engine diagnosis=%v but goroutine kernel diagnosis=%v under %s",
+						rr.Diag, r1.Diag, cfg)})
+			}
 		}
 		vs = append(vs, checkRTA(s, r1)...)
 		byKey[cfg.String()] = r1

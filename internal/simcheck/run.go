@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/personality"
+	"repro/internal/rtc"
 	"repro/internal/sim"
 	"repro/internal/smp"
 	"repro/internal/trace"
@@ -30,6 +31,14 @@ type Config struct {
 	// the indexed ready queue. Scheduling decisions must be byte-identical
 	// either way; the equivalence suite diffs traces across this flag.
 	LinearReady bool
+
+	// Engine selects the execution engine: "" or "goroutine" for the
+	// process-per-task simulation kernel (internal/sim), "rtc" for the
+	// single-goroutine run-to-completion engine (internal/rtc). Traces
+	// must be byte-identical across engines; the engine-equivalence suite
+	// diffs them. SMP configs (CPUs>1) always use the goroutine kernel —
+	// the rtc engine models one CPU.
+	Engine string
 }
 
 // Segmented reports whether the config uses the interruptible time model.
@@ -39,6 +48,9 @@ func (c Config) String() string {
 	s := fmt.Sprintf("%s/%s/%dcpu", c.Policy, c.TimeModel, c.CPUs)
 	if c.Personality != "" {
 		s += "/" + c.Personality
+	}
+	if c.Engine != "" && c.Engine != "goroutine" {
+		s += "/" + c.Engine
 	}
 	return s
 }
@@ -130,6 +142,12 @@ func (e SMPEvent) String() string {
 // Run simulates the scenario under the given config and returns the
 // collected trace, statistics and per-task outcomes.
 func Run(s *Scenario, cfg Config) *RunResult {
+	switch cfg.Engine {
+	case "", "goroutine", "rtc":
+	default:
+		return &RunResult{Config: cfg,
+			Err: fmt.Errorf("simcheck: unknown engine %q (want \"goroutine\" or \"rtc\")", cfg.Engine)}
+	}
 	if cfg.CPUs > 1 {
 		if cfg.Personality != "" {
 			// Personalities are uniprocessor kernel APIs layered over
@@ -139,9 +157,79 @@ func Run(s *Scenario, cfg Config) *RunResult {
 			return &RunResult{Config: cfg,
 				Err: fmt.Errorf("simcheck: personality %q requires CPUs=1", cfg.Personality)}
 		}
+		// The rtc engine is uniprocessor; SMP always runs on the
+		// goroutine kernel regardless of Engine.
 		return runSMP(s, cfg)
 	}
+	if cfg.Engine == "rtc" {
+		return runRTC(s, cfg)
+	}
 	return runSingle(s, cfg)
+}
+
+// runRTC executes the scenario on the run-to-completion engine
+// (internal/rtc) and assembles the same RunResult shape runSingle
+// produces, so every oracle — including the byte-level trace diff —
+// applies across engines unchanged.
+func runRTC(s *Scenario, cfg Config) *RunResult {
+	res := &RunResult{Config: cfg}
+	tm := core.TimeModelCoarse
+	if cfg.Segmented() {
+		tm = core.TimeModelSegmented
+	}
+	w := rtc.Workload{
+		Name:           "PE",
+		Policy:         cfg.Policy,
+		Quantum:        cfg.Quantum,
+		TimeModel:      tm,
+		Personality:    cfg.Personality,
+		WatchdogWindow: watchdogWindow(s),
+		Horizon:        s.Horizon(),
+		Trace:          true,
+	}
+	for _, c := range s.Channels {
+		w.Channels = append(w.Channels, rtc.ChannelDef{Name: c.Name, Kind: c.Kind, Arg: c.Arg})
+	}
+	for i := range s.Tasks {
+		spec := &s.Tasks[i]
+		td := rtc.TaskDef{
+			Name:     spec.Name,
+			Type:     spec.Type,
+			Prio:     spec.Prio,
+			Period:   spec.Period,
+			Cycles:   spec.Cycles,
+			Segments: spec.Segments,
+			Start:    spec.Start,
+		}
+		for _, op := range spec.Ops {
+			td.Ops = append(td.Ops, rtc.Op{Kind: op.Kind, Dur: op.Dur, Ch: op.Ch})
+		}
+		w.Tasks = append(w.Tasks, td)
+	}
+	for _, irq := range s.IRQs {
+		w.IRQs = append(w.IRQs, rtc.IRQDef{Name: irq.Name, Sem: irq.Sem,
+			At: irq.At, Every: irq.Every, Count: irq.Count})
+	}
+	r := rtc.Run(w)
+	res.Err = r.Err
+	res.End = r.End
+	res.Diag = r.Diag
+	res.Records = r.Records
+	res.Stats = r.Stats
+	res.conservation = r.Conservation
+	for i, t := range r.Tasks {
+		res.Tasks = append(res.Tasks, TaskOutcome{
+			Name:        t.Name,
+			Index:       i,
+			Terminated:  t.Terminated,
+			Activations: t.Activations,
+			Missed:      t.Missed,
+			CPUTime:     t.CPUTime,
+			MaxResp:     t.MaxResp,
+		})
+	}
+	res.Trace = serializeSingle(res)
+	return res
 }
 
 // runSingle executes the scenario on one core.OS instance, programming

@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/personality"
+	"repro/internal/rtc"
 	"repro/internal/sim"
+	"repro/internal/smp"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -34,6 +36,8 @@ type Set struct {
 	QuantumUs   float64 `json:"quantumUs"`
 	TimeModel   string  `json:"timeModel"`             // "coarse" (default) or "segmented"
 	Personality string  `json:"personality,omitempty"` // "generic" (default), "itron" or "osek"
+	CPUs        int     `json:"cpus,omitempty"`        // 0/1: uniprocessor RTOS model; >1: global SMP scheduler
+	Engine      string  `json:"engine,omitempty"`      // "goroutine" (default) or "rtc" (run-to-completion)
 	HorizonMs   float64 `json:"horizonMs"`
 	Tasks       []Task  `json:"tasks"`
 }
@@ -98,11 +102,43 @@ func (s *Set) Validate() error {
 	if !personality.Valid(s.Personality) {
 		return fmt.Errorf("taskset: unknown personality %q (have %v)", s.Personality, personality.Kinds())
 	}
+	if s.CPUs < 0 {
+		return fmt.Errorf("taskset: negative cpus %d", s.CPUs)
+	}
 	if s.QuantumUs < 0 {
 		return fmt.Errorf("taskset: negative quantumUs %g", s.QuantumUs)
 	}
 	if s.Policy == "rr" && s.QuantumUs <= 0 {
 		return fmt.Errorf("taskset: policy \"rr\" needs quantumUs > 0")
+	}
+	switch s.Engine {
+	case "", "goroutine", "rtc":
+	default:
+		return fmt.Errorf("taskset: unknown engine %q (have \"goroutine\", \"rtc\")", s.Engine)
+	}
+	if s.CPUs > 1 {
+		if s.Engine == "rtc" {
+			return fmt.Errorf("taskset: engine \"rtc\" models a uniprocessor; set \"cpus\" to 1 or use the goroutine engine for the global SMP scheduler")
+		}
+		// RTOS personalities are uniprocessor kernel APIs layered over the
+		// single-PE dispatcher; the global SMP scheduler has its own task
+		// model. Surface the conflict here, at parse time, rather than deep
+		// inside a simulation run.
+		if s.Personality != "" {
+			return fmt.Errorf("taskset: personality %q models a uniprocessor RTOS and cannot run on %d CPUs; set \"cpus\" to 1 or drop \"personality\" to use the global SMP scheduler",
+				s.Personality, s.CPUs)
+		}
+		switch s.Policy {
+		case "", "g-fp", "g-edf":
+		default:
+			return fmt.Errorf("taskset: policy %q is a uniprocessor policy; cpus %d needs \"g-fp\" or \"g-edf\"",
+				s.Policy, s.CPUs)
+		}
+		return nil
+	}
+	switch s.Policy {
+	case "g-fp", "g-edf":
+		return fmt.Errorf("taskset: policy %q is a global SMP policy; set \"cpus\" > 1 to use it", s.Policy)
 	}
 	if s.Policy != "" {
 		if _, err := core.PolicyByName(s.Policy, sim.Millisecond); err != nil {
@@ -128,6 +164,7 @@ type Result struct {
 	Policy      string
 	TimeModel   core.TimeModel
 	Personality string
+	CPUs        int // 1 for the uniprocessor RTOS model
 	Horizon     sim.Time
 	End         sim.Time
 	Tasks       []TaskResult
@@ -141,6 +178,12 @@ type Result struct {
 func Run(s *Set, bus ...*telemetry.Bus) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if s.CPUs > 1 {
+		return runSMP(s)
+	}
+	if s.Engine == "rtc" {
+		return runRTC(s, len(bus))
 	}
 	policyName := s.Policy
 	if policyName == "" {
@@ -226,6 +269,7 @@ func Run(s *Set, bus ...*telemetry.Bus) (*Result, error) {
 		Policy:      policy.Name(),
 		TimeModel:   tm,
 		Personality: rt.Kind(),
+		CPUs:        1,
 		Horizon:     horizon,
 		End:         k.Now(),
 		Stats:       rtos.StatsSnapshot(),
@@ -237,6 +281,199 @@ func Run(s *Set, bus ...*telemetry.Bus) (*Result, error) {
 			Prio:        t.Priority(),
 			Period:      t.Period(),
 			WCET:        t.WCET(),
+			Activations: t.Activations(),
+			Missed:      t.MissedDeadlines(),
+			CPUTime:     t.CPUTime(),
+		})
+	}
+	return res, nil
+}
+
+// runRTC simulates the set on the run-to-completion engine
+// (internal/rtc). The engine is trace-equivalent to the goroutine
+// kernel, so the result is byte-for-byte what Run would produce — it
+// just gets there without goroutines or channels.
+func runRTC(s *Set, busCount int) (*Result, error) {
+	if busCount > 0 {
+		return nil, fmt.Errorf("taskset: engine \"rtc\" does not support a live telemetry bus; use the goroutine engine (drop \"engine\" or set it to \"goroutine\")")
+	}
+	policyName := s.Policy
+	if policyName == "" {
+		policyName = "priority"
+	}
+	quantum := sim.Time(s.QuantumUs * 1000)
+	if quantum == 0 {
+		quantum = sim.Millisecond
+	}
+	policy, err := core.PolicyByName(policyName, quantum)
+	if err != nil {
+		return nil, err
+	}
+	tm := core.TimeModelCoarse
+	if s.TimeModel == "segmented" {
+		tm = core.TimeModelSegmented
+	}
+	horizon := sim.Time(s.HorizonMs * 1e6)
+	if horizon <= 0 {
+		horizon = sim.Second
+	}
+
+	w := rtc.Workload{
+		Name:        "PE",
+		Policy:      policyName,
+		Quantum:     quantum,
+		TimeModel:   tm,
+		Personality: s.Personality,
+		Horizon:     horizon,
+		Trace:       true,
+	}
+	for _, tj := range s.Tasks {
+		switch tj.Type {
+		case "periodic", "":
+			w.Tasks = append(w.Tasks, rtc.TaskDef{
+				Name:     tj.Name,
+				Type:     "periodic",
+				Prio:     tj.Prio,
+				Period:   us(tj.PeriodUs),
+				Cycles:   tj.Cycles,
+				Segments: []sim.Time{us(tj.WcetUs)},
+			})
+		case "aperiodic":
+			ops := make([]rtc.Op, 0, len(tj.ComputeUs))
+			for _, c := range tj.ComputeUs {
+				ops = append(ops, rtc.Op{Kind: "delay", Dur: us(float64(c))})
+			}
+			w.Tasks = append(w.Tasks, rtc.TaskDef{
+				Name:  tj.Name,
+				Type:  "aperiodic",
+				Prio:  tj.Prio,
+				Start: us(tj.StartUs),
+				Ops:   ops,
+			})
+		}
+	}
+
+	r := rtc.Run(w)
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if r.Conservation != nil {
+		return nil, r.Conservation
+	}
+	rec := trace.New("taskset")
+	for _, rcd := range r.Records {
+		rec.Append(rcd)
+	}
+	res := &Result{
+		Policy:      policy.Name(),
+		TimeModel:   tm,
+		Personality: r.Personality,
+		CPUs:        1,
+		Horizon:     horizon,
+		End:         r.End,
+		Stats:       r.Stats,
+		Trace:       rec,
+	}
+	for i, tr := range r.Tasks {
+		tj := s.Tasks[i]
+		var period sim.Time
+		if tj.Type == "periodic" || tj.Type == "" {
+			period = us(tj.PeriodUs)
+		}
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name:        tr.Name,
+			Prio:        tr.Prio,
+			Period:      period,
+			WCET:        us(tj.WcetUs),
+			Activations: tr.Activations,
+			Missed:      tr.Missed,
+			CPUTime:     tr.CPUTime,
+		})
+	}
+	return res, nil
+}
+
+// runSMP simulates the set on the global multiprocessor scheduler
+// (Validate guarantees no personality is in play). The trace recorder is
+// returned empty: the SMP scheduler has its own observer surface and the
+// single-PE trace formats do not carry a CPU axis.
+func runSMP(s *Set) (*Result, error) {
+	var policy smp.Policy = smp.FixedPriority{}
+	if s.Policy == "g-edf" {
+		policy = smp.GEDF{}
+	}
+	tm := core.TimeModelCoarse
+	if s.TimeModel == "segmented" {
+		tm = core.TimeModelSegmented
+	}
+	horizon := sim.Time(s.HorizonMs * 1e6)
+	if horizon <= 0 {
+		horizon = sim.Second
+	}
+
+	k := sim.NewKernel()
+	defer k.Shutdown()
+	os := smp.New(k, "SMP", policy, s.CPUs, tm == core.TimeModelSegmented)
+
+	var tasks []*smp.Task
+	for _, tj := range s.Tasks {
+		tj := tj
+		switch tj.Type {
+		case "periodic", "":
+			task := os.TaskCreate(tj.Name, core.Periodic, us(tj.PeriodUs), us(tj.WcetUs), tj.Prio)
+			tasks = append(tasks, task)
+			p := k.Spawn(tj.Name, func(p *sim.Proc) {
+				os.TaskActivate(p, task)
+				for c := 0; tj.Cycles == 0 || c < tj.Cycles; c++ {
+					os.TimeWait(p, us(tj.WcetUs))
+					os.TaskEndCycle(p)
+				}
+				os.TaskTerminate(p)
+			})
+			if tj.Cycles == 0 {
+				p.SetDaemon(true)
+			}
+		case "aperiodic":
+			task := os.TaskCreate(tj.Name, core.Aperiodic, 0, us(tj.WcetUs), tj.Prio)
+			tasks = append(tasks, task)
+			k.Spawn(tj.Name, func(p *sim.Proc) {
+				if tj.StartUs > 0 {
+					p.WaitFor(us(tj.StartUs))
+				}
+				os.TaskActivate(p, task)
+				for _, c := range tj.ComputeUs {
+					os.TimeWait(p, us(float64(c)))
+				}
+				os.TaskTerminate(p)
+			})
+		}
+	}
+
+	if err := k.RunUntil(horizon); err != nil {
+		return nil, err
+	}
+	st := os.StatsSnapshot()
+	res := &Result{
+		Policy:      policy.Name(),
+		TimeModel:   tm,
+		Personality: "",
+		CPUs:        s.CPUs,
+		Horizon:     horizon,
+		End:         k.Now(),
+		Stats: core.Stats{
+			Dispatches:      st.Dispatches,
+			ContextSwitches: st.ContextSwitches,
+			Preemptions:     st.Preemptions,
+			BusyTime:        st.BusyTime,
+		},
+		Trace: trace.New("taskset-smp"),
+	}
+	for i, t := range tasks {
+		res.Tasks = append(res.Tasks, TaskResult{
+			Name:        t.Name(),
+			Prio:        t.Priority(),
+			Period:      us(s.Tasks[i].PeriodUs),
+			WCET:        us(s.Tasks[i].WcetUs),
 			Activations: t.Activations(),
 			Missed:      t.MissedDeadlines(),
 			CPUTime:     t.CPUTime(),

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 const goodJSON = `{
@@ -124,6 +125,15 @@ func TestValidationErrors(t *testing.T) {
 		{"rr-no-quantum", `{"policy":"rr","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "quantumUs > 0"},
 		{"bad-policy", `{"policy":"lottery","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "lottery"},
 		{"bad-personality", `{"personality":"vxworks","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "unknown personality"},
+		{"neg-cpus", `{"cpus":-1,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`, "negative cpus"},
+		{"personality-smp", `{"personality":"itron","cpus":2,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`,
+			`personality "itron" models a uniprocessor RTOS`},
+		{"generic-personality-smp", `{"personality":"generic","cpus":4,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`,
+			"drop \"personality\""},
+		{"uniproc-policy-smp", `{"policy":"rr","quantumUs":100,"cpus":2,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`,
+			`needs "g-fp" or "g-edf"`},
+		{"smp-policy-uniproc", `{"policy":"g-edf","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`,
+			`set "cpus" > 1`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -132,6 +142,43 @@ func TestValidationErrors(t *testing.T) {
 				t.Errorf("err = %v, want containing %q", err, c.want)
 			}
 		})
+	}
+}
+
+// TestRunSMP pins the cpus>1 path: a personality-free set runs on the
+// global SMP scheduler, and two independent full-utilization tasks on two
+// CPUs both make full progress (impossible on one CPU).
+func TestRunSMP(t *testing.T) {
+	s, err := Parse([]byte(`{
+	  "policy": "g-fp",
+	  "cpus": 2,
+	  "horizonMs": 10,
+	  "tasks": [
+	    {"name": "a", "type": "periodic", "periodUs": 1000, "wcetUs": 900, "prio": 1},
+	    {"name": "b", "type": "periodic", "periodUs": 1000, "wcetUs": 900, "prio": 2}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUs != 2 || res.Policy != "g-fp" {
+		t.Errorf("CPUs/Policy = %d/%s, want 2/g-fp", res.CPUs, res.Policy)
+	}
+	for _, tr := range res.Tasks {
+		if tr.Activations < 9 {
+			t.Errorf("%s activations = %d, want ≈10 (both CPUs busy)", tr.Name, tr.Activations)
+		}
+		if tr.Missed != 0 {
+			t.Errorf("%s missed = %d, want 0", tr.Name, tr.Missed)
+		}
+	}
+	// 2 CPUs × ~10 cycles × 900µs ≈ 18ms of busy time in a 10ms horizon.
+	if res.Stats.BusyTime < 15*sim.Millisecond {
+		t.Errorf("busy = %v, want ≈18ms across both CPUs", res.Stats.BusyTime)
 	}
 }
 
@@ -212,5 +259,92 @@ func TestPersonalityEquivalence(t *testing.T) {
 			t.Errorf("%s: context switches = %d, want %d",
 				pers, res.Stats.ContextSwitches, ref.Stats.ContextSwitches)
 		}
+	}
+}
+
+// TestEngineEquivalence runs the same set on the goroutine kernel and
+// the run-to-completion engine across the policy × time-model ×
+// personality matrix: every per-task outcome, the OS statistics, the end
+// time and the trace itself must match record for record.
+func TestEngineEquivalence(t *testing.T) {
+	for _, pol := range []string{"priority", "fcfs", "rr", "edf", "rm"} {
+		for _, tm := range []string{"coarse", "segmented"} {
+			for _, pers := range []string{"generic", "itron", "osek"} {
+				base, err := Parse([]byte(goodJSON))
+				if err != nil {
+					t.Fatal(err)
+				}
+				base.Policy = pol
+				if pol == "rr" {
+					base.QuantumUs = 500
+				}
+				base.TimeModel = tm
+				base.Personality = pers
+				ref, err := Run(base)
+				if err != nil {
+					t.Fatalf("%s/%s/%s goroutine: %v", pol, tm, pers, err)
+				}
+
+				s := *base
+				s.Engine = "rtc"
+				res, err := Run(&s)
+				if err != nil {
+					t.Fatalf("%s/%s/%s rtc: %v", pol, tm, pers, err)
+				}
+				tag := pol + "/" + tm + "/" + pers
+				if res.Policy != ref.Policy || res.Personality != ref.Personality ||
+					res.End != ref.End || res.Stats != ref.Stats {
+					t.Errorf("%s: header/stats diverge:\nrtc       %s %s end=%v %+v\ngoroutine %s %s end=%v %+v",
+						tag, res.Policy, res.Personality, res.End, res.Stats,
+						ref.Policy, ref.Personality, ref.End, ref.Stats)
+				}
+				for i, tr := range res.Tasks {
+					if tr != ref.Tasks[i] {
+						t.Errorf("%s: task %s = %+v, want %+v", tag, tr.Name, tr, ref.Tasks[i])
+					}
+				}
+				refRecs, recs := ref.Trace.Records(), res.Trace.Records()
+				if len(recs) != len(refRecs) {
+					t.Errorf("%s: %d trace records, want %d", tag, len(recs), len(refRecs))
+					continue
+				}
+				for i := range recs {
+					if recs[i] != refRecs[i] {
+						t.Errorf("%s: trace record %d:\nrtc       %s\ngoroutine %s",
+							tag, i, recs[i], refRecs[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineValidation pins the engine axis's error surface.
+func TestEngineValidation(t *testing.T) {
+	cases := []struct{ name, json, want string }{
+		{"bad-engine", `{"engine":"fiber","tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`,
+			`unknown engine "fiber"`},
+		{"rtc-smp", `{"engine":"rtc","cpus":2,"tasks":[{"name":"a","periodUs":10,"wcetUs":1}]}`,
+			`engine "rtc" models a uniprocessor`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.json))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+	// A live telemetry bus hooks the goroutine RTOS instance; the rtc
+	// engine must reject it loudly rather than silently drop telemetry.
+	s, err := Parse([]byte(goodJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Engine = "rtc"
+	if _, err := Run(s, telemetry.NewBus()); err == nil ||
+		!strings.Contains(err.Error(), "telemetry bus") {
+		t.Errorf("rtc+bus err = %v, want telemetry bus rejection", err)
 	}
 }

@@ -1,0 +1,377 @@
+// Package timewheel implements a hierarchical timing wheel: the
+// tick-bucket timer structure real kernels and network stacks use when
+// timers are scheduled and canceled far more often than they fire
+// (TCP retransmit timers are the classic case — each segment arms a
+// countdown that is almost always canceled by the ACK).
+//
+// The wheel replaces a binary heap's O(log n) schedule/cancel with O(1):
+//
+//   - level 0 buckets times at the base tick granularity (one slot per
+//     tick, 64 slots);
+//   - level k buckets times at granularity 64^k, so five levels span
+//     ~2^30 ticks from the current time;
+//   - entries further out wait in a small overflow min-heap and are rare
+//     by construction;
+//   - entries chain through intrusive doubly-linked Nodes embedded in
+//     the caller's type (zero-alloc steady state, O(1) cancel).
+//
+// When time advances to t, higher-level slots covering t cascade down:
+// their entries redistribute to lower levels, and every entry due at
+// exactly t lands in level 0's slot for t. CollectDue then drains that
+// slot and sorts it by the caller's sequence number, restoring the exact
+// (time, seq) FIFO firing order a binary heap provides — the order the
+// simulation kernel's trace byte-equivalence depends on.
+//
+// The structure is generic over the entry type with pure-field accessors,
+// in the style of internal/readyq, so the goroutine kernel
+// (internal/sim) and the run-to-completion engine (internal/rtc) share
+// one implementation.
+package timewheel
+
+import "math/bits"
+
+const (
+	slotBits  = 6
+	slotCount = 1 << slotBits // 64 slots per level
+	slotMask  = slotCount - 1
+	// levelCount wheel levels: level k has granularity 64^k ticks.
+	levelCount = 5
+)
+
+// Span is the horizon covered by the wheel levels: entries scheduled at
+// least Span ticks in the future wait in the overflow heap until the
+// wheel catches up.
+const Span = int64(1) << (slotBits * levelCount)
+
+// where encodings for Node.where.
+const (
+	whereIdle     = 0              // not queued
+	whereWheelL0  = 1              // wheel level = where - whereWheelL0
+	whereOverflow = levelCount + 1 // overflow heap, position Node.heapIdx
+)
+
+// Node is the intrusive state an entry embeds to participate in a Wheel.
+// The zero value is an unqueued node.
+type Node[T comparable] struct {
+	next, prev T
+	where      int8
+	slot       int16
+	heapIdx    int32
+}
+
+// Queued reports whether the owning entry is currently in the wheel (or
+// its overflow heap).
+func (n *Node[T]) Queued() bool { return n.where != whereIdle }
+
+// list is one slot's FIFO chain.
+type list[T comparable] struct{ head, tail T }
+
+// Wheel is a hierarchical timing wheel over entries of type T. The
+// accessors must be pure field reads: node returns the entry's embedded
+// Node, at its absolute due time, seq its FIFO tie-break (entries due at
+// the same time fire in ascending seq order).
+type Wheel[T comparable] struct {
+	node func(T) *Node[T]
+	at   func(T) int64
+	seq  func(T) int
+
+	cur      int64 // current time; entries with at < cur have fired
+	occupied [levelCount]uint64
+	slots    [levelCount][slotCount]list[T]
+	overflow []T // min-heap by (at, seq) of entries beyond Span
+	size     int
+}
+
+// New returns an empty wheel at time zero using the given accessors.
+func New[T comparable](node func(T) *Node[T], at func(T) int64, seq func(T) int) *Wheel[T] {
+	return &Wheel[T]{node: node, at: at, seq: seq}
+}
+
+// Len returns the number of queued entries.
+func (w *Wheel[T]) Len() int { return w.size }
+
+// Now returns the wheel's current time: the largest t passed to
+// CollectDue so far.
+func (w *Wheel[T]) Now() int64 { return w.cur }
+
+// Push schedules t. Its due time must not lie in the past (before the
+// last CollectDue time); scheduling at exactly the current time is
+// allowed and fires on the next CollectDue for that time.
+func (w *Wheel[T]) Push(t T) {
+	n := w.node(t)
+	if n.where != whereIdle {
+		panic("timewheel: Push of a queued entry")
+	}
+	at := w.at(t)
+	if at < w.cur {
+		panic("timewheel: Push in the past")
+	}
+	w.size++
+	w.place(t, at)
+}
+
+// place links t into the level/slot (or overflow heap) for due time at,
+// relative to the current wheel time. size is not touched.
+func (w *Wheel[T]) place(t T, at int64) {
+	d := at - w.cur
+	if d >= Span {
+		w.heapPush(t)
+		return
+	}
+	level := 0
+	for d >= int64(slotCount)<<(slotBits*level) {
+		level++
+	}
+	slot := int(at>>(slotBits*level)) & slotMask
+	n := w.node(t)
+	n.where = whereWheelL0 + int8(level)
+	n.slot = int16(slot)
+	var zero T
+	n.next, n.prev = zero, zero
+	l := &w.slots[level][slot]
+	if l.head == zero {
+		l.head, l.tail = t, t
+	} else {
+		n.prev = l.tail
+		w.node(l.tail).next = t
+		l.tail = t
+	}
+	w.occupied[level] |= 1 << uint(slot)
+}
+
+// Cancel removes t if queued, reporting whether it was. Wheel-resident
+// entries unlink in O(1); overflow entries are removed from the heap.
+func (w *Wheel[T]) Cancel(t T) bool {
+	n := w.node(t)
+	switch n.where {
+	case whereIdle:
+		return false
+	case whereOverflow:
+		w.heapRemove(int(n.heapIdx))
+		n.where = whereIdle
+	default:
+		w.unlink(t, n)
+	}
+	w.size--
+	return true
+}
+
+// unlink detaches a wheel-resident entry from its slot chain.
+func (w *Wheel[T]) unlink(t T, n *Node[T]) {
+	level := int(n.where - whereWheelL0)
+	l := &w.slots[level][n.slot]
+	var zero T
+	if n.prev == zero {
+		l.head = n.next
+	} else {
+		w.node(n.prev).next = n.next
+	}
+	if n.next == zero {
+		l.tail = n.prev
+	} else {
+		w.node(n.next).prev = n.prev
+	}
+	if l.head == zero {
+		w.occupied[level] &^= 1 << uint(n.slot)
+	}
+	n.next, n.prev, n.where = zero, zero, whereIdle
+}
+
+// NextTime returns the earliest due time among queued entries. It does
+// not advance the wheel.
+func (w *Wheel[T]) NextTime() (int64, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	var best int64
+	found := false
+	// Level 0 slots map one-to-one to absolute times in [cur, cur+64):
+	// the first occupied slot (rotating from cur's position) is exact.
+	if occ := w.occupied[0]; occ != 0 {
+		p := uint(w.cur) & slotMask
+		rot := occ>>p | occ<<(slotCount-p)
+		best = w.cur + int64(bits.TrailingZeros64(rot))
+		found = true
+	}
+	// Higher levels: walk occupied slots in rotation order (ascending
+	// window start) and scan each (short) chain for its exact minimum —
+	// chain order within a window is insertion order, not time order,
+	// and the slot at the current rotation position can additionally
+	// hold entries one full revolution out (window base+64 aliases the
+	// slot of window base), so a single slot's minimum is only a
+	// candidate, not the level's.
+	var zero T
+	for level := 1; level < levelCount; level++ {
+		occ := w.occupied[level]
+		if occ == 0 {
+			continue
+		}
+		shift := uint(slotBits * level)
+		base := w.cur >> shift
+		p := uint(base) & slotMask
+		for rot := occ>>p | occ<<(slotCount-p); rot != 0; rot &= rot - 1 {
+			i := bits.TrailingZeros64(rot)
+			if wstart := (base + int64(i)) << shift; found && wstart >= best {
+				break // later slots start later still
+			}
+			slot := (int(p) + i) & slotMask
+			for e := w.slots[level][slot].head; e != zero; e = w.node(e).next {
+				if a := w.at(e); !found || a < best {
+					best, found = a, true
+				}
+			}
+		}
+	}
+	if len(w.overflow) > 0 {
+		if a := w.at(w.overflow[0]); !found || a < best {
+			best, found = a, true
+		}
+	}
+	return best, found
+}
+
+// CollectDue advances the wheel to time t — which must be NextTime()'s
+// result (no queued entry may be due earlier) — removes every entry due
+// at exactly t, and appends them to dst in ascending seq order.
+func (w *Wheel[T]) CollectDue(t int64, dst []T) []T {
+	if t < w.cur {
+		panic("timewheel: CollectDue moving backwards")
+	}
+	w.cur = t
+	var zero T
+	// Cascade: every higher-level slot covering t redistributes to lower
+	// levels (its entries are now within 64^level of cur, so each lands
+	// strictly below). Entries due exactly at t end up in level 0.
+	for level := levelCount - 1; level >= 1; level-- {
+		shift := uint(slotBits * level)
+		slot := int(t>>shift) & slotMask
+		l := &w.slots[level][slot]
+		if l.head == zero {
+			continue
+		}
+		e := l.head
+		l.head, l.tail = zero, zero
+		w.occupied[level] &^= 1 << uint(slot)
+		for e != zero {
+			n := w.node(e)
+			nxt := n.next
+			n.next, n.prev, n.where = zero, zero, whereIdle
+			w.place(e, w.at(e))
+			e = nxt
+		}
+	}
+	// Drain level 0's slot for t: it holds exactly the wheel entries due
+	// at t (each level-0 slot covers a single absolute time).
+	start := len(dst)
+	slot := int(t) & slotMask
+	if l := &w.slots[0][slot]; l.head != zero {
+		for e := l.head; e != zero; {
+			n := w.node(e)
+			nxt := n.next
+			n.next, n.prev, n.where = zero, zero, whereIdle
+			dst = append(dst, e)
+			w.size--
+			e = nxt
+		}
+		l.head, l.tail = zero, zero
+		w.occupied[0] &^= 1 << uint(slot)
+	}
+	// Overflow entries due at t (the wheel span was empty past them).
+	for len(w.overflow) > 0 && w.at(w.overflow[0]) == t {
+		dst = append(dst, w.heapPopMin())
+		w.size--
+	}
+	// Restore the global FIFO tie-break: ascending seq. Chains are
+	// near-sorted already (pushes arrive in seq order), so insertion
+	// sort is both allocation-free and cheap.
+	due := dst[start:]
+	for i := 1; i < len(due); i++ {
+		e := due[i]
+		s := w.seq(e)
+		j := i
+		for j > 0 && w.seq(due[j-1]) > s {
+			due[j] = due[j-1]
+			j--
+		}
+		due[j] = e
+	}
+	return dst
+}
+
+// heapLess orders overflow entries by (at, seq).
+func (w *Wheel[T]) heapLess(a, b T) bool {
+	aa, ab := w.at(a), w.at(b)
+	if aa != ab {
+		return aa < ab
+	}
+	return w.seq(a) < w.seq(b)
+}
+
+func (w *Wheel[T]) heapPush(t T) {
+	n := w.node(t)
+	n.where = whereOverflow
+	n.heapIdx = int32(len(w.overflow))
+	w.overflow = append(w.overflow, t)
+	w.heapUp(len(w.overflow) - 1)
+}
+
+func (w *Wheel[T]) heapPopMin() T {
+	t := w.overflow[0]
+	w.node(t).where = whereIdle
+	w.heapRemove(0)
+	return t
+}
+
+// heapRemove deletes the entry at index i, restoring the heap property.
+func (w *Wheel[T]) heapRemove(i int) {
+	var zero T
+	last := len(w.overflow) - 1
+	if i != last {
+		w.overflow[i] = w.overflow[last]
+		w.node(w.overflow[i]).heapIdx = int32(i)
+	}
+	w.overflow[last] = zero
+	w.overflow = w.overflow[:last]
+	if i < last {
+		if !w.heapDown(i) {
+			w.heapUp(i)
+		}
+	}
+}
+
+func (w *Wheel[T]) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.heapLess(w.overflow[i], w.overflow[parent]) {
+			break
+		}
+		w.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (w *Wheel[T]) heapDown(i int) bool {
+	moved := false
+	n := len(w.overflow)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && w.heapLess(w.overflow[l], w.overflow[smallest]) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && w.heapLess(w.overflow[r], w.overflow[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return moved
+		}
+		w.heapSwap(i, smallest)
+		i = smallest
+		moved = true
+	}
+}
+
+func (w *Wheel[T]) heapSwap(i, j int) {
+	w.overflow[i], w.overflow[j] = w.overflow[j], w.overflow[i]
+	w.node(w.overflow[i]).heapIdx = int32(i)
+	w.node(w.overflow[j]).heapIdx = int32(j)
+}

@@ -1,0 +1,272 @@
+package timewheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// entry is the test entry type: an id plus the (at, seq) schedule key and
+// the intrusive node.
+type entry struct {
+	id  int
+	at  int64
+	seq int
+	n   Node[*entry]
+}
+
+func newWheel() *Wheel[*entry] {
+	return New(
+		func(e *entry) *Node[*entry] { return &e.n },
+		func(e *entry) int64 { return e.at },
+		func(e *entry) int { return e.seq },
+	)
+}
+
+// refHeap is the oracle: a plain sorted-slice priority queue with the
+// same (at, seq) contract as the binary heap the wheel replaces.
+type refHeap struct{ entries []*entry }
+
+func (h *refHeap) push(e *entry) {
+	h.entries = append(h.entries, e)
+	sort.Slice(h.entries, func(i, j int) bool {
+		a, b := h.entries[i], h.entries[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.seq < b.seq
+	})
+}
+
+func (h *refHeap) cancel(e *entry) {
+	for i, x := range h.entries {
+		if x == e {
+			h.entries = append(h.entries[:i], h.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *refHeap) nextTime() (int64, bool) {
+	if len(h.entries) == 0 {
+		return 0, false
+	}
+	return h.entries[0].at, true
+}
+
+func (h *refHeap) collectDue(t int64) []*entry {
+	var due []*entry
+	for len(h.entries) > 0 && h.entries[0].at == t {
+		due = append(due, h.entries[0])
+		h.entries = h.entries[1:]
+	}
+	return due
+}
+
+// TestDifferentialVsHeap drives random schedule / cancel / advance
+// interleavings through the wheel and a reference heap and demands the
+// identical firing order — the property the kernel's trace
+// byte-equivalence rests on. Deltas mix the hot L0 range, higher wheel
+// levels, and beyond-Span overflow entries; advances cross level windows
+// so cascades are exercised.
+func TestDifferentialVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := newWheel()
+		ref := &refHeap{}
+		live := make(map[int]*entry)
+		nextID, nextSeq := 0, 0
+		now := int64(0)
+		var scratch []*entry
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // schedule
+				var d int64
+				switch rng.Intn(6) {
+				case 0:
+					d = 0 // due at the current instant
+				case 1, 2:
+					d = int64(rng.Intn(64)) // level 0
+				case 3:
+					d = int64(rng.Intn(64 * 64)) // level 1
+				case 4:
+					d = int64(rng.Int63n(Span)) // any wheel level
+				case 5:
+					d = Span + int64(rng.Int63n(Span)) // overflow
+				}
+				nextID++
+				nextSeq++
+				e := &entry{id: nextID, at: now + d, seq: nextSeq}
+				r := &entry{id: nextID, at: now + d, seq: nextSeq}
+				w.Push(e)
+				ref.push(r)
+				live[e.id] = e
+			case op < 7: // cancel a random live entry
+				for id, e := range live {
+					if !w.Cancel(e) {
+						t.Fatalf("seed %d: Cancel(%d) found nothing", seed, id)
+					}
+					for _, r := range ref.entries {
+						if r.id == id {
+							ref.cancel(r)
+							break
+						}
+					}
+					delete(live, id)
+					break
+				}
+			default: // advance to the next due time and fire
+				wt, wok := w.NextTime()
+				rt, rok := ref.nextTime()
+				if wok != rok || (wok && wt != rt) {
+					t.Fatalf("seed %d step %d: NextTime wheel=(%d,%v) ref=(%d,%v)",
+						seed, step, wt, wok, rt, rok)
+				}
+				if !wok {
+					continue
+				}
+				now = wt
+				scratch = w.CollectDue(wt, scratch[:0])
+				refDue := ref.collectDue(wt)
+				if len(scratch) != len(refDue) {
+					t.Fatalf("seed %d step %d at t=%d: wheel fired %d entries, heap %d",
+						seed, step, wt, len(scratch), len(refDue))
+				}
+				for i := range scratch {
+					if scratch[i].id != refDue[i].id {
+						t.Fatalf("seed %d step %d at t=%d: firing order diverges at %d: wheel id %d, heap id %d",
+							seed, step, wt, i, scratch[i].id, refDue[i].id)
+					}
+					delete(live, scratch[i].id)
+				}
+			}
+			if w.Len() != len(ref.entries) {
+				t.Fatalf("seed %d step %d: Len %d != ref %d", seed, step, w.Len(), len(ref.entries))
+			}
+		}
+	}
+}
+
+// TestSameInstantSeqOrder pins the FIFO tie-break across placement
+// classes: entries due at one instant fire in schedule order even when
+// they arrive via different wheel levels and the overflow heap.
+func TestSameInstantSeqOrder(t *testing.T) {
+	w := newWheel()
+	at := Span + 100 // beyond the initial span, so early pushes overflow
+	var want []int
+	var entries []*entry
+	for i := 0; i < 8; i++ {
+		e := &entry{id: i, at: at, seq: i}
+		entries = append(entries, e)
+		want = append(want, i)
+		w.Push(e)
+	}
+	// Advance near the target so later pushes at the same instant land in
+	// low wheel levels while the early ones still sit in overflow.
+	step := at - 50
+	w.CollectDue(step, nil) // nothing due; advances cur
+	for i := 8; i < 12; i++ {
+		e := &entry{id: i, at: at, seq: i}
+		entries = append(entries, e)
+		want = append(want, i)
+		w.Push(e)
+	}
+	nt, ok := w.NextTime()
+	if !ok || nt != at {
+		t.Fatalf("NextTime = (%d, %v), want (%d, true)", nt, ok, at)
+	}
+	got := w.CollectDue(at, nil)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.id != want[i] {
+			t.Fatalf("firing order[%d] = id %d, want %d", i, e.id, want[i])
+		}
+	}
+	for _, e := range entries {
+		if e.n.Queued() {
+			t.Fatalf("entry %d still queued after firing", e.id)
+		}
+	}
+}
+
+// TestCancelUnqueued pins Cancel's report on never-queued and
+// already-fired entries.
+func TestCancelUnqueued(t *testing.T) {
+	w := newWheel()
+	e := &entry{at: 10, seq: 1}
+	if w.Cancel(e) {
+		t.Fatal("Cancel of a never-queued entry reported true")
+	}
+	w.Push(e)
+	got := w.CollectDue(10, nil)
+	if len(got) != 1 || got[0] != e {
+		t.Fatalf("CollectDue = %v, want the pushed entry", got)
+	}
+	if w.Cancel(e) {
+		t.Fatal("Cancel after firing reported true")
+	}
+}
+
+// TestZeroAllocSteadyState pins the zero-alloc property of the hot
+// operations: once the wheel's slot chains and the caller's scratch are
+// warm, schedule / cancel / advance allocate nothing.
+func TestZeroAllocSteadyState(t *testing.T) {
+	w := newWheel()
+	const n = 64
+	entries := make([]*entry, n)
+	for i := range entries {
+		entries[i] = &entry{id: i}
+	}
+	scratch := make([]*entry, 0, n)
+	now := int64(0)
+	seq := 0
+	cycle := func() {
+		for i, e := range entries {
+			seq++
+			e.at = now + int64(1+(i*7)%300)
+			e.seq = seq
+			w.Push(e)
+		}
+		for i := 0; i < n; i += 2 { // cancel half, fire half
+			w.Cancel(entries[i])
+		}
+		for {
+			nt, ok := w.NextTime()
+			if !ok {
+				break
+			}
+			now = nt
+			scratch = w.CollectDue(nt, scratch[:0])
+		}
+	}
+	cycle() // warm up chains and the overflow slice
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("steady-state schedule/cancel/advance allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	w := newWheel()
+	const n = 128
+	entries := make([]*entry, n)
+	for i := range entries {
+		entries[i] = &entry{id: i}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := 0
+	for i := 0; i < b.N; i++ {
+		for j, e := range entries {
+			seq++
+			e.at = int64(seq + j%977)
+			e.seq = seq
+			w.Push(e)
+		}
+		for _, e := range entries {
+			w.Cancel(e)
+		}
+	}
+}

@@ -54,16 +54,26 @@ go test -run 'TestITRONConformance' -count=1 ./internal/personality/itron
 go test -run 'TestOSEKConformance' -count=1 ./internal/personality/osek
 go test -run 'TestCrossPersonalityCorpus' -count=1 ./internal/simcheck
 
+# Execution-engine equivalence: the run-to-completion engine
+# (internal/rtc, -engine=rtc) must produce byte-identical traces,
+# diagnoses and statistics to the goroutine kernel across the
+# policy × time-model × personality matrix — the seeded simcheck
+# corpus and the taskset-level matrix. (go test ./... above already
+# ran these; the explicit pass keeps the two-engine contract visible.)
+echo "== execution-engine equivalence (goroutine vs run-to-completion)"
+go test -run 'TestEngineEquivalence' -count=1 ./internal/simcheck ./internal/taskset
+
 # Personality dispatch overhead guard: the personality interface in
 # front of the core services must stay within 5% of direct calls on the
 # context-switch scenario (generic passthrough isolates the indirection).
 echo "== personality dispatch overhead guard"
 PERSONALITY_OVERHEAD_GUARD=1 go test -run TestPersonalityOverheadGuard -count=1 -v .
 
-# Kernel performance gate: re-run the benchmark scenarios and compare
-# against the committed baseline (BENCH_kernel.json). Allocation counts
-# are gated exactly — any steady-state alloc regression fails here — while
-# ns/op gets a wide 100% tolerance to absorb host variation.
+# Kernel performance gate: re-run the benchmark scenarios — both the
+# goroutine kernel's and the run-to-completion engine's (rtc/*) — and
+# compare against the committed baseline (BENCH_kernel.json). Allocation
+# counts are gated exactly — any steady-state alloc regression fails here —
+# while ns/op gets a wide 100% tolerance to absorb host variation.
 echo "== simbench baseline check (BENCH_kernel.json)"
 go run ./cmd/simbench -check -tolerance 1.0
 
