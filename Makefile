@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline equivalence engine-equivalence conformance personality-overhead
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline bench-dse bench-dse-check bench-dse-baseline equivalence engine-equivalence checkpoint-equivalence conformance personality-overhead dse-check
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -53,11 +53,28 @@ bench-check: ## gate the scenarios against the committed BENCH_kernel.json
 bench-baseline: ## re-record BENCH_kernel.json (review the diff!)
 	go run ./cmd/simbench -out BENCH_kernel.json
 
+bench-dse: ## run the design-space-exploration scenarios and print the table
+	go run ./cmd/simbench -suite dse
+
+bench-dse-check: ## gate the DSE scenarios against the committed BENCH_dse.json
+	go run ./cmd/simbench -suite dse -check -tolerance 1.0
+
+bench-dse-baseline: ## re-record BENCH_dse.json (review the diff!)
+	go run ./cmd/simbench -suite dse -out BENCH_dse.json
+
 equivalence: ## indexed-vs-linear ready-queue byte-equivalence matrix
 	go test -run 'TestReadyQueueEquivalence' -count=1 ./internal/simcheck
 
 engine-equivalence: ## goroutine-vs-run-to-completion engine byte-equivalence matrix
 	go test -run 'TestEngineEquivalence' -count=1 ./internal/simcheck ./internal/taskset
+
+checkpoint-equivalence: ## snapshot/restore byte-equivalence: simcheck matrix + rtc engine suite
+	go test -run 'TestCheckpoint' -count=1 ./internal/simcheck
+	go test -run 'TestSnapshot|TestRestore' -count=1 ./internal/rtc ./internal/sim
+
+dse-check: ## design-space-exploration gates: memoization, Pareto, cache keys, fork sweeps + BENCH_dse.json baseline
+	go test -race -count=1 ./internal/dse
+	go run ./cmd/simbench -suite dse -check -tolerance 1.0
 
 conformance: ## RTOS personality conformance suites (µITRON 4.0, OSEK OS 2.2.3)
 	go test -run 'TestITRONConformance' -count=1 -v ./internal/personality/itron | tail -3

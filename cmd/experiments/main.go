@@ -32,6 +32,7 @@ import (
 	"repro/internal/loccount"
 	"repro/internal/models"
 	"repro/internal/refine"
+	"repro/internal/rtc"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/smp"
@@ -577,7 +578,7 @@ func designSpace() {
 		{Name: "order", Values: []string{"enc-first", "dec-first"}},
 		{Name: "time", Values: []string{"coarse", "segmented"}},
 	}
-	points := dse.Explore(axes, func(c dse.Config) (float64, map[string]float64, error) {
+	eval := func(c dse.Config) (float64, map[string]float64, error) {
 		p := par
 		if c["order"] == "dec-first" {
 			p.PrioEnc, p.PrioDec = 2, 1
@@ -597,7 +598,13 @@ func designSpace() {
 		return float64(res.TranscodingDelay) / 1e6, map[string]float64{
 			"switches": float64(res.ContextSwitches),
 		}, nil
-	}, dse.WithJobs(*jobs))
+	}
+	cache, err := dse.NewCache("")
+	check(err)
+	coldStart := time.Now()
+	points := dse.Explore(axes, eval, dse.WithJobs(*jobs),
+		dse.WithCache(cache, nil), dse.WithObjectives("cost", "switches"))
+	cold := time.Since(coldStart)
 	fmt.Printf("cost = transcoding delay (ms), %d frames, %d configurations:\n\n",
 		par.Frames, len(points))
 	fmt.Print(dse.Table(points, "delay-ms"))
@@ -605,9 +612,95 @@ func designSpace() {
 	check(err)
 	fmt.Printf("\nbest: %s at %.3f ms (%0.f context switches)\n",
 		best.Config.Key(), best.Cost, best.Aux["switches"])
+
+	// Pareto view: delay and scheduling overhead pull in different
+	// directions, so the interesting designs are the non-dominated set.
+	fmt.Println("\nPareto front (minimize delay-ms AND context switches):")
+	for _, p := range dse.ParetoFront(points) {
+		fmt.Printf("  %-44s %10.3f ms %8.0f switches\n", p.Config.Key(), p.Cost, p.Aux["switches"])
+	}
+
+	// Memoized repeat: the identical sweep answered entirely from the
+	// content-hash cache.
+	before := cache.Stats()
+	warmStart := time.Now()
+	dse.Explore(axes, eval, dse.WithJobs(*jobs),
+		dse.WithCache(cache, nil), dse.WithObjectives("cost", "switches"))
+	warm := time.Since(warmStart)
+	after := cache.Stats()
+	warmRate := dse.CacheStats{Hits: after.Hits - before.Hits, Misses: after.Misses - before.Misses}.HitRate()
+	n := float64(len(points))
+	fmt.Printf("\nmemoized repeat: cold %v (%.0f configs/s) -> warm %v (%.0f configs/s), hit rate %.0f%%\n",
+		cold.Round(time.Millisecond), n/cold.Seconds(),
+		warm.Round(time.Microsecond), n/warm.Seconds(), 100*warmRate)
+
+	forkDemo()
+
 	fmt.Println("\nshape: every configuration evaluates in milliseconds on the abstract")
 	fmt.Println("model; the same sweep on the ISS implementation model would take hours —")
-	fmt.Println("the paper's case for RTOS modeling at high abstraction levels.")
+	fmt.Println("the paper's case for RTOS modeling at high abstraction levels. Memoizing")
+	fmt.Println("and checkpoint-forking shave the repeated and shared work on top.")
+}
+
+// forkDemo shows checkpoint-forked sweeps: variants that differ only
+// after time T share the [0, T) prefix through one rtc snapshot instead
+// of each re-simulating it.
+func forkDemo() {
+	// A long shared prefix is the point: only the tail differs per
+	// variant, so the fork pays [0, forkAt) once plus one restore each.
+	horizon := 20 * sim.Second
+	if *quick {
+		horizon = 5 * sim.Second
+	}
+	specs := workload.PeriodicSet(workload.NewRNG(7), 64, 0.9)
+	base := rtc.Workload{
+		Policy:    "priority",
+		TimeModel: core.TimeModelSegmented,
+		Horizon:   horizon,
+	}
+	for _, s := range specs {
+		base.Tasks = append(base.Tasks, rtc.TaskDef{
+			Name: s.Name, Type: "periodic", Prio: s.Prio,
+			Period: s.Period, Segments: []sim.Time{s.WCET},
+		})
+	}
+	forkAt := horizon - horizon/20
+	variants := []dse.Variant{
+		{Name: "priority", Policy: "priority"},
+		{Name: "rr", Policy: "rr", Quantum: 5 * sim.Millisecond},
+		{Name: "edf", Policy: "edf"},
+		{Name: "fcfs", Policy: "fcfs"},
+	}
+
+	fullStart := time.Now()
+	for _, v := range variants {
+		w := base
+		w.Policy, w.Quantum = v.Policy, v.Quantum
+		if r := rtc.Run(w); r.Err != nil {
+			check(r.Err)
+		}
+	}
+	full := time.Since(fullStart)
+
+	forkStart := time.Now()
+	results, err := dse.ForkSweep(base, forkAt, variants, *jobs)
+	check(err)
+	forked := time.Since(forkStart)
+
+	fmt.Printf("\ncheckpoint-forked sweep: %d policy variants forked at %v of %v (rtc engine)\n",
+		len(variants), forkAt, base.Horizon)
+	fmt.Printf("%-10s %10s %8s\n", "variant", "switches", "missed")
+	for _, r := range results {
+		check(r.Err)
+		missed := 0
+		for _, t := range r.Result.Tasks {
+			missed += t.Missed
+		}
+		fmt.Printf("%-10s %10d %8d\n", r.Variant.Name, r.Result.Stats.ContextSwitches, missed)
+	}
+	fmt.Printf("full re-simulation %v vs checkpoint-forked %v (%.1fx)\n",
+		full.Round(time.Millisecond), forked.Round(time.Millisecond),
+		float64(full)/float64(forked))
 }
 
 // ---------------------------------------------------------------------------

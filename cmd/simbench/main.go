@@ -1,11 +1,14 @@
-// Command simbench runs the kernel performance harness (internal/perf)
-// and reports ns/op, allocs/op and modeled context-switch throughput for
-// each hot-path scenario. The results can be written as a machine-readable
-// document and gated against a committed baseline.
+// Command simbench runs the performance harnesses (internal/perf) and
+// reports ns/op, allocs/op and throughput metrics for each scenario. The
+// results can be written as a machine-readable document and gated
+// against a committed baseline.
 //
 // Usage:
 //
-//	simbench                          run and print the scenario table
+//	simbench                          run and print the kernel scenario table
+//	simbench -suite dse               run the design-space-exploration suite
+//	                                  (configs/s cold vs memoized, checkpoint
+//	                                  snapshot/restore cost; BENCH_dse.json)
 //	simbench -out BENCH_kernel.json   also write the JSON document
 //	simbench -check                   compare against -baseline and exit 1
 //	                                  on regression (allocs/op above the
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -29,11 +33,12 @@ import (
 
 func main() {
 	var (
+		suite     = flag.String("suite", "kernel", "scenario suite: kernel or dse")
 		out       = flag.String("out", "", "write the benchmark document to this file")
-		baseline  = flag.String("baseline", "BENCH_kernel.json", "baseline document for -check")
+		baseline  = flag.String("baseline", "", "baseline document for -check (default BENCH_kernel.json or BENCH_dse.json per -suite)")
 		check     = flag.Bool("check", false, "compare against -baseline and fail on regression")
 		tolerance = flag.Float64("tolerance", 0.5, "relative ns/op tolerance for -check")
-		engine    = flag.String("engine", "", "restrict to one execution engine: goroutine (skips rtc/* scenarios) or rtc (only rtc/*)")
+		engine    = flag.String("engine", "", "kernel suite only; restrict to one execution engine: goroutine (skips rtc/* scenarios) or rtc (only rtc/*)")
 	)
 	flag.Parse()
 
@@ -49,16 +54,53 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := perf.CollectOnly(keep)
+	var (
+		rep    perf.Report
+		schema string
+	)
+	switch *suite {
+	case "kernel":
+		if *baseline == "" {
+			*baseline = "BENCH_kernel.json"
+		}
+		schema = perf.Schema
+		rep = perf.CollectOnly(keep)
+	case "dse":
+		if *engine != "" {
+			fmt.Fprintln(os.Stderr, "simbench: -engine applies to the kernel suite only")
+			os.Exit(2)
+		}
+		if *baseline == "" {
+			*baseline = "BENCH_dse.json"
+		}
+		schema = perf.DSESchema
+		rep = perf.CollectDSE()
+	default:
+		fmt.Fprintf(os.Stderr, "simbench: unknown suite %q (have \"kernel\", \"dse\")\n", *suite)
+		os.Exit(2)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "SCENARIO\tNS/OP\tB/OP\tALLOCS/OP\tSWITCHES/S")
+	fmt.Fprintln(w, "SCENARIO\tNS/OP\tB/OP\tALLOCS/OP\tSWITCHES/S\tEXTRA")
 	for _, s := range rep.Scenarios {
 		sw := "-"
 		if s.SwitchesPerSec > 0 {
 			sw = fmt.Sprintf("%.0f", s.SwitchesPerSec)
 		}
-		fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\t%s\n", s.Name, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, sw)
+		extra := "-"
+		if len(s.Extra) > 0 {
+			names := make([]string, 0, len(s.Extra))
+			for name := range s.Extra {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			var parts []string
+			for _, name := range names {
+				parts = append(parts, fmt.Sprintf("%s=%.2f", name, s.Extra[name]))
+			}
+			extra = strings.Join(parts, " ")
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%d\t%d\t%s\t%s\n", s.Name, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, sw, extra)
 	}
 	w.Flush()
 
@@ -71,7 +113,7 @@ func main() {
 	}
 
 	if *check {
-		base, err := perf.Load(*baseline)
+		base, err := perf.LoadAs(*baseline, schema)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)

@@ -1,8 +1,12 @@
 // Command simfuzz soaks the RTOS model with the simcheck property-based
 // harness: it generates seed-driven random task sets, runs each across
 // the full policy × time-model × PE matrix, and checks the scheduling
-// invariants and differential oracles. Failing seeds are shrunk to a
-// minimal reproducer and written to the output directory.
+// invariants and differential oracles — run-to-run determinism, the
+// run-to-completion engine's byte-equivalence, and checkpoint/restore
+// equivalence (a run checkpointed at a seed-derived instant and resumed
+// must finish byte-identical to the uninterrupted run, on both engines).
+// Failing seeds are shrunk to a minimal reproducer and written to the
+// output directory.
 //
 // Usage:
 //

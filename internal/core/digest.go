@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// StateDigest renders the OS's complete mutable scheduler state as
+// deterministic bytes: the running/last-run tasks, every task control
+// block's dynamic fields, the ready-queue sequence counters, the
+// accounting stats including in-flight idle/delay/overhead spans, and
+// the watchdog progress stamp. Two OS instances that executed the same
+// model to the same instant digest identically, so the checkpoint
+// oracle (internal/simcheck) can compare a restored kernel's OS against
+// the original at the snapshot point, not just at the horizon. Ready-
+// queue membership is derivable from task state plus readySeq, so the
+// digest is independent of the indexed-vs-linear queue representation.
+func (os *OS) StateDigest() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "osdigest/1 name=%q started=%t cur=%d last=%d seq=%d fseq=%d\n",
+		os.name, os.started, taskDigestID(os.current), taskDigestID(os.lastRun), os.seq, os.frontSeq)
+	fmt.Fprintf(&b, "spans startedAt=%d idleSince=%d idleValid=%t delayStart=%d delayValid=%t ovhStart=%d ovhValid=%t progress=%d\n",
+		int64(os.startedAt), int64(os.idleSince), os.idleValid,
+		int64(os.delayStart), os.delayValid, int64(os.ovhStart), os.ovhValid, os.progress)
+	st := os.stats
+	fmt.Fprintf(&b, "stats disp=%d cs=%d pre=%d irqs=%d idle=%d busy=%d ovh=%d\n",
+		st.Dispatches, st.ContextSwitches, st.Preemptions, st.IRQs,
+		int64(st.IdleTime), int64(st.BusyTime), int64(st.OverheadTime))
+	for _, t := range os.tasks {
+		fmt.Fprintf(&b, "t %d name=%q state=%q prio=%d rseq=%d rel=%d dl=%d slice=%d lwd=%d cpu=%d act=%d miss=%d np=%t site=%q\n",
+			t.id, t.name, t.state.String(), t.prio, t.readySeq,
+			int64(t.release), int64(t.deadline), int64(t.sliceUsed),
+			int64(t.lastWorkDone), int64(t.cpuTime), t.activations, t.missed, t.nonpreempt, t.blockSite)
+	}
+	return b.Bytes()
+}
+
+func taskDigestID(t *Task) int {
+	if t == nil {
+		return -1
+	}
+	return t.id
+}

@@ -1,0 +1,180 @@
+package dse
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// serializePoints renders an exploration result into comparable bytes:
+// every field that Explore promises, with aux metrics in sorted order.
+func serializePoints(points []Point) []byte {
+	var b bytes.Buffer
+	for i, p := range points {
+		fmt.Fprintf(&b, "%d key=%q cost=%v front=%d err=%v aux={", i, p.Config.Key(), p.Cost, p.Front, p.Err)
+		names := make([]string, 0, len(p.Aux))
+		for name := range p.Aux {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%v", name, p.Aux[name])
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	return b.Bytes()
+}
+
+func memoAxes() []Axis {
+	return []Axis{
+		{Name: "policy", Values: []string{"priority", "rr", "edf", "fifo"}},
+		{Name: "load", Values: []string{"1", "2", "3"}},
+	}
+}
+
+func memoEval(calls *atomic.Int64) EvalFunc {
+	return func(c Config) (float64, map[string]float64, error) {
+		calls.Add(1)
+		var load float64
+		fmt.Sscanf(c["load"], "%f", &load)
+		cost := load * float64(len(c["policy"]))
+		return cost, map[string]float64{"switches": 10 - load}, nil
+	}
+}
+
+// TestExploreMemoization is the memoization-accounting gate: the first
+// sweep misses every cell, an identical repeat is answered 100% from the
+// cache without a single evaluation, and the warm points are
+// byte-identical to the cold run — sequentially and on 8 workers (the
+// -race build makes the concurrent case a data-race check too).
+func TestExploreMemoization(t *testing.T) {
+	for _, jobs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("jobs-%d", jobs), func(t *testing.T) {
+			cache, err := NewCache("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var calls atomic.Int64
+			axes := memoAxes()
+			eval := memoEval(&calls)
+
+			cold := Explore(axes, eval, WithJobs(jobs), WithCache(cache, nil), WithObjectives("cost", "switches"))
+			n := int64(len(Grid(axes)))
+			if calls.Load() != n {
+				t.Fatalf("cold sweep: %d evaluations, want %d", calls.Load(), n)
+			}
+			if s := cache.Stats(); s.Hits != 0 || s.Misses != int(n) {
+				t.Fatalf("cold sweep stats = %+v, want 0 hits / %d misses", s, n)
+			}
+
+			warm := Explore(axes, eval, WithJobs(jobs), WithCache(cache, nil), WithObjectives("cost", "switches"))
+			if calls.Load() != n {
+				t.Errorf("warm sweep re-evaluated: %d total calls, want %d", calls.Load(), n)
+			}
+			s := cache.Stats()
+			if s.Hits != int(n) || s.Misses != int(n) {
+				t.Errorf("warm sweep stats = %+v, want %d hits / %d misses", s, n, n)
+			}
+			if got := s.HitRate(); got != 0.5 {
+				t.Errorf("cumulative hit rate = %v, want 0.5 (cold misses + warm hits)", got)
+			}
+			coldBytes, warmBytes := serializePoints(cold), serializePoints(warm)
+			if !bytes.Equal(coldBytes, warmBytes) {
+				t.Errorf("warm points differ from cold run:\ncold:\n%swarm:\n%s", coldBytes, warmBytes)
+			}
+		})
+	}
+}
+
+// TestCachePersistsAcrossInstances: a second Cache opened on the same
+// directory answers the whole sweep from disk.
+func TestCachePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	axes := memoAxes()
+
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	cold := Explore(axes, memoEval(&calls), WithJobs(1), WithCache(c1, nil))
+	if err := c1.Err(); err != nil {
+		t.Fatalf("persist error: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(Grid(axes)) {
+		t.Fatalf("%d cache files on disk, want %d", len(files), len(Grid(axes)))
+	}
+
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := Explore(axes, memoEval(&calls), WithJobs(1), WithCache(c2, nil))
+	if got, want := calls.Load(), int64(len(Grid(axes))); got != want {
+		t.Errorf("disk-warm sweep evaluated %d times total, want %d (cold only)", got, want)
+	}
+	if s := c2.Stats(); s.Misses != 0 || s.HitRate() != 1.0 {
+		t.Errorf("disk-warm stats = %+v, want 100%% hits", s)
+	}
+	if !bytes.Equal(serializePoints(cold), serializePoints(warm)) {
+		t.Errorf("disk-warm points differ from cold run")
+	}
+}
+
+// TestCacheSkipsFailedEvaluations: errors are never memoized, so a
+// transient failure retries on the next sweep.
+func TestCacheSkipsFailedEvaluations(t *testing.T) {
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	axes := []Axis{{Name: "n", Values: []string{"ok", "bad"}}}
+	var calls atomic.Int64
+	eval := func(c Config) (float64, map[string]float64, error) {
+		calls.Add(1)
+		if c["n"] == "bad" {
+			return 0, nil, fmt.Errorf("transient")
+		}
+		return 1, nil, nil
+	}
+	Explore(axes, eval, WithJobs(1), WithCache(cache, nil))
+	Explore(axes, eval, WithJobs(1), WithCache(cache, nil))
+	if calls.Load() != 3 {
+		t.Errorf("%d evaluations, want 3 (ok once, bad twice)", calls.Load())
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 3 {
+		t.Errorf("stats = %+v, want 1 hit / 3 misses", s)
+	}
+}
+
+// TestCacheCorruptEntryFallsBack: an unreadable disk entry degrades to a
+// miss and is re-evaluated, not an error.
+func TestCacheCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.store("k", cacheEntry{Cost: 7})
+	if err := os.WriteFile(c.path("k"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.lookup("k"); ok {
+		t.Errorf("corrupt entry served as a hit")
+	}
+	if s := c2.Stats(); s.Misses != 1 {
+		t.Errorf("stats = %+v, want the corrupt read counted as a miss", s)
+	}
+}

@@ -17,7 +17,11 @@ import (
 // Config is one point of the design space: a value per axis.
 type Config map[string]string
 
-// Key returns a canonical, order-independent string form.
+// Key returns a canonical, order-independent string form. Axis names
+// and values are escaped so the "=" and " " separators cannot be forged
+// from inside a value: {"a": "1 b=2"} and {"a": "1", "b": "2"} key
+// differently. Plain alphanumeric axes render unescaped, so keys stay
+// readable in tables and logs.
 func (c Config) Key() string {
 	keys := make([]string, 0, len(c))
 	for k := range c {
@@ -26,9 +30,39 @@ func (c Config) Key() string {
 	sort.Strings(keys)
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
-		parts = append(parts, k+"="+c[k])
+		parts = append(parts, escapeKeyPart(k)+"="+escapeKeyPart(c[k]))
 	}
 	return strings.Join(parts, " ")
+}
+
+// escapeKeyPart percent-escapes the characters that carry structure in a
+// Key ("=", " ", "%") plus control characters; everything else passes
+// through untouched.
+func escapeKeyPart(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if keyEscapeNeeded(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 6)
+	for i := 0; i < len(s); i++ {
+		if keyEscapeNeeded(s[i]) {
+			fmt.Fprintf(&b, "%%%02X", s[i])
+		} else {
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func keyEscapeNeeded(c byte) bool {
+	return c == '%' || c == '=' || c == ' ' || c < 0x20 || c == 0x7f
 }
 
 // Axis is one dimension of the space.
@@ -62,6 +96,11 @@ type Point struct {
 	Cost   float64
 	Aux    map[string]float64
 	Err    error
+
+	// Front is the point's Pareto front rank (1 = non-dominated) when the
+	// exploration ran with WithObjectives; 0 otherwise (scalar ranking, or
+	// a failed evaluation).
+	Front int
 }
 
 // EvalFunc evaluates one configuration: lower cost is better.
@@ -71,7 +110,10 @@ type EvalFunc func(c Config) (cost float64, aux map[string]float64, err error)
 type Option func(*exploreOptions)
 
 type exploreOptions struct {
-	jobs int
+	jobs       int
+	objectives []string
+	cache      *Cache
+	keyFn      func(Config) string
 }
 
 // WithJobs sets the number of configurations evaluated concurrently
@@ -79,6 +121,28 @@ type exploreOptions struct {
 // its own simulation kernel, which every model-running EvalFunc in this
 // repository does.
 func WithJobs(n int) Option { return func(o *exploreOptions) { o.jobs = n } }
+
+// WithObjectives switches the ranking from scalar cost to Pareto
+// dominance over the named metrics, all minimized: "cost" names the
+// primary Cost, anything else an Aux metric (a point missing the metric
+// counts as +Inf — dominated by every point that has it). Points come
+// back grouped by front (Point.Front, 1 = non-dominated) and ordered by
+// cost within a front; a single objective reduces to the scalar ranking.
+func WithObjectives(metrics ...string) Option {
+	return func(o *exploreOptions) { o.objectives = metrics }
+}
+
+// WithCache memoizes successful evaluations in the cache under
+// keyFn(config) (nil keyFn = Config.Key). Re-running an identical sweep
+// — same axes, same key function — evaluates nothing and reports 100%
+// hits in the cache's Stats. Failed evaluations are not cached, so
+// transient errors retry on the next sweep.
+func WithCache(cache *Cache, keyFn func(Config) string) Option {
+	return func(o *exploreOptions) {
+		o.cache = cache
+		o.keyFn = keyFn
+	}
+}
 
 // Explore evaluates every configuration of the grid and returns the
 // points sorted by ascending cost; failed evaluations sort last and carry
@@ -93,6 +157,24 @@ func Explore(axes []Axis, eval EvalFunc, opts ...Option) []Point {
 		opt(&o)
 	}
 	configs := Grid(axes)
+	if o.cache != nil {
+		inner := eval
+		keyFn := o.keyFn
+		if keyFn == nil {
+			keyFn = Config.Key
+		}
+		eval = func(c Config) (float64, map[string]float64, error) {
+			key := keyFn(c)
+			if e, ok := o.cache.lookup(key); ok {
+				return e.Cost, e.Aux, nil
+			}
+			cost, aux, err := inner(c)
+			if err == nil {
+				o.cache.store(key, cacheEntry{Cost: cost, Aux: aux})
+			}
+			return cost, aux, err
+		}
+	}
 	type out struct {
 		cost float64
 		aux  map[string]float64
@@ -105,6 +187,19 @@ func Explore(axes []Axis, eval EvalFunc, opts ...Option) []Point {
 	for i, c := range configs {
 		r := results[i]
 		points = append(points, Point{Config: c, Cost: r.Value.cost, Aux: r.Value.aux, Err: r.Err})
+	}
+	if len(o.objectives) > 0 {
+		assignFronts(points, o.objectives)
+		sort.SliceStable(points, func(i, j int) bool {
+			if (points[i].Err == nil) != (points[j].Err == nil) {
+				return points[i].Err == nil
+			}
+			if points[i].Front != points[j].Front {
+				return points[i].Front < points[j].Front
+			}
+			return points[i].Cost < points[j].Cost
+		})
+		return points
 	}
 	sort.SliceStable(points, func(i, j int) bool {
 		if (points[i].Err == nil) != (points[j].Err == nil) {

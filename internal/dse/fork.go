@@ -1,0 +1,62 @@
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/rtc"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Variant is one fork of a checkpoint sweep: the scheduling knobs that
+// may change at the fork point without invalidating the captured state.
+type Variant struct {
+	Name    string
+	Policy  string
+	Quantum sim.Time
+}
+
+// ForkResult is one variant's completed run.
+type ForkResult struct {
+	Variant Variant
+	Result  *rtc.Result
+	Err     error // restore error; Result is nil
+}
+
+// ForkSweep runs the shared prefix of a workload once on the rtc engine,
+// snapshots at forkAt, and completes the run once per variant from the
+// checkpoint — the "same workload, policy change at t=T" sweep of the
+// design-space search, paying for [0, forkAt) once instead of once per
+// variant. Results come back in variant order; jobs bounds the
+// concurrent restores (each variant restores into its own session, so
+// they parallelize like independent runs). Note that a fork to "rm"
+// keeps the prefix's priorities: rate-monotonic assignment happens at
+// session start, which the fork skips by design.
+func ForkSweep(base rtc.Workload, forkAt sim.Time, variants []Variant, jobs int) ([]ForkResult, error) {
+	ses, err := rtc.NewSession(base)
+	if err != nil {
+		return nil, fmt.Errorf("dse: fork sweep: %w", err)
+	}
+	if err := ses.RunUntil(forkAt); err != nil {
+		return nil, fmt.Errorf("dse: fork sweep: prefix failed: %w", err)
+	}
+	cp, err := ses.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("dse: fork sweep: %w", err)
+	}
+	results := runner.Map(len(variants), runner.Options{Jobs: jobs}, func(i int) (*rtc.Result, error) {
+		w := base
+		w.Policy, w.Quantum = variants[i].Policy, variants[i].Quantum
+		s, err := rtc.Restore(w, cp)
+		if err != nil {
+			return nil, err
+		}
+		s.RunUntil(w.Horizon)
+		return s.Finish(), nil
+	})
+	out := make([]ForkResult, len(variants))
+	for i, r := range results {
+		out[i] = ForkResult{Variant: variants[i], Result: r.Value, Err: r.Err}
+	}
+	return out, nil
+}

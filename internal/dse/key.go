@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/taskset"
+)
+
+// canonVersion guards the canonical serialization; bump on any format
+// change so stale persisted cache entries can never be misattributed.
+// The golden-hash test in key_test.go fails loudly on accidental drift.
+const canonVersion = "tsv1"
+
+// Canonical serializes a task set into its semantic normal form: every
+// default is made explicit (policy, time model, personality, engine,
+// CPUs, horizon, task type, the quantum only "rr" consumes), times are
+// nanosecond integers, and fields appear in a fixed order — so two sets
+// that simulate identically (reordered JSON fields, omitted defaults)
+// serialize identically, and any semantically meaningful difference
+// changes the bytes. Cache keys hash these bytes (HashSet); anything
+// simulation-relevant that is missing here would let distinct
+// configurations collide in the cache.
+func Canonical(s *taskset.Set) []byte {
+	cpus := s.CPUs
+	if cpus < 1 {
+		cpus = 1
+	}
+	policy := s.Policy
+	if cpus > 1 {
+		// The SMP runner treats everything but "g-edf" as fixed priority.
+		if policy != "g-edf" {
+			policy = "g-fp"
+		}
+	} else if policy == "" {
+		policy = "priority"
+	}
+	var quantum sim.Time
+	if policy == "rr" {
+		quantum = sim.Time(s.QuantumUs * 1000)
+	}
+	tmodel := s.TimeModel
+	if tmodel == "" {
+		tmodel = "coarse"
+	}
+	pers := s.Personality
+	if pers == "" {
+		pers = "generic"
+	}
+	engine := s.Engine
+	if engine == "" || cpus > 1 {
+		engine = "goroutine"
+	}
+	horizon := sim.Time(s.HorizonMs * 1e6)
+	if horizon <= 0 {
+		horizon = sim.Second
+	}
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s policy=%q quantum=%d tmodel=%q pers=%q cpus=%d engine=%q horizon=%d tasks=%d\n",
+		canonVersion, policy, int64(quantum), tmodel, pers, cpus, engine, int64(horizon), len(s.Tasks))
+	for _, t := range s.Tasks {
+		typ := t.Type
+		if typ == "" {
+			typ = "periodic"
+		}
+		fmt.Fprintf(&b, "task name=%q type=%q prio=%d period=%d wcet=%d start=%d cycles=%d segs=%d",
+			t.Name, typ, t.Prio, int64(sim.Time(t.PeriodUs*1000)), int64(sim.Time(t.WcetUs*1000)),
+			int64(sim.Time(t.StartUs*1000)), t.Cycles, len(t.ComputeUs))
+		for _, c := range t.ComputeUs {
+			fmt.Fprintf(&b, " %d", c*1000)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// HashSet returns the content hash of the set's canonical form — the
+// cache key for memoized task-set evaluations.
+func HashSet(s *taskset.Set) string {
+	sum := sha256.Sum256(Canonical(s))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,137 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/taskset"
+)
+
+// TestKeyCollisionRegression pins the fix for the Config.Key collision
+// bug: values were joined with unescaped "=" and " ", so a value
+// containing the separators could forge another configuration's key.
+func TestKeyCollisionRegression(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b Config
+	}{
+		{"space-equals-in-value", Config{"a": "1 b=2"}, Config{"a": "1", "b": "2"}},
+		{"equals-in-name-vs-value", Config{"a=b": "c"}, Config{"a": "b=c"}},
+		{"escape-is-not-the-char", Config{"a": "%3D"}, Config{"a": "="}},
+		{"trailing-space", Config{"a": "1 ", "b": "2"}, Config{"a": "1", "b": " 2"}},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			if ka, kb := p.a.Key(), p.b.Key(); ka == kb {
+				t.Errorf("distinct configs collide: %v and %v both key as %q", p.a, p.b, ka)
+			}
+		})
+	}
+}
+
+// TestKeyPlainValuesUnescaped: ordinary axes keep the readable form used
+// in tables and logs.
+func TestKeyPlainValuesUnescaped(t *testing.T) {
+	if got := (Config{"b": "y", "a": "2"}).Key(); got != "a=2 b=y" {
+		t.Errorf("Key() = %q, want %q", got, "a=2 b=y")
+	}
+}
+
+func baseSet() *taskset.Set {
+	return &taskset.Set{
+		Tasks: []taskset.Task{
+			{Name: "ctrl", Prio: 1, PeriodUs: 5000, WcetUs: 1200},
+			{Name: "dsp", Prio: 2, PeriodUs: 10000, ComputeUs: []int64{800, 400}},
+			{Name: "io", Type: "aperiodic", Prio: 3, StartUs: 2500, WcetUs: 300, Cycles: 4},
+		},
+	}
+}
+
+// TestCanonicalNormalizesDefaults: a set written with every default
+// omitted and the same set with every default explicit are the same
+// configuration and must hash equal.
+func TestCanonicalNormalizesDefaults(t *testing.T) {
+	implicit := baseSet()
+	explicit := baseSet()
+	explicit.Policy = "priority"
+	explicit.TimeModel = "coarse"
+	explicit.Personality = "generic"
+	explicit.Engine = "goroutine"
+	explicit.CPUs = 1
+	explicit.HorizonMs = 1000
+	explicit.Tasks[0].Type = "periodic"
+	if HashSet(implicit) != HashSet(explicit) {
+		t.Errorf("explicit defaults hash differently from omitted defaults:\n%s\nvs\n%s",
+			Canonical(implicit), Canonical(explicit))
+	}
+}
+
+// TestCanonicalIgnoresInertQuantum: the quantum only matters under "rr";
+// under any other policy it is simulation-inert and must not split the
+// cache.
+func TestCanonicalIgnoresInertQuantum(t *testing.T) {
+	a, b := baseSet(), baseSet()
+	b.QuantumUs = 500
+	if HashSet(a) != HashSet(b) {
+		t.Errorf("quantum changed the hash under the priority policy")
+	}
+	a.Policy, b.Policy = "rr", "rr"
+	a.QuantumUs = 250
+	if HashSet(a) == HashSet(b) {
+		t.Errorf("quantum did not change the hash under rr")
+	}
+}
+
+// TestCanonicalPerturbations: every semantically meaningful change to
+// the set must change the hash — a miss here is a cache collision
+// between configurations that simulate differently.
+func TestCanonicalPerturbations(t *testing.T) {
+	perturbations := []struct {
+		name   string
+		mutate func(*taskset.Set)
+	}{
+		{"policy", func(s *taskset.Set) { s.Policy = "edf" }},
+		{"rr-quantum", func(s *taskset.Set) { s.Policy = "rr"; s.QuantumUs = 500 }},
+		{"time-model", func(s *taskset.Set) { s.TimeModel = "segmented" }},
+		{"personality", func(s *taskset.Set) { s.Personality = "itron" }},
+		{"cpus", func(s *taskset.Set) { s.CPUs = 2 }},
+		{"engine", func(s *taskset.Set) { s.Engine = "rtc" }},
+		{"horizon", func(s *taskset.Set) { s.HorizonMs = 500 }},
+		{"task-added", func(s *taskset.Set) {
+			s.Tasks = append(s.Tasks, taskset.Task{Name: "bg", Prio: 9, PeriodUs: 50000, WcetUs: 10})
+		}},
+		{"task-dropped", func(s *taskset.Set) { s.Tasks = s.Tasks[:2] }},
+		{"task-renamed", func(s *taskset.Set) { s.Tasks[0].Name = "ctrl2" }},
+		{"task-type", func(s *taskset.Set) { s.Tasks[0].Type = "aperiodic" }},
+		{"task-prio", func(s *taskset.Set) { s.Tasks[0].Prio = 7 }},
+		{"task-period", func(s *taskset.Set) { s.Tasks[0].PeriodUs = 6000 }},
+		{"task-wcet", func(s *taskset.Set) { s.Tasks[0].WcetUs = 1300 }},
+		{"task-start", func(s *taskset.Set) { s.Tasks[2].StartUs = 3000 }},
+		{"task-cycles", func(s *taskset.Set) { s.Tasks[2].Cycles = 5 }},
+		{"task-segment-value", func(s *taskset.Set) { s.Tasks[1].ComputeUs[1] = 500 }},
+		{"task-segment-split", func(s *taskset.Set) { s.Tasks[1].ComputeUs = []int64{600, 600} }},
+	}
+	base := HashSet(baseSet())
+	seen := map[string]string{base: "base"}
+	for _, p := range perturbations {
+		t.Run(p.name, func(t *testing.T) {
+			s := baseSet()
+			p.mutate(s)
+			h := HashSet(s)
+			if prev, dup := seen[h]; dup {
+				t.Errorf("perturbation %q hashes identically to %q", p.name, prev)
+			}
+			seen[h] = p.name
+		})
+	}
+}
+
+// TestHashSetGolden pins the canonical serialization format: if this
+// hash moves, Canonical's byte format changed and canonVersion must be
+// bumped so persisted cache entries from the old format cannot be
+// misattributed.
+func TestHashSetGolden(t *testing.T) {
+	const want = "4963fa9f9b2f4ef22c741a3776a5f9c076845ce8f3758cd3257ea9e8ff952ae3"
+	if got := HashSet(baseSet()); got != want {
+		t.Errorf("canonical format drifted:\n got %s\nwant %s\nserialization:\n%s", got, want, Canonical(baseSet()))
+	}
+}

@@ -1,0 +1,86 @@
+package dse
+
+import "math"
+
+// metric reads one named objective off a point: "cost" is the primary
+// Cost, anything else an Aux metric. A missing Aux metric reads as +Inf,
+// so a point that never reported the metric is dominated by any point
+// that did.
+func metric(p *Point, name string) float64 {
+	if name == "cost" {
+		return p.Cost
+	}
+	if v, ok := p.Aux[name]; ok {
+		return v
+	}
+	return math.Inf(1)
+}
+
+// dominates reports whether a Pareto-dominates b over the given
+// objectives (all minimized): no worse in every metric and strictly
+// better in at least one. Ties dominate nothing.
+func dominates(a, b *Point, objectives []string) bool {
+	better := false
+	for _, name := range objectives {
+		va, vb := metric(a, name), metric(b, name)
+		if va > vb {
+			return false
+		}
+		if va < vb {
+			better = true
+		}
+	}
+	return better
+}
+
+// assignFronts ranks the points by iterative non-dominated sorting:
+// front 1 is the Pareto-optimal set, front 2 what becomes non-dominated
+// once front 1 is removed, and so on. Failed evaluations keep Front 0
+// and are excluded from dominance entirely (Explore sorts them last).
+func assignFronts(points []Point, objectives []string) {
+	remaining := make([]*Point, 0, len(points))
+	for i := range points {
+		points[i].Front = 0
+		if points[i].Err == nil {
+			remaining = append(remaining, &points[i])
+		}
+	}
+	for front := 1; len(remaining) > 0; front++ {
+		var next []*Point
+		for _, p := range remaining {
+			dominated := false
+			for _, q := range remaining {
+				if q != p && dominates(q, p, objectives) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				next = append(next, p)
+			} else {
+				p.Front = front
+			}
+		}
+		if len(next) == len(remaining) {
+			// Can't happen (a finite set always has a non-dominated
+			// element), but never loop forever on a broken comparator.
+			for _, p := range next {
+				p.Front = front
+			}
+			return
+		}
+		remaining = next
+	}
+}
+
+// ParetoFront returns the non-dominated points (Front == 1) of an
+// exploration ranked with WithObjectives, in their explored order.
+func ParetoFront(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Err == nil && p.Front == 1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package dse
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func pt(cost float64, aux map[string]float64) Point {
+	return Point{Cost: cost, Aux: aux}
+}
+
+func TestDominates(t *testing.T) {
+	objs := []string{"cost", "switches"}
+	cases := []struct {
+		name string
+		a, b Point
+		want bool
+	}{
+		{"strictly-better-both", pt(1, map[string]float64{"switches": 1}), pt(2, map[string]float64{"switches": 2}), true},
+		{"better-one-equal-other", pt(1, map[string]float64{"switches": 2}), pt(2, map[string]float64{"switches": 2}), true},
+		{"identical-ties-dominate-nothing", pt(1, map[string]float64{"switches": 1}), pt(1, map[string]float64{"switches": 1}), false},
+		{"tradeoff-incomparable", pt(1, map[string]float64{"switches": 5}), pt(2, map[string]float64{"switches": 1}), false},
+		{"worse-both", pt(3, map[string]float64{"switches": 3}), pt(1, map[string]float64{"switches": 1}), false},
+		{"missing-aux-is-infinite", pt(1, map[string]float64{"switches": 1}), pt(1, nil), true},
+		{"both-missing-aux-ties", pt(1, nil), pt(1, nil), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := dominates(&c.a, &c.b, objs); got != c.want {
+				t.Errorf("dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestAssignFronts(t *testing.T) {
+	// Front 1: (1,3) and (3,1) trade off; (2,2) also non-dominated.
+	// Front 2: (2,4) dominated by (1,3) only; (4,2) dominated by (3,1).
+	// Front 3: (5,5) dominated by everything.
+	points := []Point{
+		pt(1, map[string]float64{"m": 3}),
+		pt(3, map[string]float64{"m": 1}),
+		pt(2, map[string]float64{"m": 2}),
+		pt(2, map[string]float64{"m": 4}),
+		pt(4, map[string]float64{"m": 2}),
+		pt(5, map[string]float64{"m": 5}),
+	}
+	assignFronts(points, []string{"cost", "m"})
+	want := []int{1, 1, 1, 2, 2, 3}
+	for i, p := range points {
+		if p.Front != want[i] {
+			t.Errorf("point %d (cost=%v m=%v): front %d, want %d", i, p.Cost, p.Aux["m"], p.Front, want[i])
+		}
+	}
+}
+
+func TestAssignFrontsSkipsErrors(t *testing.T) {
+	points := []Point{
+		pt(1, nil),
+		{Cost: 0, Err: fmt.Errorf("boom")}, // cost 0 would dominate everything if ranked
+		pt(2, nil),
+	}
+	assignFronts(points, []string{"cost"})
+	if points[1].Front != 0 {
+		t.Errorf("failed point got front %d, want 0", points[1].Front)
+	}
+	if points[0].Front != 1 || points[2].Front != 2 {
+		t.Errorf("fronts = %d,%d, want 1,2", points[0].Front, points[2].Front)
+	}
+}
+
+// TestExploreObjectivesErrorsLast: failed cells sort after every ranked
+// front regardless of their would-be cost.
+func TestExploreObjectivesErrorsLast(t *testing.T) {
+	axes := []Axis{{Name: "n", Values: []string{"bad", "2", "1"}}}
+	points := Explore(axes, func(c Config) (float64, map[string]float64, error) {
+		if c["n"] == "bad" {
+			return -100, nil, fmt.Errorf("boom")
+		}
+		var v float64
+		fmt.Sscanf(c["n"], "%f", &v)
+		return v, map[string]float64{"m": -v}, nil
+	}, WithObjectives("cost", "m"), WithJobs(1))
+	if points[len(points)-1].Err == nil {
+		t.Errorf("error cell not last: %v", points)
+	}
+	for _, p := range points[:len(points)-1] {
+		if p.Err != nil {
+			t.Errorf("error cell ranked before a successful one: %v", points)
+		}
+	}
+}
+
+// TestSingleObjectiveReducesToScalarRanking: WithObjectives("cost")
+// orders points exactly like the default cost ranking.
+func TestSingleObjectiveReducesToScalarRanking(t *testing.T) {
+	axes := []Axis{{Name: "n", Values: []string{"4", "1", "3", "2"}}}
+	eval := func(c Config) (float64, map[string]float64, error) {
+		var v float64
+		fmt.Sscanf(c["n"], "%f", &v)
+		return v, nil, nil
+	}
+	scalar := Explore(axes, eval, WithJobs(1))
+	pareto := Explore(axes, eval, WithObjectives("cost"), WithJobs(1))
+	var a, b []string
+	for i := range scalar {
+		a = append(a, scalar[i].Config["n"])
+		b = append(b, pareto[i].Config["n"])
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("single-objective order %v != scalar order %v", b, a)
+	}
+	for i, p := range pareto {
+		if p.Front != i+1 {
+			t.Errorf("distinct costs must each form a front: point %d has front %d", i, p.Front)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	axes := []Axis{{Name: "n", Values: []string{"1", "2"}}}
+	points := Explore(axes, func(c Config) (float64, map[string]float64, error) {
+		if c["n"] == "1" {
+			return 1, map[string]float64{"m": 2}, nil
+		}
+		return 2, map[string]float64{"m": 1}, nil
+	}, WithObjectives("cost", "m"), WithJobs(1))
+	front := ParetoFront(points)
+	if len(front) != 2 {
+		t.Errorf("both trade-off points belong to the front, got %d: %v", len(front), front)
+	}
+}

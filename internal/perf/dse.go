@@ -1,0 +1,179 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/rtc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DSESchema identifies the BENCH_dse.json document format: the
+// design-space-exploration throughput suite (configurations/second cold
+// and memoized, checkpoint snapshot/restore cost).
+const DSESchema = "bench-dse/1"
+
+// Extra-metric names reported by the DSE scenarios.
+const (
+	configsMetric = "configs/s"
+	hitMetric     = "hitrate"
+)
+
+// DSEScenarios returns the design-space-exploration benchmark suite.
+// Names are stable: they key the BENCH_dse.json baseline comparison.
+func DSEScenarios() []Scenario {
+	return []Scenario{
+		{Name: "dse/explore-cold", Bench: benchExploreCold},
+		{Name: "dse/explore-warm", Bench: benchExploreWarm},
+		{Name: "dse/snapshot", Bench: benchSnapshot},
+		{Name: "dse/restore", Bench: benchRestore},
+	}
+}
+
+// CollectDSE measures the DSE suite and returns its report.
+func CollectDSE() Report { return collect(DSESchema, DSEScenarios(), nil) }
+
+// dseWorkload is the fixed sweep subject: a synthetic periodic set on
+// the rtc engine, policy and quantum taken from the configuration.
+func dseWorkload(policy string, quantum sim.Time) rtc.Workload {
+	specs := workload.PeriodicSet(workload.NewRNG(7), 8, 0.85)
+	w := rtc.Workload{
+		Policy:    policy,
+		Quantum:   quantum,
+		TimeModel: core.TimeModelSegmented,
+		Horizon:   50 * sim.Millisecond,
+	}
+	for _, s := range specs {
+		w.Tasks = append(w.Tasks, rtc.TaskDef{
+			Name: s.Name, Type: "periodic", Prio: s.Prio,
+			Period: s.Period, Segments: []sim.Time{s.WCET},
+		})
+	}
+	return w
+}
+
+// dseAxes is the benchmark design space: 5 policies x 2 quanta.
+func dseAxes() []dse.Axis {
+	return []dse.Axis{
+		{Name: "policy", Values: []string{"fcfs", "rr", "priority", "rm", "edf"}},
+		{Name: "quantum", Values: []string{"1ms", "5ms"}},
+	}
+}
+
+// dseEval simulates one configuration and scores it: missed deadlines
+// dominate, context switches break ties.
+func dseEval(c dse.Config) (float64, map[string]float64, error) {
+	q := sim.Millisecond
+	if c["quantum"] == "5ms" {
+		q = 5 * sim.Millisecond
+	}
+	r := rtc.Run(dseWorkload(c["policy"], q))
+	if r.Err != nil {
+		return 0, nil, r.Err
+	}
+	missed := 0
+	for _, t := range r.Tasks {
+		missed += t.Missed
+	}
+	return float64(missed)*1e6 + float64(r.Stats.ContextSwitches), map[string]float64{
+		"switches": float64(r.Stats.ContextSwitches),
+	}, nil
+}
+
+// benchExploreCold sweeps the full grid with an empty cache every
+// iteration: the price of an unmemoized exploration, in
+// configurations/second.
+func benchExploreCold(b *testing.B) {
+	b.ReportAllocs()
+	grid := len(dse.Grid(dseAxes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache, err := dse.NewCache("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		points := dse.Explore(dseAxes(), dseEval, dse.WithJobs(1), dse.WithCache(cache, nil))
+		if _, err := dse.Best(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*grid)/sec, configsMetric)
+	}
+}
+
+// benchExploreWarm repeats the identical sweep against a pre-warmed
+// cache: every configuration is answered from memory, so this measures
+// the memoization overhead ceiling on sweep throughput.
+func benchExploreWarm(b *testing.B) {
+	b.ReportAllocs()
+	cache, err := dse.NewCache("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dse.Explore(dseAxes(), dseEval, dse.WithJobs(1), dse.WithCache(cache, nil))
+	warmStart := cache.Stats()
+	grid := len(dse.Grid(dseAxes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := dse.Explore(dseAxes(), dseEval, dse.WithJobs(1), dse.WithCache(cache, nil))
+		if _, err := dse.Best(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*grid)/sec, configsMetric)
+	}
+	s := cache.Stats()
+	hits, misses := s.Hits-warmStart.Hits, s.Misses-warmStart.Misses
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), hitMetric)
+	}
+}
+
+// benchSnapshot measures serializing a mid-run rtc session into
+// checkpoint bytes. The alloc gate on this scenario is the regression
+// tripwire for the snapshot encoder.
+func benchSnapshot(b *testing.B) {
+	b.ReportAllocs()
+	s, err := rtc.NewSession(dseWorkload("priority", 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.RunUntil(25 * sim.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRestore measures rehydrating a session from checkpoint bytes
+// (structure rebuild plus state decode) — the fixed cost each
+// checkpoint-forked variant pays before it starts simulating.
+func benchRestore(b *testing.B) {
+	b.ReportAllocs()
+	w := dseWorkload("priority", 0)
+	s, err := rtc.NewSession(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.RunUntil(25 * sim.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	cp, err := s.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtc.Restore(w, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

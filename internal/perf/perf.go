@@ -28,6 +28,9 @@ type Result struct {
 	// scenarios that drive the RTOS dispatcher (0 elsewhere).
 	SwitchesPerSec float64 `json:"context_switches_per_sec,omitempty"`
 	Iterations     int     `json:"iterations"`
+	// Extra carries any other per-scenario metrics a benchmark surfaced
+	// with b.ReportMetric (the DSE suite's configs/s and cache hit rate).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the full benchmark document.
@@ -48,8 +51,14 @@ func Collect() Report { return CollectOnly(nil) }
 // and returns the report. Filtering happens before measurement, so a
 // restricted run costs only the scenarios it reports.
 func CollectOnly(keep func(name string) bool) Report {
-	rep := Report{Schema: Schema}
-	for _, s := range Scenarios() {
+	return collect(Schema, Scenarios(), keep)
+}
+
+// collect measures the given scenarios into a report with the given
+// schema tag, shared by the kernel and DSE suites.
+func collect(schema string, scns []Scenario, keep func(name string) bool) Report {
+	rep := Report{Schema: schema}
+	for _, s := range scns {
 		if keep != nil && !keep(s.Name) {
 			continue
 		}
@@ -61,8 +70,15 @@ func CollectOnly(keep func(name string) bool) Report {
 			AllocsPerOp: br.AllocsPerOp(),
 			Iterations:  br.N,
 		}
-		if v, ok := br.Extra[switchesMetric]; ok {
-			res.SwitchesPerSec = v
+		for name, v := range br.Extra {
+			if name == switchesMetric {
+				res.SwitchesPerSec = v
+				continue
+			}
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[name] = v
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
@@ -72,8 +88,12 @@ func CollectOnly(keep func(name string) bool) Report {
 	return rep
 }
 
-// Load reads a report from path.
-func Load(path string) (Report, error) {
+// Load reads a kernel-suite report from path.
+func Load(path string) (Report, error) { return LoadAs(path, Schema) }
+
+// LoadAs reads a report from path and verifies it carries the expected
+// schema tag (Schema for the kernel suite, DSESchema for the DSE suite).
+func LoadAs(path, schema string) (Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Report{}, err
@@ -82,8 +102,8 @@ func Load(path string) (Report, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return Report{}, fmt.Errorf("perf: parsing %s: %w", path, err)
 	}
-	if rep.Schema != Schema {
-		return Report{}, fmt.Errorf("perf: %s has schema %q, want %q", path, rep.Schema, Schema)
+	if rep.Schema != schema {
+		return Report{}, fmt.Errorf("perf: %s has schema %q, want %q", path, rep.Schema, schema)
 	}
 	return rep, nil
 }

@@ -98,140 +98,24 @@ type Result struct {
 
 // Run executes the workload to its horizon and returns the outcome.
 // Configuration errors are reported via Result.Err, like the goroutine
-// engine's harness.
+// engine's harness. Run is NewSession + RunUntil + Finish with the
+// Session kept on the stack, so the one-shot path stays allocation-
+// identical to the pre-Session engine (the simbench alloc gate pins it).
 func Run(w Workload) *Result {
-	res := &Result{}
-	name := w.Name
-	if name == "" {
-		name = "PE"
-	}
-	pers := w.Personality
-	if pers == "" {
-		pers = "generic"
-	}
-	if !personality.Valid(w.Personality) {
-		res.Err = fmt.Errorf("rtc: unknown personality %q", w.Personality)
+	var s Session
+	if err := s.init(w); err != nil {
+		res := &Result{Err: err}
+		if personality.Valid(w.Personality) {
+			pers := w.Personality
+			if pers == "" {
+				pers = "generic"
+			}
+			res.Personality = pers
+		}
 		return res
 	}
-	res.Personality = pers
-
-	k := newKernel()
-	os := newOSState(k, name)
-	os.tmodel = w.TimeModel
-	os.tracing = w.Trace
-	kind, preemptive, slice, err := policyByName(w.Policy, w.Quantum)
-	if err != nil {
-		res.Err = err
-		return res
-	}
-	os.polKind, os.preemptive, os.quantum = kind, preemptive, slice
-	if pers == "osek" {
-		os.frontReinsert = true
-	}
-
-	// Channels in declaration order (resource order feeds findCycle).
-	queues := map[string]rQueue{}
-	sems := map[string]rSem{}
-	for _, c := range w.Channels {
-		switch c.Kind {
-		case "queue":
-			switch pers {
-			case "itron":
-				queues[c.Name] = newItronMailbox(os, c.Name)
-			case "osek":
-				queues[c.Name] = newOsekQueue(os, c.Name, c.Arg)
-			default:
-				queues[c.Name] = newGenQueue(os, c.Name, c.Arg)
-			}
-		case "semaphore":
-			switch pers {
-			case "itron":
-				sems[c.Name] = newItronSem(os, c.Name, c.Arg)
-			case "osek":
-				sems[c.Name] = newOsekSem(os, c.Name, c.Arg)
-			default:
-				sems[c.Name] = newGenSem(os, c.Name, c.Arg)
-			}
-		default:
-			res.Err = fmt.Errorf("rtc: unknown channel kind %q", c.Kind)
-			return res
-		}
-	}
-
-	// Tasks: create all control blocks first (ids fix diagnosis order),
-	// then spawn their machines in the same order the goroutine harness
-	// spawns processes.
-	bodies := make([]frame, len(w.Tasks))
-	tasks := make([]*task, len(w.Tasks))
-	for i, td := range w.Tasks {
-		switch td.Type {
-		case "periodic":
-			t := os.newTask(td.Name, core.Periodic, td.Period, td.Prio)
-			tasks[i] = t
-			bodies[i] = &fPeriodicBody{os: os, t: t, segments: td.Segments, cycles: td.Cycles}
-		case "aperiodic":
-			t := os.newTask(td.Name, core.Aperiodic, 0, td.Prio)
-			tasks[i] = t
-			ops, err := bindOps(td.Ops, queues, sems)
-			if err != nil {
-				res.Err = err
-				return res
-			}
-			repeat := td.Repeat
-			if repeat < 1 {
-				repeat = 1
-			}
-			bodies[i] = &fAperiodicBody{os: os, t: t, start: td.Start, ops: ops, repeat: repeat}
-		default:
-			res.Err = fmt.Errorf("rtc: unknown task type %q", td.Type)
-			return res
-		}
-	}
-	for i, td := range w.Tasks {
-		daemon := td.Type == "periodic" && td.Cycles == 0
-		m := k.spawn(td.Name, bodies[i], daemon)
-		m.task = tasks[i]
-	}
-	for _, irq := range w.IRQs {
-		sem, ok := sems[irq.Sem]
-		if !ok {
-			res.Err = fmt.Errorf("rtc: irq %q releases unknown semaphore %q", irq.Name, irq.Sem)
-			return res
-		}
-		body := &fIRQBody{os: os, name: irq.Name, sem: sem,
-			at: irq.At, every: irq.Every, count: irq.Count}
-		k.spawn("irq:"+irq.Name, body, true)
-	}
-	if w.WatchdogWindow > 0 {
-		body := &fWatchdogBody{os: os, window: w.WatchdogWindow, last: ^uint64(0)}
-		k.spawn("watchdog:"+name, body, true)
-	}
-
-	os.start()
-	res.Err = k.runUntil(w.Horizon)
-	res.End = k.now
-	res.Records = os.recs
-	res.Stats = os.stats
-	res.Diag = os.diagnosis
-	if res.Diag == nil {
-		res.Diag = os.diagnoseStall()
-	}
-	res.Conservation = os.checkConservation()
-	for i, t := range tasks {
-		tr := TaskResult{
-			Name:        t.name,
-			Prio:        t.prio,
-			Terminated:  t.state == core.TaskTerminated,
-			Activations: t.activations,
-			Missed:      t.missed,
-			CPUTime:     t.cpuTime,
-		}
-		if pb, ok := bodies[i].(*fPeriodicBody); ok {
-			tr.MaxResp = pb.resp
-		}
-		res.Tasks = append(res.Tasks, tr)
-	}
-	return res
+	s.RunUntil(w.Horizon)
+	return s.Finish()
 }
 
 // bodyOp is a resolved Op with its channel bound.

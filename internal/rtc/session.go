@@ -1,0 +1,210 @@
+package rtc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/personality"
+)
+
+// Session is a workload instantiated on the engine but not (fully) run:
+// the checkpointable form of Run. Build one with NewSession, advance it
+// with RunUntil (possibly in several steps), capture or fork it with
+// Snapshot/Restore, and assemble the final Result with Finish. Run is
+// exactly NewSession + RunUntil(Horizon) + Finish, so partial runs and
+// restored runs share every code path with the one-shot harness.
+type Session struct {
+	w    Workload
+	name string
+	pers string
+
+	k      *kernel
+	os     *osState
+	tasks  []*task
+	bodies []frame
+	queues map[string]rQueue
+	sems   map[string]rSem
+
+	err error
+}
+
+// NewSession builds the workload's kernel, OS state, channels, tasks and
+// daemon machines without running anything. Configuration errors that Run
+// reports via Result.Err are returned directly.
+func NewSession(w Workload) (*Session, error) {
+	s := &Session{}
+	if err := s.init(w); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// init is the construction phase of the original Run, verbatim: the
+// declaration/spawn order fixes task ids, resource order, and the
+// time-zero activation order, all of which the engine-equivalence suite
+// pins against the goroutine kernel.
+func (s *Session) init(w Workload) error {
+	name := w.Name
+	if name == "" {
+		name = "PE"
+	}
+	pers := w.Personality
+	if pers == "" {
+		pers = "generic"
+	}
+	if !personality.Valid(w.Personality) {
+		return fmt.Errorf("rtc: unknown personality %q", w.Personality)
+	}
+	s.w, s.name, s.pers = w, name, pers
+
+	k := newKernel()
+	os := newOSState(k, name)
+	os.tmodel = w.TimeModel
+	os.tracing = w.Trace
+	kind, preemptive, slice, err := policyByName(w.Policy, w.Quantum)
+	if err != nil {
+		return err
+	}
+	os.polKind, os.preemptive, os.quantum = kind, preemptive, slice
+	if pers == "osek" {
+		os.frontReinsert = true
+	}
+	s.k, s.os = k, os
+
+	// Channels in declaration order (resource order feeds findCycle).
+	// The maps stay nil for channel-free workloads: stored in the Session
+	// they must live on the heap, and the scheduler-only hot path (pinned
+	// by the simbench alloc gate) should not pay two map allocations for
+	// channels it doesn't have. Lookups on the nil maps still miss cleanly.
+	var queues map[string]rQueue
+	var sems map[string]rSem
+	if len(w.Channels) > 0 {
+		queues = map[string]rQueue{}
+		sems = map[string]rSem{}
+	}
+	for _, c := range w.Channels {
+		switch c.Kind {
+		case "queue":
+			switch pers {
+			case "itron":
+				queues[c.Name] = newItronMailbox(os, c.Name)
+			case "osek":
+				queues[c.Name] = newOsekQueue(os, c.Name, c.Arg)
+			default:
+				queues[c.Name] = newGenQueue(os, c.Name, c.Arg)
+			}
+		case "semaphore":
+			switch pers {
+			case "itron":
+				sems[c.Name] = newItronSem(os, c.Name, c.Arg)
+			case "osek":
+				sems[c.Name] = newOsekSem(os, c.Name, c.Arg)
+			default:
+				sems[c.Name] = newGenSem(os, c.Name, c.Arg)
+			}
+		default:
+			return fmt.Errorf("rtc: unknown channel kind %q", c.Kind)
+		}
+	}
+	s.queues, s.sems = queues, sems
+
+	// Tasks: create all control blocks first (ids fix diagnosis order),
+	// then spawn their machines in the same order the goroutine harness
+	// spawns processes.
+	bodies := make([]frame, len(w.Tasks))
+	tasks := make([]*task, len(w.Tasks))
+	for i, td := range w.Tasks {
+		switch td.Type {
+		case "periodic":
+			t := os.newTask(td.Name, core.Periodic, td.Period, td.Prio)
+			tasks[i] = t
+			bodies[i] = &fPeriodicBody{os: os, t: t, segments: td.Segments, cycles: td.Cycles}
+		case "aperiodic":
+			t := os.newTask(td.Name, core.Aperiodic, 0, td.Prio)
+			tasks[i] = t
+			ops, err := bindOps(td.Ops, queues, sems)
+			if err != nil {
+				return err
+			}
+			repeat := td.Repeat
+			if repeat < 1 {
+				repeat = 1
+			}
+			bodies[i] = &fAperiodicBody{os: os, t: t, start: td.Start, ops: ops, repeat: repeat}
+		default:
+			return fmt.Errorf("rtc: unknown task type %q", td.Type)
+		}
+	}
+	for i, td := range w.Tasks {
+		daemon := td.Type == "periodic" && td.Cycles == 0
+		m := k.spawn(td.Name, bodies[i], daemon)
+		m.task = tasks[i]
+	}
+	for _, irq := range w.IRQs {
+		sem, ok := sems[irq.Sem]
+		if !ok {
+			return fmt.Errorf("rtc: irq %q releases unknown semaphore %q", irq.Name, irq.Sem)
+		}
+		body := &fIRQBody{os: os, name: irq.Name, sem: sem,
+			at: irq.At, every: irq.Every, count: irq.Count}
+		k.spawn("irq:"+irq.Name, body, true)
+	}
+	if w.WatchdogWindow > 0 {
+		body := &fWatchdogBody{os: os, window: w.WatchdogWindow, last: ^uint64(0)}
+		k.spawn("watchdog:"+name, body, true)
+	}
+	s.tasks, s.bodies = tasks, bodies
+
+	os.start()
+	return nil
+}
+
+// Now returns the session's current simulated time.
+func (s *Session) Now() Time { return s.k.now }
+
+// Err returns the first simulation error observed by RunUntil.
+func (s *Session) Err() error { return s.err }
+
+// RunUntil advances the simulation up to and including limit (inclusive,
+// like sim.Kernel.RunUntil); a later call with a larger limit resumes it.
+// The first error (deadlock, watchdog diagnosis) sticks.
+func (s *Session) RunUntil(limit Time) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.k.runUntil(limit); err != nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Finish assembles the Result exactly as Run does after its horizon is
+// reached. The session can keep running (RunUntil with a later limit)
+// after a Finish: the result is a snapshot of the current state.
+func (s *Session) Finish() *Result {
+	res := &Result{Personality: s.pers}
+	res.Err = s.err
+	res.End = s.k.now
+	res.Records = s.os.recs
+	res.Stats = s.os.stats
+	res.Diag = s.os.diagnosis
+	if res.Diag == nil {
+		res.Diag = s.os.diagnoseStall()
+	}
+	res.Conservation = s.os.checkConservation()
+	for i, t := range s.tasks {
+		tr := TaskResult{
+			Name:        t.name,
+			Prio:        t.prio,
+			Terminated:  t.state == core.TaskTerminated,
+			Activations: t.activations,
+			Missed:      t.missed,
+			CPUTime:     t.cpuTime,
+		}
+		if pb, ok := s.bodies[i].(*fPeriodicBody); ok {
+			tr.MaxResp = pb.resp
+		}
+		res.Tasks = append(res.Tasks, tr)
+	}
+	return res
+}

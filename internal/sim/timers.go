@@ -34,6 +34,9 @@ type timerBackend interface {
 	cancel(e *timerEntry)
 	// live returns the number of pending non-canceled entries.
 	live() int
+	// each visits every live entry in no particular order (snapshots sort
+	// by (at, seq) themselves). fn must not mutate the backend.
+	each(fn func(*timerEntry))
 }
 
 // heapTimers is the default backend: a binary min-heap ordered by
@@ -122,6 +125,14 @@ func (b *heapTimers) compact() {
 }
 
 func (b *heapTimers) live() int { return len(b.h) - b.canceled }
+
+func (b *heapTimers) each(fn func(*timerEntry)) {
+	for _, e := range b.h {
+		if !e.canceled {
+			fn(e)
+		}
+	}
+}
 
 // timerHeap is a min-heap of timer entries ordered by (at, seq).
 type timerHeap []*timerEntry
@@ -230,4 +241,17 @@ func (b *wheelTimers) live() int {
 		}
 	}
 	return n
+}
+
+func (b *wheelTimers) each(fn func(*timerEntry)) {
+	b.w.Each(func(e *timerEntry) {
+		if !e.canceled {
+			fn(e)
+		}
+	})
+	for _, e := range b.due[b.dueIx:] {
+		if !e.canceled {
+			fn(e)
+		}
+	}
 }

@@ -1,0 +1,112 @@
+package simcheck
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/rtc"
+	"repro/internal/sim"
+)
+
+// runRTCCheckpointed runs the scenario on the rtc engine through a full
+// snapshot/restore cycle: advance a session to CheckpointAt, serialize
+// its complete state, rebuild a *fresh* session from the checkpoint
+// bytes alone, and run that to the horizon. The assembled RunResult must
+// be byte-identical to the uninterrupted run — any state the codec
+// drops or distorts shows up as a trace or outcome diff in the
+// checkpoint oracle.
+func runRTCCheckpointed(s *Scenario, cfg Config) *RunResult {
+	w := BuildRTCWorkload(s, cfg)
+	ses, err := rtc.NewSession(w)
+	if err != nil {
+		return assembleRTC(cfg, &rtc.Result{Err: err})
+	}
+	if err := ses.RunUntil(cfg.CheckpointAt); err != nil {
+		// The run failed before the checkpoint instant; the uninterrupted
+		// run fails identically, so finish and let the oracle compare.
+		return assembleRTC(cfg, ses.Finish())
+	}
+	cp, err := ses.Snapshot()
+	if err != nil {
+		return assembleRTC(cfg, &rtc.Result{
+			Err: fmt.Errorf("checkpoint: snapshot at %v: %w", cfg.CheckpointAt, err)})
+	}
+	restored, err := rtc.Restore(w, cp)
+	if err != nil {
+		return assembleRTC(cfg, &rtc.Result{Err: fmt.Errorf("checkpoint: %w", err)})
+	}
+	restored.RunUntil(w.Horizon)
+	return assembleRTC(cfg, restored.Finish())
+}
+
+// runSingleCheckpointed is the goroutine-kernel counterpart. Process
+// stacks are goroutines, so the state cannot be rebuilt from bytes;
+// instead the checkpoint is a verified replay point: run instance A to
+// CheckpointAt and snapshot it, then build a fresh instance B, replay it
+// to the same instant, and have sim.Kernel.Restore prove B's scheduler
+// state and the core.OS state digest are byte-identical to A's before B
+// continues to the horizon. A restore divergence — nondeterministic
+// replay, state the digest misses — surfaces as the run's Err and trips
+// the checkpoint oracle's error-parity comparison.
+func runSingleCheckpointed(s *Scenario, cfg Config) *RunResult {
+	at := cfg.CheckpointAt
+
+	a, errRes := buildSingle(s, cfg)
+	if errRes != nil {
+		return errRes
+	}
+	errA := a.k.RunUntil(at)
+	var cp *sim.Checkpoint
+	var digA []byte
+	if errA == nil {
+		var err error
+		if cp, err = a.k.Snapshot(); err != nil {
+			a.k.Shutdown()
+			res := &RunResult{Config: cfg, Err: fmt.Errorf("checkpoint: snapshot at %v: %w", at, err)}
+			return res
+		}
+		digA = a.rtos.StateDigest()
+	}
+	a.k.Shutdown()
+
+	b, errRes := buildSingle(s, cfg)
+	if errRes != nil {
+		return errRes
+	}
+	defer b.k.Shutdown()
+	errB := b.k.RunUntil(at)
+	if (errA == nil) != (errB == nil) {
+		return b.finish(fmt.Errorf("checkpoint: replay diverged at %v: first run err=%v, replay err=%v", at, errA, errB))
+	}
+	if cp != nil {
+		if err := b.k.Restore(cp); err != nil {
+			return b.finish(fmt.Errorf("checkpoint: %w", err))
+		}
+		if digB := b.rtos.StateDigest(); !bytes.Equal(digA, digB) {
+			return b.finish(fmt.Errorf("checkpoint: OS state digest diverges at %v:\n--- first run\n%s--- replay\n%s", at, digA, digB))
+		}
+	}
+	err := b.k.RunUntil(s.Horizon())
+	return b.finish(err)
+}
+
+// CheckpointInstant derives a deterministic pseudo-random snapshot
+// instant in [1, horizon] from the scenario seed and the config, so
+// every fuzz seed exercises restore at a different point of a run
+// without adding a source of nondeterminism to the soak.
+func CheckpointInstant(seed int64, cfg Config, horizon sim.Time) sim.Time {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, cfg)
+	x := h.Sum64()
+	// splitmix64 finalizer: spread the fnv hash over the full 64 bits.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if horizon <= 1 {
+		return 1
+	}
+	return 1 + sim.Time(x%uint64(horizon))
+}

@@ -41,13 +41,21 @@ func Check(s *Scenario) []Failure { return CheckJobs(s, runtime.NumCPU()) }
 // collected in submission order.
 func CheckJobs(s *Scenario, jobs int) []Failure {
 	cfgs := Matrix(s)
-	type pair struct{ r1, r2, rtc *RunResult }
+	type pair struct{ r1, r2, rtc, ck, rtcCk *RunResult }
 	runs := runner.Map(len(cfgs), runner.Options{Jobs: jobs}, func(i int) (pair, error) {
 		p := pair{r1: safeRun(s, cfgs[i]), r2: safeRun(s, cfgs[i])}
 		if cfgs[i].CPUs == 1 {
 			rcfg := cfgs[i]
 			rcfg.Engine = "rtc"
 			p.rtc = safeRun(s, rcfg)
+			// Checkpoint-equivalence oracle: snapshot at a seed-derived
+			// instant, restore, run to the horizon — on both engines.
+			ckCfg := cfgs[i]
+			ckCfg.CheckpointAt = CheckpointInstant(s.Seed, cfgs[i], s.Horizon())
+			p.ck = safeRun(s, ckCfg)
+			rckCfg := rcfg
+			rckCfg.CheckpointAt = ckCfg.CheckpointAt
+			p.rtcCk = safeRun(s, rckCfg)
 		}
 		return p, nil
 	})
@@ -78,6 +86,25 @@ func CheckJobs(s *Scenario, jobs int) []Failure {
 				vs = append(vs, Violation{Kind: "engine", At: r1.End,
 					Msg: fmt.Sprintf("rtc engine diagnosis=%v but goroutine kernel diagnosis=%v under %s",
 						rr.Diag, r1.Diag, cfg)})
+			}
+		}
+		// Checkpoint-equivalence oracle: a run that was snapshotted at an
+		// arbitrary instant and restored into a fresh kernel must be
+		// byte-identical — trace, stats, outcomes — to the uninterrupted
+		// run. Checked on both engines against the goroutine baseline (the
+		// engine oracle above already pins rtc == goroutine).
+		for _, ck := range []*RunResult{runs[i].Value.ck, runs[i].Value.rtcCk} {
+			if ck == nil {
+				continue
+			}
+			if (ck.Err == nil) != (r1.Err == nil) {
+				vs = append(vs, Violation{Kind: "checkpoint", At: r1.End,
+					Msg: fmt.Sprintf("checkpointed run (%s) err=%v but uninterrupted run err=%v",
+						ck.Config, ck.Err, r1.Err)})
+			} else if !bytes.Equal(ck.Trace, r1.Trace) {
+				vs = append(vs, Violation{Kind: "checkpoint", At: r1.End,
+					Msg: fmt.Sprintf("checkpointed run (%s) trace diverges from uninterrupted run (%d vs %d bytes)",
+						ck.Config, len(ck.Trace), len(r1.Trace))})
 			}
 		}
 		vs = append(vs, checkRTA(s, r1)...)

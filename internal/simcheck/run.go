@@ -39,6 +39,18 @@ type Config struct {
 	// diffs them. SMP configs (CPUs>1) always use the goroutine kernel —
 	// the rtc engine models one CPU.
 	Engine string
+
+	// CheckpointAt, when non-zero, runs the scenario through a snapshot/
+	// restore cycle at that instant instead of straight to the horizon: the
+	// run is paused, checkpointed, restored into a fresh kernel, and the
+	// restored kernel runs to the horizon. The result must be byte-identical
+	// to the uninterrupted run — the checkpoint-equivalence oracle diffs
+	// them. For the rtc engine the restored session is rebuilt from the
+	// checkpoint bytes alone; for the goroutine kernel (whose process
+	// stacks cannot be serialized) the fresh kernel replays to the instant
+	// and the restore verifies its state digest against the checkpoint.
+	// CPUs must be 1: the SMP model has no checkpoint support.
+	CheckpointAt sim.Time
 }
 
 // Segmented reports whether the config uses the interruptible time model.
@@ -51,6 +63,9 @@ func (c Config) String() string {
 	}
 	if c.Engine != "" && c.Engine != "goroutine" {
 		s += "/" + c.Engine
+	}
+	if c.CheckpointAt > 0 {
+		s += fmt.Sprintf("/ck@%v", c.CheckpointAt)
 	}
 	return s
 }
@@ -148,6 +163,16 @@ func Run(s *Scenario, cfg Config) *RunResult {
 		return &RunResult{Config: cfg,
 			Err: fmt.Errorf("simcheck: unknown engine %q (want \"goroutine\" or \"rtc\")", cfg.Engine)}
 	}
+	if cfg.CheckpointAt > 0 {
+		if cfg.CPUs > 1 {
+			return &RunResult{Config: cfg,
+				Err: fmt.Errorf("simcheck: CheckpointAt requires CPUs=1 (the SMP model has no checkpoint support)")}
+		}
+		if cfg.Engine == "rtc" {
+			return runRTCCheckpointed(s, cfg)
+		}
+		return runSingleCheckpointed(s, cfg)
+	}
 	if cfg.CPUs > 1 {
 		if cfg.Personality != "" {
 			// Personalities are uniprocessor kernel APIs layered over
@@ -172,7 +197,14 @@ func Run(s *Scenario, cfg Config) *RunResult {
 // produces, so every oracle — including the byte-level trace diff —
 // applies across engines unchanged.
 func runRTC(s *Scenario, cfg Config) *RunResult {
-	res := &RunResult{Config: cfg}
+	r := rtc.Run(BuildRTCWorkload(s, cfg))
+	return assembleRTC(cfg, r)
+}
+
+// BuildRTCWorkload translates the scenario into the rtc engine's
+// workload form under the config's policy/time-model/personality axes.
+// Exported so the DSE layer can checkpoint-fork simcheck scenarios.
+func BuildRTCWorkload(s *Scenario, cfg Config) rtc.Workload {
 	tm := core.TimeModelCoarse
 	if cfg.Segmented() {
 		tm = core.TimeModelSegmented
@@ -210,7 +242,13 @@ func runRTC(s *Scenario, cfg Config) *RunResult {
 		w.IRQs = append(w.IRQs, rtc.IRQDef{Name: irq.Name, Sem: irq.Sem,
 			At: irq.At, Every: irq.Every, Count: irq.Count})
 	}
-	r := rtc.Run(w)
+	return w
+}
+
+// assembleRTC maps an rtc.Result into the RunResult shape every oracle
+// consumes.
+func assembleRTC(cfg Config, r *rtc.Result) *RunResult {
+	res := &RunResult{Config: cfg}
 	res.Err = r.Err
 	res.End = r.End
 	res.Diag = r.Diag
@@ -232,14 +270,40 @@ func runRTC(s *Scenario, cfg Config) *RunResult {
 	return res
 }
 
+// singleRun is a built-but-not-run goroutine-kernel instance of a
+// scenario: the factored construction half of runSingle, shared with the
+// checkpointed runner (which needs to pause, snapshot and rebuild).
+type singleRun struct {
+	cfg     Config
+	k       *sim.Kernel
+	rtos    *core.OS
+	rec     *trace.Recorder
+	tasks   []*core.Task
+	resp    []sim.Time
+	horizon sim.Time
+}
+
 // runSingle executes the scenario on one core.OS instance, programming
 // the tasks against the config's personality runtime.
 func runSingle(s *Scenario, cfg Config) *RunResult {
+	sr, errRes := buildSingle(s, cfg)
+	if errRes != nil {
+		return errRes
+	}
+	defer sr.k.Shutdown()
+	err := sr.k.RunUntil(sr.horizon)
+	return sr.finish(err)
+}
+
+// buildSingle constructs the kernel, OS, channels, task processes and
+// watchdog for the scenario without advancing time. A non-nil RunResult
+// reports a configuration error.
+func buildSingle(s *Scenario, cfg Config) (*singleRun, *RunResult) {
 	res := &RunResult{Config: cfg}
 	policy, err := core.PolicyByName(cfg.Policy, cfg.Quantum)
 	if err != nil {
 		res.Err = err
-		return res
+		return nil, res
 	}
 	tm := core.TimeModelCoarse
 	if cfg.Segmented() {
@@ -248,14 +312,14 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 	k := sim.NewKernel()
 	rtos := core.New(k, "PE", policy, core.WithTimeModel(tm))
 	rtos.SetLinearReady(cfg.LinearReady)
-	defer k.Shutdown()
 	rec := trace.New("simcheck")
 	rec.Attach(rtos)
 
 	rt, err := personality.New(cfg.Personality, rtos)
 	if err != nil {
+		k.Shutdown()
 		res.Err = err
-		return res
+		return nil, res
 	}
 	queues := map[string]personality.Queue{}
 	sems := map[string]personality.Semaphore{}
@@ -335,16 +399,25 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 
 	rtos.EnableWatchdog(watchdogWindow(s))
 	rtos.Start(nil)
-	res.Err = k.RunUntil(s.Horizon())
-	res.End = k.Now()
-	res.Diag = rtos.Diagnosis()
+	return &singleRun{cfg: cfg, k: k, rtos: rtos, rec: rec,
+		tasks: tasks, resp: resp, horizon: s.Horizon()}, nil
+}
+
+// finish assembles the RunResult after the kernel has been advanced to
+// the horizon (err is the final RunUntil's result). The caller owns the
+// kernel's Shutdown.
+func (sr *singleRun) finish(err error) *RunResult {
+	res := &RunResult{Config: sr.cfg}
+	res.Err = err
+	res.End = sr.k.Now()
+	res.Diag = sr.rtos.Diagnosis()
 	if res.Diag == nil {
-		res.Diag = rtos.DiagnoseNow()
+		res.Diag = sr.rtos.DiagnoseNow()
 	}
-	res.Records = rec.Records()
-	res.Stats = rtos.StatsSnapshot()
-	res.conservation = rtos.CheckConservation()
-	for i, t := range tasks {
+	res.Records = sr.rec.Records()
+	res.Stats = sr.rtos.StatsSnapshot()
+	res.conservation = sr.rtos.CheckConservation()
+	for i, t := range sr.tasks {
 		res.Tasks = append(res.Tasks, TaskOutcome{
 			Name:        t.Name(),
 			Index:       i,
@@ -352,7 +425,7 @@ func runSingle(s *Scenario, cfg Config) *RunResult {
 			Activations: t.Activations(),
 			Missed:      t.MissedDeadlines(),
 			CPUTime:     t.CPUTime(),
-			MaxResp:     resp[i],
+			MaxResp:     sr.resp[i],
 		})
 	}
 	res.Trace = serializeSingle(res)

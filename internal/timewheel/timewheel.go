@@ -177,6 +177,25 @@ func (w *Wheel[T]) unlink(t T, n *Node[T]) {
 	n.next, n.prev, n.where = zero, zero, whereIdle
 }
 
+// Each calls fn for every queued entry — wheel slots and overflow heap —
+// in no particular order. Snapshot/checkpoint code uses it to enumerate
+// pending timers; callers needing a deterministic order must sort by
+// (at, seq) themselves. fn must not mutate the wheel.
+func (w *Wheel[T]) Each(fn func(T)) {
+	var zero T
+	for level := 0; level < levelCount; level++ {
+		for occ := w.occupied[level]; occ != 0; occ &= occ - 1 {
+			slot := bits.TrailingZeros64(occ)
+			for e := w.slots[level][slot].head; e != zero; e = w.node(e).next {
+				fn(e)
+			}
+		}
+	}
+	for _, e := range w.overflow {
+		fn(e)
+	}
+}
+
 // NextTime returns the earliest due time among queued entries. It does
 // not advance the wheel.
 func (w *Wheel[T]) NextTime() (int64, bool) {

@@ -270,3 +270,61 @@ func BenchmarkScheduleCancel(b *testing.B) {
 		}
 	}
 }
+
+// TestEachEnumeratesAll pins Each against a randomized population: every
+// queued entry — across wheel levels and the overflow heap — is visited
+// exactly once, canceled entries are not, and advancing the wheel keeps
+// the enumeration consistent with Len.
+func TestEachEnumeratesAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := newWheel()
+	ref := &refHeap{}
+	alive := map[int]*entry{}
+	seq := 0
+	for id := 0; id < 500; id++ {
+		seq++
+		var d int64
+		switch rng.Intn(3) {
+		case 0:
+			d = rng.Int63n(64) // level 0
+		case 1:
+			d = rng.Int63n(1 << 18) // higher levels
+		default:
+			d = Span + rng.Int63n(1<<20) // overflow heap
+		}
+		e := &entry{id: id, at: w.Now() + d, seq: seq}
+		w.Push(e)
+		ref.push(e)
+		alive[id] = e
+		if rng.Intn(4) == 0 { // cancel a random survivor
+			for victim := range alive {
+				if w.Cancel(alive[victim]) {
+					ref.cancel(alive[victim])
+					delete(alive, victim)
+				}
+				break
+			}
+		}
+		if rng.Intn(8) == 0 { // advance to the next due instant
+			if at, ok := w.NextTime(); ok {
+				for _, due := range w.CollectDue(at, nil) {
+					delete(alive, due.id)
+				}
+				ref.collectDue(at)
+			}
+		}
+	}
+	seen := map[int]int{}
+	w.Each(func(e *entry) { seen[e.id]++ })
+	if len(seen) != len(alive) || len(seen) != w.Len() {
+		t.Fatalf("Each visited %d entries, want %d alive (Len=%d)", len(seen), len(alive), w.Len())
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("Each visited entry %d %d times", id, n)
+		}
+		if _, ok := alive[id]; !ok {
+			t.Fatalf("Each visited entry %d which was canceled or fired", id)
+		}
+	}
+}

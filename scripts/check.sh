@@ -63,6 +63,23 @@ go test -run 'TestCrossPersonalityCorpus' -count=1 ./internal/simcheck
 echo "== execution-engine equivalence (goroutine vs run-to-completion)"
 go test -run 'TestEngineEquivalence' -count=1 ./internal/simcheck ./internal/taskset
 
+# Checkpoint equivalence: a run snapshotted at a randomized instant and
+# restored into a fresh kernel must finish with byte-identical traces and
+# statistics, on both engines, across the simcheck matrix — plus the
+# engine-level snapshot suites (determinism, forking, structure-hash
+# rejection). (go test ./... above already ran these; the explicit pass
+# keeps the checkpoint contract visible in the gate.)
+echo "== checkpoint/restore equivalence (simcheck matrix + engine suites)"
+go test -run 'TestCheckpoint' -count=1 ./internal/simcheck
+go test -run 'TestSnapshot|TestRestore' -count=1 ./internal/rtc ./internal/sim
+
+# Design-space-exploration gates: memoization accounting (a repeated
+# sweep must be answered 100% from the content-hash cache, byte-identical
+# to the cold run), Pareto-front ranking, cache-key canonicalization
+# (golden hash), and checkpoint-forked sweeps.
+echo "== design-space exploration gates (internal/dse)"
+go test -race -count=1 ./internal/dse
+
 # Personality dispatch overhead guard: the personality interface in
 # front of the core services must stay within 5% of direct calls on the
 # context-switch scenario (generic passthrough isolates the indirection).
@@ -76,6 +93,13 @@ PERSONALITY_OVERHEAD_GUARD=1 go test -run TestPersonalityOverheadGuard -count=1 
 # while ns/op gets a wide 100% tolerance to absorb host variation.
 echo "== simbench baseline check (BENCH_kernel.json)"
 go run ./cmd/simbench -check -tolerance 1.0
+
+# DSE throughput gate: configurations/second cold vs memoized and the
+# checkpoint snapshot/restore cost against the committed BENCH_dse.json.
+# The snapshot/restore alloc counts are gated exactly, like the kernel
+# suite's.
+echo "== simbench DSE baseline check (BENCH_dse.json)"
+go run ./cmd/simbench -suite dse -check -tolerance 1.0
 
 # Soak the scheduler with fresh seeds (offset so they do not just repeat
 # the seeds go test already covered); 4 seeds in flight exercises the
