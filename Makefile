@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline bench-dse bench-dse-check bench-dse-baseline equivalence engine-equivalence checkpoint-equivalence conformance personality-overhead dse-check
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline bench-dse bench-dse-check bench-dse-baseline equivalence engine-equivalence checkpoint-equivalence timer-boundary conformance personality-overhead dse-check
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -62,11 +62,16 @@ bench-dse-check: ## gate the DSE scenarios against the committed BENCH_dse.json
 bench-dse-baseline: ## re-record BENCH_dse.json (review the diff!)
 	go run ./cmd/simbench -suite dse -out BENCH_dse.json
 
+timer-boundary: ## timing-wheel boundary ordering: differential harness vs reference heap + RunUntil edges
+	go test -run 'TestDifferentialVsHeap|TestSameInstantSeqOrder|TestFrontSlot|TestEachEnumeratesAll|TestZeroAllocSteadyState' -count=1 ./internal/timewheel
+	go test -run 'TestRunUntilBoundary' -count=1 ./internal/sim
+
 equivalence: ## indexed-vs-linear ready-queue byte-equivalence matrix
 	go test -run 'TestReadyQueueEquivalence' -count=1 ./internal/simcheck
 
-engine-equivalence: ## goroutine-vs-run-to-completion engine byte-equivalence matrix
+engine-equivalence: ## goroutine-vs-run-to-completion engine byte-equivalence matrix (simcheck corpus, taskset matrix, SDL corpus + goldens)
 	go test -run 'TestEngineEquivalence' -count=1 ./internal/simcheck ./internal/taskset
+	go test -run 'TestEngineEquivalence|TestGoldenTracesSDL' -count=1 ./internal/sdl
 
 checkpoint-equivalence: ## snapshot/restore byte-equivalence: simcheck matrix + rtc engine suite
 	go test -run 'TestCheckpoint' -count=1 ./internal/simcheck

@@ -30,7 +30,7 @@ func main() {
 	quantumUs := flag.Float64("quantum", 1000, "round-robin quantum in µs")
 	tmFlag := flag.String("timemodel", "coarse", "time model (coarse|segmented)")
 	persFlag := flag.String("personality", "", "override the model's RTOS personality (generic|itron|osek)")
-	engineFlag := flag.String("engine", "", "execution engine (goroutine); SDL models compose hierarchical behaviors and need the goroutine kernel")
+	engineFlag := flag.String("engine", "", "execution engine for the architecture model (goroutine|rtc); rtc runs single-PE models on the run-to-completion engine")
 	gantt := flag.Bool("gantt", true, "print ASCII Gantt charts")
 	events := flag.Bool("events", false, "print event lists")
 	vcdOut := flag.String("vcd", "", "write the architecture trace as VCD")
@@ -43,12 +43,13 @@ func main() {
 		os.Exit(2)
 	}
 	switch *engineFlag {
-	case "", "goroutine":
-	case "rtc":
-		fmt.Fprintln(os.Stderr, "slsim: engine \"rtc\" runs flat task sets only; SDL models compose hierarchical behaviors over the goroutine kernel — use rtossim -engine=rtc for task-set workloads")
-		os.Exit(2)
+	case "", "goroutine", "rtc":
 	default:
-		fmt.Fprintf(os.Stderr, "slsim: unknown engine %q (have \"goroutine\")\n", *engineFlag)
+		fmt.Fprintf(os.Stderr, "slsim: unknown engine %q (have \"goroutine\", \"rtc\")\n", *engineFlag)
+		os.Exit(2)
+	}
+	if *engineFlag == "rtc" && (*traceOut != "" || *metricsOut != "") {
+		fmt.Fprintln(os.Stderr, "slsim: telemetry outputs need the goroutine engine")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -97,6 +98,10 @@ func main() {
 			pers = "generic"
 		}
 		var rec *trace.Recorder
+		if m.MultiPE() && *engineFlag == "rtc" {
+			fmt.Fprintln(os.Stderr, "slsim: engine \"rtc\" runs single-PE models; mapped multi-PE architectures need the goroutine kernel")
+			os.Exit(2)
+		}
 		if m.MultiPE() {
 			// Models with pe declarations run the mapped architecture:
 			// one RTOS instance per software PE, links over buses.
@@ -109,6 +114,17 @@ func main() {
 				fmt.Printf("RTOS %s: %d dispatches, %d context switches, %d preemptions, idle %v\n",
 					name, st.Dispatches, st.ContextSwitches, st.Preemptions, st.IdleTime)
 			}
+		} else if *engineFlag == "rtc" {
+			res, err := m.RunArchitectureRTC(*policyFlag, sim.Time(*quantumUs*1000), tm, sim.Forever)
+			exitOn(err)
+			rec = trace.New("sdl-arch-rtc")
+			for _, r := range res.Records {
+				rec.Append(r)
+			}
+			show(rec, fmt.Sprintf("architecture model (rtc engine, %s, %s time, %s personality)", policy.Name(), tm, pers))
+			st := res.Stats
+			fmt.Printf("RTOS: %d dispatches, %d context switches, %d preemptions, idle %v\n",
+				st.Dispatches, st.ContextSwitches, st.Preemptions, st.IdleTime)
 		} else {
 			archRec, osm, err := m.RunArchitecture(policy, tm, bus...)
 			exitOn(err)

@@ -24,6 +24,11 @@ const (
 	mWaitTime    // blocked on a timer (WaitFor)
 	mWaitTimeout // blocked on events with a timeout timer (WaitTimeout)
 	mDone
+	// mWaitChildren (blocked in a par fork until every child machine
+	// finishes, sim's StateWaitChildren) is appended after mDone so the
+	// numeric values of the pre-existing states, which rtcsnap
+	// checkpoints encode, stay stable.
+	mWaitChildren
 )
 
 // status is a frame step's verdict: the frame finished, it pushed a
@@ -131,6 +136,12 @@ type machine struct {
 	wokenBy    *event
 	timedOut   bool
 
+	// par fork/join bookkeeping (sim.Proc.parent/pendingKids): a child
+	// machine's finish decrements its parent's count and wakes the parent
+	// once the last child is done.
+	parent      *machine
+	pendingKids int
+
 	// Preallocated service frames (zero-alloc steady state).
 	fAct fActivate
 	fEnd fEndCycle
@@ -159,6 +170,18 @@ func (k *kernel) spawn(name string, body frame, daemon bool) *machine {
 	return m
 }
 
+// spawnNext creates a child machine that joins parent and enters the
+// *next* delta cycle — sim.Proc.ParNamed's fork: children forked at one
+// instant all activate in the following delta, in creation order.
+func (k *kernel) spawnNext(name string, body frame, parent *machine) *machine {
+	m := &machine{k: k, name: name, state: mCreated, parent: parent}
+	m.stack = append(m.stack, body)
+	k.machines = append(k.machines, m)
+	k.active++
+	k.enqueueNext(m)
+	return m
+}
+
 func (k *kernel) enqueueReady(m *machine) { k.ready = append(k.ready, m) }
 func (k *kernel) enqueueNext(m *machine)  { k.next = append(k.next, m) }
 
@@ -166,8 +189,9 @@ func (k *kernel) popReady() *machine {
 	if k.readyAt >= len(k.ready) {
 		return nil
 	}
+	// No nil write: every machine is retained by k.machines for the
+	// session's lifetime, so a stale slot cannot leak anything.
 	m := k.ready[k.readyAt]
-	k.ready[k.readyAt] = nil
 	k.readyAt++
 	if k.readyAt == len(k.ready) {
 		k.ready = k.ready[:0]
@@ -219,13 +243,14 @@ func (k *kernel) nextTime() (Time, bool) {
 func (k *kernel) fireTimers(t Time) {
 	k.nextDueOK = false // everything due at t leaves the wheel
 	k.due = k.wheel.CollectDue(int64(t), k.due[:0])
-	for i, e := range k.due {
+	for _, e := range k.due {
 		if e.m != nil {
 			e.m.wakeFromTimer()
 		} else {
 			k.flush(e.e)
 		}
-		k.due[i] = nil
+		// No nil write into k.due: the entry goes straight onto the free
+		// pool, so the stale scratch slot retains nothing extra.
 		k.recycleTimer(e)
 	}
 }
@@ -235,7 +260,6 @@ func (k *kernel) addTimer(at Time, m *machine, e *event) *timerEntry {
 	var entry *timerEntry
 	if n := len(k.timerFree); n > 0 {
 		entry = k.timerFree[n-1]
-		k.timerFree[n-1] = nil
 		k.timerFree = k.timerFree[:n-1]
 		entry.at, entry.seq, entry.m, entry.e = at, k.timerSeq, m, e
 	} else {
@@ -344,7 +368,9 @@ func (m *machine) exec() {
 		}
 		switch m.stack[n-1].step(m) {
 		case statDone:
-			m.stack[n-1] = nil
+			// Popped without a nil write: every frame that ever sits on the
+			// stack is preallocated and retained by the machine or session,
+			// so a stale slot past len retains nothing extra.
 			m.stack = m.stack[:n-1]
 		case statCall:
 			// child frame pushed (or tail-called); step it next
@@ -357,6 +383,14 @@ func (m *machine) exec() {
 func (m *machine) finish() {
 	m.state = mDone
 	m.k.active--
+	if p := m.parent; p != nil {
+		p.pendingKids--
+		if p.pendingKids == 0 && p.state == mWaitChildren {
+			// Last child done: the parent re-enters the next delta cycle
+			// (sim.Proc.finish's join wake).
+			m.k.enqueueNext(p)
+		}
+	}
 }
 
 func (m *machine) push(f frame) status {

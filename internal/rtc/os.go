@@ -199,20 +199,61 @@ func (os *osState) start() {
 
 // --- ready queue (linear discipline, core's SetLinearReady path) ---
 
+// pickBest scans the ready list for the task the policy would dispatch:
+// the winner under (less rank, readySeq). One specialized loop per
+// policy family keeps the double less() call out of the scan; each loop
+// replaces best exactly when less(t,best) || (!less(best,t) && seq<).
 func (os *osState) pickBest() *task {
 	var best *task
-	for _, t := range os.ready {
-		if best == nil || os.less(t, best) || (!os.less(best, t) && t.readySeq < best.readySeq) {
-			best = t
+	switch os.polKind {
+	case polFCFS:
+		for _, t := range os.ready {
+			if best == nil || t.readySeq < best.readySeq {
+				best = t
+			}
+		}
+	case polEDF:
+		for _, t := range os.ready {
+			switch {
+			case best == nil:
+				best = t
+			case t.deadline != best.deadline:
+				if t.deadline < best.deadline {
+					best = t
+				}
+			case t.prio != best.prio:
+				if t.prio < best.prio {
+					best = t
+				}
+			case t.readySeq < best.readySeq:
+				best = t
+			}
+		}
+	default: // priority, rr, rm
+		for _, t := range os.ready {
+			switch {
+			case best == nil:
+				best = t
+			case t.prio != best.prio:
+				if t.prio < best.prio {
+					best = t
+				}
+			case t.readySeq < best.readySeq:
+				best = t
+			}
 		}
 	}
 	return best
 }
 
 func (os *osState) removeReady(t *task) {
+	// Swap-remove: pickBest selects by (policy rank, readySeq), never by
+	// queue position, so compaction order is unobservable.
 	for i, r := range os.ready {
 		if r == t {
-			os.ready = append(os.ready[:i], os.ready[i+1:]...)
+			last := len(os.ready) - 1
+			os.ready[i] = os.ready[last]
+			os.ready = os.ready[:last]
 			return
 		}
 	}
@@ -321,7 +362,21 @@ func (os *osState) dispatchBest(m *machine, prev *task) {
 	os.lastRun = next
 	os.emitDispatch(prev, next)
 	if next.mach != m {
-		os.k.flush(next.dispatch)
+		// Inlined flush of the dispatch event: its waiters are only ever
+		// parked by fWaitDispatched, which never holds a timer or other
+		// registrations, so the general wakeFromEvent cleanup is skipped.
+		e := next.dispatch
+		if ws := e.waiters; len(ws) > 0 {
+			e.waiters = ws[:0]
+			for _, w := range ws {
+				if w.state == mWaitEvent || w.state == mWaitTimeout {
+					w.wokenBy = e
+					w.timedOut = false
+					w.state = mReady
+					os.k.enqueueNext(w)
+				}
+			}
+		}
 	}
 }
 
@@ -474,12 +529,16 @@ type fWaitDispatched struct {
 }
 
 func (f *fWaitDispatched) step(m *machine) status {
-	if f.pc == 1 {
-		m.afterWait()
-	}
 	if f.os.current != f.t {
+		// A dispatch event's only waiter is ever this frame's machine, and
+		// a machine parked here holds no timer and no other registrations —
+		// so the m.waitEvents side of wait() (kept only to deregister from
+		// *other* sources on wake) is skipped, and wakeFromEvent's cleanup
+		// loop sees an empty list. Same wake order, same snapshot shape.
 		f.pc = 1
-		m.wait(f.t.dispatch)
+		e := f.t.dispatch
+		e.waiters = append(e.waiters, m)
+		m.state = mWaitEvent
 		return statBlocked
 	}
 	return statDone

@@ -19,11 +19,28 @@ import (
 	"repro/internal/trace"
 )
 
-// Op is one step of an aperiodic task body.
+// Op is one step of an aperiodic task body or a hierarchical behavior.
+// Flat task bodies (TaskDef.Ops) use the first five kinds; behavior
+// statement lists (BehaviorDef.Stmts) additionally use "signal",
+// "waitsig", "marker" and "repeat" — the SDL statement set.
 type Op struct {
-	Kind string // "delay", "send", "recv", "acquire", "release"
-	Dur  Time   // delay duration
-	Ch   string // channel name for send/recv/acquire/release
+	Kind  string // "delay", "send", "recv", "acquire", "release", "signal", "waitsig", "marker", "repeat"
+	Dur   Time   // delay duration
+	Ch    string // channel name for channel-using ops
+	Value int64  // send payload / marker argument
+	Label string // marker label
+	Count int    // repeat count
+	Body  []Op   // repeat body
+}
+
+// BehaviorDef is one node of a hierarchical (SDL) workload: a leaf
+// statement list or a sequential/parallel composition of previously
+// declared behaviors. Present only when Workload.Top is set.
+type BehaviorDef struct {
+	Name     string
+	Kind     string   // "leaf", "seq", "par"
+	Stmts    []Op     // leaf body
+	Children []string // seq/par children, in execution order
 }
 
 // TaskDef describes one task of a workload (the engine-level mirror of
@@ -41,7 +58,8 @@ type TaskDef struct {
 }
 
 // ChannelDef describes a communication object: kind "queue" (Arg =
-// capacity) or "semaphore" (Arg = initial count).
+// capacity), "semaphore" (Arg = initial count), or "handshake" (a
+// latched signal; hierarchical workloads only).
 type ChannelDef struct {
 	Name string
 	Kind string
@@ -57,7 +75,18 @@ type IRQDef struct {
 	Count int
 }
 
-// Workload is a complete single-PE scenario for the engine.
+// Workload is a complete single-PE scenario for the engine. Two shapes
+// are supported:
+//
+//   - flat (Top == ""): Tasks are the task set, each with its own body;
+//     IRQs run simcheck's merged stimulus+ISR process.
+//   - hierarchical (Top != ""): Behaviors/Top describe an SDL behavior
+//     tree whose root becomes the PE's main task and whose par children
+//     fork tasks at runtime (refine.RunArchitecture's protocol); Tasks
+//     then act as the refinement mapping (TaskDef.Name names a behavior;
+//     unmapped behaviors default to aperiodic priority 100+order), and
+//     IRQs elaborate as split stimulus and ISR machines, the SDL
+//     architecture model's shape.
 type Workload struct {
 	Name           string // PE name; defaults to "PE"
 	Policy         string
@@ -67,6 +96,8 @@ type Workload struct {
 	Tasks          []TaskDef
 	Channels       []ChannelDef
 	IRQs           []IRQDef
+	Behaviors      []BehaviorDef // hierarchical workloads
+	Top            string        // root behavior; selects hierarchical mode
 	WatchdogWindow Time
 	Horizon        Time
 	Trace          bool
@@ -118,11 +149,17 @@ func Run(w Workload) *Result {
 	return s.Finish()
 }
 
-// bodyOp is a resolved Op with its channel bound.
+// bodyOp is a resolved Op with its channel bound. For the generic
+// personality the concrete channel is also kept (gq/gs) so the body can
+// run the non-blocking halves of each primitive inline — same observable
+// sequence, no opFrame dispatch; blocking paths fall back to the frame
+// and keep their stack shapes (and so the snapshot layout) unchanged.
 type bodyOp struct {
 	kind opKind
 	del  bool
 	dur  Time
+	gq   *genQueue
+	gs   *genSem
 	q    rQueue
 	s    rSem
 }
@@ -143,6 +180,7 @@ func bindOps(ops []Op, queues map[string]rQueue, sems map[string]rSem) ([]bodyOp
 				k = opRecv
 			}
 			out[i] = bodyOp{kind: k, q: q}
+			out[i].gq, _ = q.(*genQueue)
 		case "acquire", "release":
 			s, ok := sems[op.Ch]
 			if !ok {
@@ -153,6 +191,7 @@ func bindOps(ops []Op, queues map[string]rQueue, sems map[string]rSem) ([]bodyOp
 				k = opRelease
 			}
 			out[i] = bodyOp{kind: k, s: s}
+			out[i].gs, _ = s.(*genSem)
 		default:
 			return nil, fmt.Errorf("rtc: unknown op kind %q", op.Kind)
 		}
@@ -241,12 +280,30 @@ func (f *fAperiodicBody) step(m *machine) status {
 				}
 				switch op.kind {
 				case opSend:
+					if gq := op.gq; gq != nil && len(gq.buf) < gq.capacity {
+						gq.buf = append(gq.buf, 1)
+						return m.callEventNotify(gq.cond, os)
+					}
 					return m.callSend(op.q, 1)
 				case opRecv:
+					if gq := op.gq; gq != nil && len(gq.buf) > 0 {
+						gq.buf = gq.buf[1:]
+						return m.callEventNotify(gq.cond, os)
+					}
 					return m.callRecv(op.q)
 				case opAcquire:
+					if gs := op.gs; gs != nil && gs.count > 0 {
+						gs.count--
+						gs.res.acquire(m)
+						continue
+					}
 					return m.callAcquire(op.s)
 				default:
+					if gs := op.gs; gs != nil {
+						gs.count++
+						gs.res.release(m)
+						return m.callEventNotify(gs.cond, os)
+					}
 					return m.callRelease(op.s)
 				}
 			}

@@ -24,6 +24,7 @@ type Session struct {
 	bodies []frame
 	queues map[string]rQueue
 	sems   map[string]rSem
+	hss    map[string]*rHandshake
 
 	err error
 }
@@ -78,9 +79,11 @@ func (s *Session) init(w Workload) error {
 	// channels it doesn't have. Lookups on the nil maps still miss cleanly.
 	var queues map[string]rQueue
 	var sems map[string]rSem
+	var hss map[string]*rHandshake
 	if len(w.Channels) > 0 {
 		queues = map[string]rQueue{}
 		sems = map[string]rSem{}
+		hss = map[string]*rHandshake{}
 	}
 	for _, c := range w.Channels {
 		switch c.Kind {
@@ -102,11 +105,27 @@ func (s *Session) init(w Workload) error {
 			default:
 				sems[c.Name] = newGenSem(os, c.Name, c.Arg)
 			}
+		case "handshake":
+			hss[c.Name] = newRHandshake(os, c.Name)
 		default:
 			return fmt.Errorf("rtc: unknown channel kind %q", c.Kind)
 		}
 	}
-	s.queues, s.sems = queues, sems
+	s.queues, s.sems, s.hss = queues, sems, hss
+
+	// Hierarchical (SDL) workloads elaborate a behavior tree instead of a
+	// flat task set; see initHier.
+	if w.Top != "" {
+		if err := s.initHier(w); err != nil {
+			return err
+		}
+		if w.WatchdogWindow > 0 {
+			body := &fWatchdogBody{os: os, window: w.WatchdogWindow, last: ^uint64(0)}
+			k.spawn("watchdog:"+name, body, true)
+		}
+		os.start()
+		return nil
+	}
 
 	// Tasks: create all control blocks first (ids fix diagnosis order),
 	// then spawn their machines in the same order the goroutine harness

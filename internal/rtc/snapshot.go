@@ -41,6 +41,12 @@ const snapVersion = "rtcsnap/1"
 // side effects; the session can keep running afterwards.
 func (s *Session) Snapshot() (*Checkpoint, error) {
 	k := s.k
+	if s.w.Top != "" {
+		// Hierarchical (SDL) sessions fork tasks and machines at runtime
+		// and park ISRs on spec-level events outside the task event table;
+		// their state is not yet part of the rtcsnap encoding.
+		return nil, fmt.Errorf("rtc: snapshot does not support hierarchical (SDL) workloads")
+	}
 	if k.stopped || s.err != nil {
 		return nil, fmt.Errorf("rtc: cannot snapshot a stopped run (err: %v)", s.err)
 	}

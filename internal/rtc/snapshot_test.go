@@ -51,6 +51,34 @@ func snapWorkloads() map[string]Workload {
 			IRQs: []IRQDef{{Name: "nic", Sem: "s", At: 3 * ms, Every: 7 * ms, Count: 3}},
 		}
 	}
+	// timerBatch parks three zero-compute tick tasks on the SAME
+	// next-release instant. The wheel part stays empty, so every re-push
+	// re-arms the front slot and its same-instant successors batch onto
+	// it: at any instant strictly inside a period the timewheel front
+	// slot holds a three-entry wake batch — the fast-path state the
+	// snapshot codec must carry (see timewheel.FastLen).
+	timerBatch := func() Workload {
+		return Workload{
+			Policy: "priority", Trace: true,
+			Horizon: 40 * ms,
+			Tasks: []TaskDef{
+				{Name: "b0", Type: "periodic", Prio: 1, Period: 8 * ms},
+				{Name: "b1", Type: "periodic", Prio: 2, Period: 8 * ms},
+				{Name: "b2", Type: "periodic", Prio: 3, Period: 8 * ms},
+			},
+		}
+	}
+	// timerOneshot adds a short-period tick ahead of the batch: at t=0 the
+	// lone task (highest priority, so first to re-push) arms the one-shot
+	// earliest-deadline slot while the trio's timers land in the wheel
+	// part behind it.
+	timerOneshot := func() Workload {
+		w := timerBatch()
+		w.Tasks = append([]TaskDef{
+			{Name: "lone", Type: "periodic", Prio: 0, Period: 3 * ms},
+		}, w.Tasks...)
+		return w
+	}
 	return map[string]Workload{
 		"priority-coarse":  periodicMix("priority", 0, core.TimeModelCoarse, ""),
 		"rm-segmented":     periodicMix("rm", 0, core.TimeModelSegmented, ""),
@@ -58,6 +86,8 @@ func snapWorkloads() map[string]Workload {
 		"edf-coarse":       periodicMix("edf", 0, core.TimeModelCoarse, ""),
 		"fifo-itron":       periodicMix("fifo", 0, core.TimeModelCoarse, "itron"),
 		"priority-osek":    periodicMix("priority", 0, core.TimeModelSegmented, "osek"),
+		"timer-batch":      timerBatch(),
+		"timer-oneshot":    timerOneshot(),
 		"channels-generic": channelMix(""),
 		"channels-itron":   channelMix("itron"),
 		"channels-osek":    channelMix("osek"),
@@ -122,6 +152,71 @@ func TestSnapshotRestoreEquivalence(t *testing.T) {
 				s.RunUntil(w.Horizon)
 				if got := serializeResult(s.Finish()); !bytes.Equal(got, want) {
 					t.Errorf("original session diverges after Snapshot at %v", at)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotFastPathArmed pins that a checkpoint taken while the
+// timewheel fast path is engaged round-trips it exactly: Restore
+// re-pushes timers in (at, seq) order, so the earliest chain re-forms
+// the front slot at the same depth, and the continuation stays
+// byte-identical. Both fast-path shapes are covered — the multi-entry
+// same-instant wake batch and the one-shot earliest timer armed ahead
+// of a populated wheel part.
+func TestSnapshotFastPathArmed(t *testing.T) {
+	ms := sim.Millisecond
+	ws := snapWorkloads()
+	cases := []struct {
+		workload string
+		instants []Time
+		fastLen  int // required front-slot depth at each instant
+		timers   int // required total pending timers
+	}{
+		// Strictly inside each 8 ms period the trio's next releases sit
+		// batched in the front slot and the wheel part is empty.
+		{"timer-batch", []Time{10 * ms, 20 * ms, 30 * ms}, 3, 3},
+		// Inside (0, 3 ms) the lone tick is armed one-shot with the
+		// trio's releases queued behind it in the wheel part.
+		{"timer-oneshot", []Time{2 * ms}, 1, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.workload, func(t *testing.T) {
+			w := ws[tc.workload]
+			want := serializeResult(Run(w))
+			for _, at := range tc.instants {
+				s, err := NewSession(w)
+				if err != nil {
+					t.Fatalf("NewSession: %v", err)
+				}
+				if err := s.RunUntil(at); err != nil {
+					t.Fatalf("RunUntil(%v): %v", at, err)
+				}
+				if got := s.k.wheel.FastLen(); got != tc.fastLen {
+					t.Fatalf("at %v: front slot holds %d entries, want %d", at, got, tc.fastLen)
+				}
+				if got := s.k.wheel.Len(); got != tc.timers {
+					t.Fatalf("at %v: %d pending timers, want %d", at, got, tc.timers)
+				}
+				cp, err := s.Snapshot()
+				if err != nil {
+					t.Fatalf("Snapshot at %v: %v", at, err)
+				}
+				r, err := Restore(w, cp)
+				if err != nil {
+					t.Fatalf("Restore at %v: %v", at, err)
+				}
+				if got := r.k.wheel.FastLen(); got != tc.fastLen {
+					t.Fatalf("restored at %v: front slot holds %d entries, want %d", at, got, tc.fastLen)
+				}
+				if got := r.k.wheel.Len(); got != tc.timers {
+					t.Fatalf("restored at %v: %d pending timers, want %d", at, got, tc.timers)
+				}
+				r.RunUntil(w.Horizon)
+				if got := serializeResult(r.Finish()); !bytes.Equal(got, want) {
+					t.Errorf("restored run at %v diverges from uninterrupted run:\n--- restored\n%s\n--- uninterrupted\n%s",
+						at, got, want)
 				}
 			}
 		})

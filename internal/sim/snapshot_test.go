@@ -108,6 +108,77 @@ func TestSnapshotBackendAgnostic(t *testing.T) {
 	kw.Shutdown()
 }
 
+// TestSnapshotTimerDigestCrossBackend: identical pending timer sets must
+// digest to identical bytes regardless of backend, including sets that
+// engage the wheel's front-slot fast path — a same-instant wake batch
+// (several procs parked on one instant) and a one-shot earliest timer
+// ahead of a backlog. The digest sorts by (at, seq), so this pins both
+// that ordering and that each backend's each() visits every live entry
+// (the wheel must not skip its armed front-slot chain).
+func TestSnapshotTimerDigestCrossBackend(t *testing.T) {
+	// batchModel parks three procs on the same 8 ms tick (the wheel side
+	// re-arms and batches them in the front slot) plus one short-period
+	// proc whose next timer re-arms the one-shot slot, and a long timer
+	// that stays in the wheel part behind it.
+	batchModel := func(k *Kernel) {
+		for i := 0; i < 3; i++ {
+			k.Spawn("tick", func(p *Proc) {
+				for {
+					p.WaitFor(8 * Millisecond)
+				}
+			}).SetDaemon(true)
+		}
+		k.Spawn("lone", func(p *Proc) {
+			for {
+				p.WaitFor(3 * Millisecond)
+			}
+		}).SetDaemon(true)
+		k.Spawn("slow", func(p *Proc) {
+			for {
+				p.WaitFor(13 * Millisecond)
+			}
+		}).SetDaemon(true)
+	}
+	for _, at := range []Time{2 * Millisecond, 10 * Millisecond, 20 * Millisecond, 30 * Millisecond} {
+		kh, kw := NewKernel(), NewKernel()
+		kw.SetTimingWheel(true)
+		batchModel(kh)
+		batchModel(kw)
+		if err := kh.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+		if err := kw.RunUntil(at); err != nil {
+			t.Fatal(err)
+		}
+		ch, err := kh.Snapshot()
+		if err != nil {
+			t.Fatalf("heap snapshot at %v: %v", at, err)
+		}
+		cw, err := kw.Snapshot()
+		if err != nil {
+			t.Fatalf("wheel snapshot at %v: %v", at, err)
+		}
+		if !bytes.Equal(ch.State, cw.State) {
+			hl := strings.Split(string(ch.State), "\n")
+			wl := strings.Split(string(cw.State), "\n")
+			n := len(hl)
+			if len(wl) < n {
+				n = len(wl)
+			}
+			diff := "length differs"
+			for i := 0; i < n; i++ {
+				if hl[i] != wl[i] {
+					diff = "heap " + hl[i] + " vs wheel " + wl[i]
+					break
+				}
+			}
+			t.Errorf("timer digests diverge at %v: %s", at, diff)
+		}
+		kh.Shutdown()
+		kw.Shutdown()
+	}
+}
+
 // TestRestoreDetectsDivergence: a kernel at the wrong time or with a
 // different model must be rejected with a line-level diagnosis.
 func TestRestoreDetectsDivergence(t *testing.T) {

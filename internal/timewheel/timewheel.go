@@ -26,9 +26,24 @@
 // in the style of internal/readyq, so the goroutine kernel
 // (internal/sim) and the run-to-completion engine (internal/rtc) share
 // one implementation.
+//
+// A front slot accelerates the dominant simulation pattern — the newly
+// scheduled deadline is earlier than everything pending, and N wakes land
+// on the same instant. When a push is provably earlier than every queued
+// entry (tracked by an exact lower bound the existing scans refresh for
+// free), it is cached in a single front slot instead of the wheel; pushes
+// at the same instant chain onto it. While the slot is armed, NextTime is
+// one field read and CollectDue drains the chain with no cascade, no
+// level scan and no heap traffic. Deferring the cascade is safe: a
+// cascade at any later time t' still redistributes the level-k slot
+// covering t', so entries parked at higher levels are re-derived when
+// their time comes.
 package timewheel
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 const (
 	slotBits  = 6
@@ -48,6 +63,7 @@ const (
 	whereIdle     = 0              // not queued
 	whereWheelL0  = 1              // wheel level = where - whereWheelL0
 	whereOverflow = levelCount + 1 // overflow heap, position Node.heapIdx
+	whereFast     = levelCount + 2 // front slot chain
 )
 
 // Node is the intrusive state an entry embeds to participate in a Wheel.
@@ -80,15 +96,30 @@ type Wheel[T comparable] struct {
 	slots    [levelCount][slotCount]list[T]
 	overflow []T // min-heap by (at, seq) of entries beyond Span
 	size     int
+
+	// Front slot: a chain of entries all due at fastAt, strictly earlier
+	// than every wheel/overflow entry. fastLen > 0 means armed. bound is a
+	// lower bound on the due time of every wheel/overflow entry (exact
+	// right after a scan, math.MaxInt64 when that part is empty); arming
+	// requires at < bound so the strict-ordering invariant is provable.
+	fast    list[T]
+	fastAt  int64
+	fastLen int
+	bound   int64
 }
 
 // New returns an empty wheel at time zero using the given accessors.
 func New[T comparable](node func(T) *Node[T], at func(T) int64, seq func(T) int) *Wheel[T] {
-	return &Wheel[T]{node: node, at: at, seq: seq}
+	return &Wheel[T]{node: node, at: at, seq: seq, bound: math.MaxInt64}
 }
 
 // Len returns the number of queued entries.
 func (w *Wheel[T]) Len() int { return w.size }
+
+// FastLen returns the number of entries batched in the armed front slot
+// (0 when the fast path is disarmed). Exposed for tests and diagnostics
+// that need to confirm the one-shot/batched-wake path is engaged.
+func (w *Wheel[T]) FastLen() int { return w.fastLen }
 
 // Now returns the wheel's current time: the largest t passed to
 // CollectDue so far.
@@ -107,7 +138,65 @@ func (w *Wheel[T]) Push(t T) {
 		panic("timewheel: Push in the past")
 	}
 	w.size++
+	if w.fastLen > 0 {
+		switch {
+		case at == w.fastAt: // batched same-instant wake
+			w.fastAppend(t, n)
+			return
+		case at < w.fastAt:
+			// The new entry displaces the chain: spill it into the wheel
+			// (its instant is a proven lower bound for that part) and arm
+			// the front slot with the earlier deadline.
+			w.spillFast()
+			w.fastAt = at
+			w.fastAppend(t, n)
+			return
+		}
+	} else if at < w.bound {
+		// Provably earlier than everything pending: one-shot fast path.
+		w.fastAt = at
+		w.fastAppend(t, n)
+		return
+	}
+	if at < w.bound {
+		w.bound = at
+	}
 	w.place(t, at)
+}
+
+// fastAppend links t onto the tail of the front-slot chain.
+func (w *Wheel[T]) fastAppend(t T, n *Node[T]) {
+	n.where = whereFast
+	var zero T
+	n.next, n.prev = zero, zero
+	if w.fast.head == zero {
+		w.fast.head, w.fast.tail = t, t
+	} else {
+		n.prev = w.fast.tail
+		w.node(w.fast.tail).next = t
+		w.fast.tail = t
+	}
+	w.fastLen++
+}
+
+// spillFast disarms the front slot, migrating its chain into the wheel
+// proper. Every spilled entry keeps its due time, which becomes a valid
+// lower bound for the wheel part.
+func (w *Wheel[T]) spillFast() {
+	var zero T
+	e := w.fast.head
+	w.fast.head, w.fast.tail = zero, zero
+	w.fastLen = 0
+	if w.fastAt < w.bound {
+		w.bound = w.fastAt
+	}
+	for e != zero {
+		n := w.node(e)
+		nxt := n.next
+		n.next, n.prev, n.where = zero, zero, whereIdle
+		w.place(e, w.at(e))
+		e = nxt
+	}
 }
 
 // place links t into the level/slot (or overflow heap) for due time at,
@@ -149,11 +238,31 @@ func (w *Wheel[T]) Cancel(t T) bool {
 	case whereOverflow:
 		w.heapRemove(int(n.heapIdx))
 		n.where = whereIdle
+	case whereFast:
+		w.unlinkFast(t, n)
 	default:
 		w.unlink(t, n)
 	}
 	w.size--
 	return true
+}
+
+// unlinkFast detaches an entry from the front-slot chain; removing the
+// last one disarms the slot.
+func (w *Wheel[T]) unlinkFast(t T, n *Node[T]) {
+	var zero T
+	if n.prev == zero {
+		w.fast.head = n.next
+	} else {
+		w.node(n.prev).next = n.next
+	}
+	if n.next == zero {
+		w.fast.tail = n.prev
+	} else {
+		w.node(n.next).prev = n.prev
+	}
+	n.next, n.prev, n.where = zero, zero, whereIdle
+	w.fastLen--
 }
 
 // unlink detaches a wheel-resident entry from its slot chain.
@@ -183,6 +292,9 @@ func (w *Wheel[T]) unlink(t T, n *Node[T]) {
 // (at, seq) themselves. fn must not mutate the wheel.
 func (w *Wheel[T]) Each(fn func(T)) {
 	var zero T
+	for e := w.fast.head; e != zero; e = w.node(e).next {
+		fn(e)
+	}
 	for level := 0; level < levelCount; level++ {
 		for occ := w.occupied[level]; occ != 0; occ &= occ - 1 {
 			slot := bits.TrailingZeros64(occ)
@@ -197,9 +309,27 @@ func (w *Wheel[T]) Each(fn func(T)) {
 }
 
 // NextTime returns the earliest due time among queued entries. It does
-// not advance the wheel.
+// not advance the wheel. While the front slot is armed this is one field
+// read; otherwise the scan's result doubles as an exact refresh of the
+// wheel-part lower bound, which is what lets subsequent pushes arm the
+// front slot.
 func (w *Wheel[T]) NextTime() (int64, bool) {
-	if w.size == 0 {
+	if w.fastLen > 0 {
+		return w.fastAt, true
+	}
+	t, ok := w.nextTimeSlow()
+	if ok {
+		w.bound = t
+	} else {
+		w.bound = math.MaxInt64
+	}
+	return t, ok
+}
+
+// nextTimeSlow scans the wheel levels and overflow heap for the earliest
+// due time, ignoring the front slot.
+func (w *Wheel[T]) nextTimeSlow() (int64, bool) {
+	if w.size-w.fastLen == 0 {
 		return 0, false
 	}
 	var best int64
@@ -256,8 +386,34 @@ func (w *Wheel[T]) CollectDue(t int64, dst []T) []T {
 	if t < w.cur {
 		panic("timewheel: CollectDue moving backwards")
 	}
-	w.cur = t
 	var zero T
+	if w.fastLen > 0 {
+		if t > w.fastAt {
+			panic("timewheel: CollectDue past a due front-slot entry")
+		}
+		w.cur = t
+		if t < w.fastAt { // advance-only: nothing due yet
+			return dst
+		}
+		// Drain the chain: no cascade, no level scan, no heap pops — the
+		// armed invariant proves nothing else is due at t, and the bound on
+		// the untouched wheel part stays exact. Deferred cascades are
+		// re-derived whenever the wheel part next fires.
+		start := len(dst)
+		for e := w.fast.head; e != zero; {
+			n := w.node(e)
+			nxt := n.next
+			n.next, n.prev, n.where = zero, zero, whereIdle
+			dst = append(dst, e)
+			w.size--
+			e = nxt
+		}
+		w.fast.head, w.fast.tail = zero, zero
+		w.fastLen = 0
+		w.sortDue(dst[start:])
+		return dst
+	}
+	w.cur = t
 	// Cascade: every higher-level slot covering t redistributes to lower
 	// levels (its entries are now within 64^level of cur, so each lands
 	// strictly below). Entries due exactly at t end up in level 0.
@@ -303,7 +459,20 @@ func (w *Wheel[T]) CollectDue(t int64, dst []T) []T {
 	// Restore the global FIFO tie-break: ascending seq. Chains are
 	// near-sorted already (pushes arrive in seq order), so insertion
 	// sort is both allocation-free and cheap.
-	due := dst[start:]
+	w.sortDue(dst[start:])
+	// Everything due at or before t fired; rescan for the exact new
+	// minimum so pushes issued before the next NextTime (the woken
+	// entries re-arming themselves) can take the front slot.
+	if nt, ok := w.nextTimeSlow(); ok {
+		w.bound = nt
+	} else {
+		w.bound = math.MaxInt64
+	}
+	return dst
+}
+
+// sortDue insertion-sorts one CollectDue batch by ascending seq.
+func (w *Wheel[T]) sortDue(due []T) {
 	for i := 1; i < len(due); i++ {
 		e := due[i]
 		s := w.seq(e)
@@ -314,7 +483,6 @@ func (w *Wheel[T]) CollectDue(t int64, dst []T) []T {
 		}
 		due[j] = e
 	}
-	return dst
 }
 
 // heapLess orders overflow entries by (at, seq).

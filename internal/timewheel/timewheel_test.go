@@ -80,10 +80,10 @@ func TestDifferentialVsHeap(t *testing.T) {
 		var scratch []*entry
 
 		for step := 0; step < 400; step++ {
-			switch op := rng.Intn(10); {
+			switch op := rng.Intn(12); {
 			case op < 5: // schedule
 				var d int64
-				switch rng.Intn(6) {
+				switch rng.Intn(8) {
 				case 0:
 					d = 0 // due at the current instant
 				case 1, 2:
@@ -94,6 +94,24 @@ func TestDifferentialVsHeap(t *testing.T) {
 					d = int64(rng.Int63n(Span)) // any wheel level
 				case 5:
 					d = Span + int64(rng.Int63n(Span)) // overflow
+				case 6:
+					// Exactly on a level horizon (64^k), one below, one
+					// above: the placement boundary between level k-1 and
+					// level k, and between the top level and the overflow
+					// heap when k = 5.
+					d = int64(1) << (6 * (1 + rng.Intn(5)))
+					d += int64(rng.Intn(3)) - 1
+				case 7:
+					// Duplicate a live entry's instant: same-instant
+					// batches spanning the front slot, wheel levels and
+					// overflow.
+					d = int64(rng.Intn(64))
+					for _, e := range live {
+						if e.at >= now {
+							d = e.at - now
+						}
+						break
+					}
 				}
 				nextID++
 				nextSeq++
@@ -115,6 +133,16 @@ func TestDifferentialVsHeap(t *testing.T) {
 					}
 					delete(live, id)
 					break
+				}
+			case op < 8: // advance-only: move time forward, nothing fires
+				wt, wok := w.NextTime()
+				if !wok || wt <= now {
+					continue
+				}
+				now += (wt - now) / 2
+				if got := w.CollectDue(now, nil); len(got) != 0 {
+					t.Fatalf("seed %d step %d: advance-only CollectDue(%d) fired %d entries",
+						seed, step, now, len(got))
 				}
 			default: // advance to the next due time and fire
 				wt, wok := w.NextTime()
@@ -189,6 +217,49 @@ func TestSameInstantSeqOrder(t *testing.T) {
 		if e.n.Queued() {
 			t.Fatalf("entry %d still queued after firing", e.id)
 		}
+	}
+}
+
+// TestFrontSlot pins the earliest-deadline fast path directly: arming,
+// same-instant chaining, displacement by an earlier push, cancel-disarm,
+// and enumeration of chained entries.
+func TestFrontSlot(t *testing.T) {
+	w := newWheel()
+	a := &entry{id: 1, at: 100, seq: 1}
+	w.Push(a) // empty wheel: must arm the front slot
+	if nt, ok := w.NextTime(); !ok || nt != 100 {
+		t.Fatalf("NextTime = (%d,%v), want (100,true)", nt, ok)
+	}
+	b := &entry{id: 2, at: 100, seq: 2}
+	w.Push(b) // same instant: chains onto the slot
+	c := &entry{id: 3, at: 40, seq: 3}
+	w.Push(c) // earlier: displaces the chain into the wheel
+	if nt, _ := w.NextTime(); nt != 40 {
+		t.Fatalf("NextTime after displacement = %d, want 40", nt)
+	}
+	seen := map[int]bool{}
+	w.Each(func(e *entry) { seen[e.id] = true })
+	if len(seen) != 3 || !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("Each saw %v, want {1,2,3}", seen)
+	}
+	if !w.Cancel(c) { // cancel the armed slot: disarm, wheel takes over
+		t.Fatal("Cancel of front-slot entry reported false")
+	}
+	if nt, _ := w.NextTime(); nt != 100 {
+		t.Fatalf("NextTime after front cancel = %d, want 100", nt)
+	}
+	d := &entry{id: 4, at: 60, seq: 4}
+	w.Push(d) // earlier than the exact bound NextTime refreshed: re-arms
+	got := w.CollectDue(60, nil)
+	if len(got) != 1 || got[0].id != 4 {
+		t.Fatalf("CollectDue(60) = %v, want [4]", got)
+	}
+	got = w.CollectDue(100, nil)
+	if len(got) != 2 || got[0].id != 1 || got[1].id != 2 {
+		t.Fatalf("CollectDue(100) fired %v, want [1 2]", got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
 	}
 }
 

@@ -58,10 +58,23 @@ go test -run 'TestCrossPersonalityCorpus' -count=1 ./internal/simcheck
 # (internal/rtc, -engine=rtc) must produce byte-identical traces,
 # diagnoses and statistics to the goroutine kernel across the
 # policy × time-model × personality matrix — the seeded simcheck
-# corpus and the taskset-level matrix. (go test ./... above already
-# ran these; the explicit pass keeps the two-engine contract visible.)
+# corpus, the taskset-level matrix, and the SDL corpus (hierarchical
+# seq/par behaviors, handshakes, split stimulus/ISR interrupts:
+# figure3, vocoder, bus-driver) with its per-example golden traces.
+# (go test ./... above already ran these; the explicit pass keeps the
+# two-engine contract visible.)
 echo "== execution-engine equivalence (goroutine vs run-to-completion)"
 go test -run 'TestEngineEquivalence' -count=1 ./internal/simcheck ./internal/taskset
+go test -run 'TestEngineEquivalence|TestGoldenTracesSDL' -count=1 ./internal/sdl
+
+# Timer-boundary ordering: the hierarchical timing wheel must agree
+# with the reference heap on every boundary case the randomized
+# differential harness can produce — slot/level edges, same-instant
+# FIFO order, front-slot (fast path) arming — and its steady state must
+# stay allocation-free.
+echo "== timewheel boundary ordering + differential harness"
+go test -run 'TestDifferentialVsHeap|TestSameInstantSeqOrder|TestFrontSlot|TestEachEnumeratesAll|TestZeroAllocSteadyState' -count=1 ./internal/timewheel
+go test -run 'TestRunUntilBoundary' -count=1 ./internal/sim
 
 # Checkpoint equivalence: a run snapshotted at a randomized instant and
 # restored into a fresh kernel must finish with byte-identical traces and
