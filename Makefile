@@ -2,7 +2,7 @@
 # (scripts/check.sh). Everything is stdlib-only Go; there is no separate
 # build step beyond the toolchain's.
 
-.PHONY: check test build vet race race-batch fuzz fuzz-telemetry golden golden-update overhead soak faults bench bench-check bench-baseline bench-dse bench-dse-check bench-dse-baseline equivalence engine-equivalence checkpoint-equivalence timer-boundary conformance personality-overhead dse-check
+.PHONY: check test build vet race race-batch fuzz fuzz-telemetry fuzz-eventlog golden golden-update overhead soak faults bench bench-check bench-baseline bench-dse bench-dse-check bench-dse-baseline equivalence engine-equivalence checkpoint-equivalence timer-boundary conformance personality-overhead dse-check simd campaign-resume
 
 check: ## full tier-1 gate: vet + build + race tests + simfuzz soak
 	./scripts/check.sh
@@ -27,6 +27,15 @@ fuzz: ## native Go fuzzing of the SDL parser (30s)
 
 fuzz-telemetry: ## native Go fuzzing of the telemetry binary event codec (30s)
 	go test ./internal/telemetry/ -fuzz FuzzEventStream -fuzztime 30s
+
+fuzz-eventlog: ## native Go fuzzing of the campaign event-log recovery path (30s)
+	go test ./internal/campaign/eventlog/ -fuzz FuzzEventLog -fuzztime 30s
+
+simd: ## build the campaign server daemon
+	go build ./cmd/simd
+
+campaign-resume: ## kill-and-restart differential matrix: crash at every log position, resume, diff against golden (jobs 1 and 8, race detector)
+	go test -race -run 'TestCrashResume|TestResumeServesDoneJobsFromCache' -count=1 -v ./internal/campaign | tail -5
 
 golden: ## golden-trace diff against testdata/golden
 	go test -run 'TestGoldenTrace' -count=1 .

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := openTestServer(t, t.TempDir(), 2)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func do(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	respBody, readErr := io.ReadAll(resp.Body)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return resp.StatusCode, string(respBody)
+}
+
+// TestHTTPAPITable: every endpoint's contract, including malformed
+// payloads rejected with structured errors that carry the underlying
+// validator's message.
+func TestHTTPAPITable(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	submit := func(kind, payload string) string {
+		return fmt.Sprintf(`{"kind": %q, "payload": %s}`, kind, payload)
+	}
+	cases := []struct {
+		name, method, path, body string
+		wantCode                 int
+		wantBody                 string
+	}{
+		{"healthz", "GET", "/healthz", "", 200, `"ok":true`},
+		{"stats empty", "GET", "/stats", "", 200, `"executions":0`},
+		{"list empty", "GET", "/jobs", "", 200, `"jobs":[]`},
+		{"submit not json", "POST", "/jobs", `{`, 400, "error"},
+		{"submit no kind", "POST", "/jobs", `{"payload": {}}`, 400, `needs \"kind\" and \"payload\"`},
+		{"submit unknown kind", "POST", "/jobs", submit("warp", `{}`), 400, "unknown job kind"},
+		// Malformed task sets carry taskset.Validate's message verbatim.
+		{"taskset empty", "POST", "/jobs", submit("taskset", `{"tasks": []}`), 400, "no tasks"},
+		{"taskset unnamed", "POST", "/jobs", submit("taskset",
+			`{"horizonMs": 1, "tasks": [{"periodUs": 100, "wcetUs": 10}]}`), 400, "unnamed"},
+		{"taskset bad policy", "POST", "/jobs", submit("taskset",
+			`{"policy": "psychic", "horizonMs": 1, "tasks": [{"name": "a", "periodUs": 100, "wcetUs": 10}]}`),
+			400, "psychic"},
+		{"sdl no source", "POST", "/jobs", submit("sdl", `{}`), 400, "source"},
+		{"fault no seeds", "POST", "/jobs", submit("fault", `{}`), 400, "seed"},
+		{"dse unknown axis", "POST", "/jobs", submit("dse",
+			fmt.Sprintf(`{"base": %s, "axes": [{"name": "magic", "values": ["on"]}]}`, tinySet)), 400, "magic"},
+		{"status unknown job", "GET", "/jobs/job-999999", "", 404, "unknown job"},
+		{"result unknown job", "GET", "/jobs/job-999999/result", "", 404, "unknown job"},
+		{"receipt unknown job", "GET", "/jobs/job-999999/receipt", "", 404, "unknown job"},
+		{"cancel unknown job", "POST", "/jobs/job-999999/cancel", "", 404, "unknown job"},
+		{"submit valid", "POST", "/jobs", submit("taskset", tinySet), 202, `"id":"job-000001"`},
+		{"resubmit duplicate", "POST", "/jobs", submit("taskset", tinySetReordered), 200, `"duplicate":true`},
+	}
+	for _, tc := range cases {
+		code, body := do(t, tc.method, ts.URL+tc.path, tc.body)
+		if code != tc.wantCode {
+			t.Errorf("%s: code = %d, want %d (body %s)", tc.name, code, tc.wantCode, body)
+		}
+		if !strings.Contains(body, tc.wantBody) {
+			t.Errorf("%s: body %q missing %q", tc.name, body, tc.wantBody)
+		}
+		if code >= 400 {
+			var e apiError
+			if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+				t.Errorf("%s: non-2xx body is not a structured error: %q", tc.name, body)
+			}
+		}
+	}
+}
+
+// TestHTTPEndToEndSmoke: submit → poll → result → receipt → cancel
+// against a live httptest server.
+func TestHTTPEndToEndSmoke(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	code, body := do(t, "POST", ts.URL+"/jobs",
+		fmt.Sprintf(`{"kind": "taskset", "payload": %s}`, tinySet))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal([]byte(body), &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %q: %v", body, err)
+	}
+
+	waitDone(t, s, sub.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	var st JobStatus
+	for {
+		code, body = do(t, "GET", ts.URL+"/jobs/"+sub.ID, "")
+		if code != 200 {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.CellsDone != 1 || st.Metrics == nil {
+		t.Fatalf("done status = %+v", st)
+	}
+
+	code, res := do(t, "GET", ts.URL+"/jobs/"+sub.ID+"/result", "")
+	if code != 200 || !strings.HasPrefix(res, "simd-result/1 ") {
+		t.Fatalf("result: %d %q", code, res)
+	}
+	code, rbody := do(t, "GET", ts.URL+"/jobs/"+sub.ID+"/receipt", "")
+	if code != 200 {
+		t.Fatalf("receipt: %d %s", code, rbody)
+	}
+	var rcpt struct {
+		Job string `json:"job"`
+		Sig string `json:"sig"`
+	}
+	if err := json.Unmarshal([]byte(rbody), &rcpt); err != nil || rcpt.Job != sub.ID || rcpt.Sig == "" {
+		t.Fatalf("receipt body %q: %v", rbody, err)
+	}
+
+	// A done job refuses cancellation with a conflict.
+	code, body = do(t, "POST", ts.URL+"/jobs/"+sub.ID+"/cancel", "")
+	if code != http.StatusConflict {
+		t.Fatalf("cancel done job: %d %s", code, body)
+	}
+
+	// The list endpoint shows the job.
+	code, body = do(t, "GET", ts.URL+"/jobs", "")
+	if code != 200 || !strings.Contains(body, sub.ID) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/stats", "")
+	if code != 200 || !strings.Contains(body, `"executions":1`) {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+}

@@ -1,0 +1,76 @@
+package idempotency
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestKeyIsContentAddressed: same canonical bytes → same key; any
+// difference in kind or content → different key.
+func TestKeyIsContentAddressed(t *testing.T) {
+	a := Key("taskset", []byte("canonical form"))
+	if b := Key("taskset", []byte("canonical form")); b != a {
+		t.Fatalf("identical content keyed differently: %s vs %s", a, b)
+	}
+	if b := Key("taskset", []byte("canonical form!")); b == a {
+		t.Fatal("different content keyed identically")
+	}
+	if b := Key("dse", []byte("canonical form")); b == a {
+		t.Fatal("different kind keyed identically")
+	}
+}
+
+// TestClaimArbitration: first claim wins, later claims observe the
+// winner; Forget reopens the key.
+func TestClaimArbitration(t *testing.T) {
+	r := NewRegistry()
+	owner, dup := r.Claim("k", "job-1")
+	if owner != "job-1" || dup {
+		t.Fatalf("first claim = (%s, %v), want (job-1, false)", owner, dup)
+	}
+	owner, dup = r.Claim("k", "job-2")
+	if owner != "job-1" || !dup {
+		t.Fatalf("second claim = (%s, %v), want (job-1, true)", owner, dup)
+	}
+	if id, ok := r.Lookup("k"); !ok || id != "job-1" {
+		t.Fatalf("Lookup = (%s, %v)", id, ok)
+	}
+	r.Forget("k")
+	if owner, dup = r.Claim("k", "job-3"); owner != "job-3" || dup {
+		t.Fatalf("claim after Forget = (%s, %v), want (job-3, false)", owner, dup)
+	}
+}
+
+// TestConcurrentClaimsExactlyOneWinner: N racing claims on one key elect
+// exactly one owner and everyone agrees on it.
+func TestConcurrentClaimsExactlyOneWinner(t *testing.T) {
+	r := NewRegistry()
+	const n = 64
+	owners := make([]string, n)
+	dups := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			owners[i], dups[i] = r.Claim("key", fmt.Sprintf("job-%d", i))
+		}(i)
+	}
+	wg.Wait()
+	winners := 0
+	for i := 0; i < n; i++ {
+		if !dups[i] {
+			winners++
+		}
+		if owners[i] != owners[0] {
+			t.Fatalf("claim %d observed owner %s, claim 0 observed %s", i, owners[i], owners[0])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d winners, want exactly 1", winners)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry has %d keys, want 1", r.Len())
+	}
+}

@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestResumeWallClockMeasurement produces the EXPERIMENTS.md "SIMD"
+// resumed-vs-cold table: a 24-cell DSE sweep is run cold, then killed at
+// ~25/50/75% of its event log and resumed, and finally reopened when
+// already finished (pure replay). Guarded like the overhead benchmarks:
+//
+//	SIMD_MEASURE=1 go test -run TestResumeWallClockMeasurement -v ./internal/campaign
+func TestResumeWallClockMeasurement(t *testing.T) {
+	if os.Getenv("SIMD_MEASURE") == "" {
+		t.Skip("set SIMD_MEASURE=1 to run the wall-clock measurement")
+	}
+	const base = `{
+	  "policy": "priority",
+	  "timeModel": "coarse",
+	  "horizonMs": 50,
+	  "tasks": [
+	    {"name": "ctrl",  "type": "periodic", "periodUs": 500,  "wcetUs": 120, "prio": 1},
+	    {"name": "audio", "type": "periodic", "periodUs": 1000, "wcetUs": 300, "prio": 2},
+	    {"name": "video", "type": "periodic", "periodUs": 4000, "wcetUs": 900, "prio": 3}
+	  ]
+	}`
+	payload := fmt.Sprintf(`{"base": %s, "axes": [
+		{"name": "policy", "values": ["priority", "edf", "fcfs", "rm"]},
+		{"name": "personality", "values": ["generic", "itron", "osek"]},
+		{"name": "timeModel", "values": ["coarse", "segmented"]}
+	]}`, base)
+	const jobs = 8
+
+	runTo := func(dir string, crash int) (time.Duration, int64, int) {
+		start := time.Now()
+		s, err := Open(Options{Dir: dir, Jobs: jobs, Key: []byte(harnessKey)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crash > 0 {
+			s.SetCrashAfter(crash, 9)
+		}
+		id, _, err := s.Submit(KindDSE, []byte(payload))
+		if err != nil && crash == 0 {
+			t.Fatal(err)
+		}
+		done := err == nil && waitAllOrHalt(t, s, []string{id})
+		s.Close()
+		elapsed := time.Since(start)
+		recs, _ := s.LogRecords()
+		if done && !s.Halted() {
+			return elapsed, s.Executions(), len(recs)
+		}
+		return 0, s.Executions(), len(recs)
+	}
+
+	// Cold golden run: one life, no kill.
+	coldDir := t.TempDir()
+	tCold, coldExecs, events := runTo(coldDir, 0)
+	fmt.Printf("\n| run | wall | cells executed (this life) |\n|---|---|---|\n")
+	fmt.Printf("| cold (uninterrupted) | %v | %d |\n", tCold.Round(time.Millisecond), coldExecs)
+
+	for _, frac := range []int{25, 50, 75} {
+		dir := t.TempDir()
+		kill := events * frac / 100
+		if kill < 1 {
+			kill = 1
+		}
+		if _, _, _ = runTo(dir, kill); true {
+		}
+		tResumed, execs, _ := runTo(dir, 0) // the resumed life only
+		fmt.Printf("| resumed after kill at ~%d%% of the log | %v | %d |\n",
+			frac, tResumed.Round(time.Millisecond), execs)
+	}
+
+	// Reopening a finished campaign: pure journal replay + cache.
+	tReplay, execs, _ := runTo(coldDir, 0)
+	fmt.Printf("| reopen finished (replay only) | %v | %d |\n\n", tReplay.Round(time.Millisecond), execs)
+}

@@ -1,0 +1,67 @@
+package receipt
+
+import "testing"
+
+func sample() Receipt {
+	return Receipt{
+		Job: "job-000001", Kind: "taskset", Key: "taskset:abc123",
+		Cells: 4, ResultHash: "deadbeef", Requeued: []string{"cell-2"},
+	}
+}
+
+// TestSignVerifyRoundTrip: a signed receipt verifies under its key and
+// fails under any other key.
+func TestSignVerifyRoundTrip(t *testing.T) {
+	key := []byte("server receipt key")
+	r := Sign(sample(), key)
+	if r.Sig == "" {
+		t.Fatal("Sign left Sig empty")
+	}
+	if !Verify(r, key) {
+		t.Fatal("signed receipt does not verify")
+	}
+	if Verify(r, []byte("some other key")) {
+		t.Fatal("receipt verifies under the wrong key")
+	}
+}
+
+// TestTamperDetected: changing any signed field invalidates the
+// signature.
+func TestTamperDetected(t *testing.T) {
+	key := []byte("k")
+	base := Sign(sample(), key)
+	mutations := map[string]func(*Receipt){
+		"job":      func(r *Receipt) { r.Job = "job-000002" },
+		"kind":     func(r *Receipt) { r.Kind = "dse" },
+		"key":      func(r *Receipt) { r.Key = "other" },
+		"cells":    func(r *Receipt) { r.Cells++ },
+		"result":   func(r *Receipt) { r.ResultHash = "beefdead" },
+		"requeued": func(r *Receipt) { r.Requeued = nil },
+		"sig":      func(r *Receipt) { r.Sig = "00" + r.Sig[2:] },
+	}
+	for name, mutate := range mutations {
+		r := base
+		r.Requeued = append([]string(nil), base.Requeued...)
+		mutate(&r)
+		if Verify(r, key) {
+			t.Errorf("tampered %s still verifies", name)
+		}
+	}
+	if Verify(Receipt{Sig: "zz not hex"}, key) {
+		t.Error("garbage signature verifies")
+	}
+}
+
+// TestDeterministicSignature: signing the same facts twice produces the
+// same bytes — receipts are pure functions of job content and outcome,
+// the property that makes golden and crash-resumed receipts comparable.
+func TestDeterministicSignature(t *testing.T) {
+	key := []byte("k")
+	a, b := Sign(sample(), key), Sign(sample(), key)
+	if a.Sig != b.Sig {
+		t.Fatalf("signatures differ: %s vs %s", a.Sig, b.Sig)
+	}
+	if string(a.Payload()) != string(b.Payload()) {
+		t.Fatal("payloads differ")
+	}
+}

@@ -1,0 +1,297 @@
+// Package runstate defines the campaign server's event schema and
+// materializes a replayed event log into the run state a restarted
+// server resumes from: every accepted job with its payload, cell
+// completion (key + result hash per cell), receipts and terminal
+// statuses. Rebuild also enforces the log's structural invariants —
+// events against unknown jobs, completions without a lease, conflicting
+// result hashes, completions after a terminal state — so a corrupted
+// store is refused loudly instead of resumed into silent double work.
+//
+// The state's Canonical form deliberately excludes everything that
+// legitimately differs between an uninterrupted run and a kill-and-
+// restarted one (lease counts, cache-served flags): a resumed campaign
+// must materialize to byte-identical Canonical state, which is exactly
+// what the differential harness compares.
+package runstate
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/campaign/eventlog"
+	"repro/internal/campaign/receipt"
+)
+
+// Event types journaled by the campaign server.
+const (
+	EvJobAccepted  = "job.accepted"
+	EvCellStarted  = "cell.started"
+	EvCellDone     = "cell.done"
+	EvJobDone      = "job.done"
+	EvJobFailed    = "job.failed"
+	EvJobCancelled = "job.cancelled"
+)
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// JobAccepted journals a submission: identity, the derived cell keys in
+// cell order, and the full payload — the log is the single source of
+// truth a restarted server rebuilds jobs from.
+type JobAccepted struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Cells   []string        `json:"cells"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// CellStarted journals a cell lease: a worker is about to execute (or
+// serve from cache) cell Idx of job Job. A lease without a matching
+// CellDone is a lost cell: the resumed server requeues it.
+type CellStarted struct {
+	Job string `json:"job"`
+	Idx int    `json:"idx"`
+}
+
+// CellDone journals a cell completion with the SHA-256 of its result
+// bytes (which the shared result cache holds under the cell's key).
+// Cached records whether the bytes came from the cache rather than a
+// fresh execution.
+type CellDone struct {
+	Job    string `json:"job"`
+	Idx    int    `json:"idx"`
+	Hash   string `json:"hash"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// JobDone journals a job completion with its assembled-result hash and
+// signed receipt.
+type JobDone struct {
+	ID         string          `json:"id"`
+	ResultHash string          `json:"result_hash"`
+	Receipt    receipt.Receipt `json:"receipt"`
+}
+
+// JobFailed journals a permanent job failure.
+type JobFailed struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+// JobCancelled journals a cancellation.
+type JobCancelled struct {
+	ID string `json:"id"`
+}
+
+// Cell is one cell's materialized state.
+type Cell struct {
+	Key    string
+	Starts int // leases observed (can exceed 1 across crashes or requeues)
+	Done   bool
+	Hash   string
+	Cached bool
+}
+
+// Job is one job's materialized state.
+type Job struct {
+	ID         string
+	Kind       string
+	Key        string
+	Status     string
+	Payload    json.RawMessage
+	Cells      []Cell
+	ResultHash string
+	Receipt    *receipt.Receipt
+	Error      string
+}
+
+// DoneCells counts completed cells.
+func (j *Job) DoneCells() int {
+	n := 0
+	for _, c := range j.Cells {
+		if c.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// State is the materialized run state, jobs in acceptance order.
+type State struct {
+	Jobs []*Job
+	byID map[string]*Job
+}
+
+// Job returns the job with the given ID, if any.
+func (s *State) Job(id string) (*Job, bool) {
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Rebuild materializes a replayed log, enforcing the structural
+// invariants above. The records must be the output of eventlog.Open or
+// Decode (sequence-checked).
+func Rebuild(recs []eventlog.Record) (*State, error) {
+	s := &State{byID: map[string]*Job{}}
+	for _, rec := range recs {
+		if err := s.apply(rec); err != nil {
+			return nil, fmt.Errorf("runstate: seq %d: %w", rec.Seq, err)
+		}
+	}
+	return s, nil
+}
+
+func (s *State) apply(rec eventlog.Record) error {
+	switch rec.Type {
+	case EvJobAccepted:
+		var e JobAccepted
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("%s: %v", rec.Type, err)
+		}
+		if e.ID == "" || e.Key == "" || len(e.Cells) == 0 {
+			return fmt.Errorf("%s: incomplete event %+v", rec.Type, e)
+		}
+		if _, ok := s.byID[e.ID]; ok {
+			return fmt.Errorf("%s: duplicate job %s", rec.Type, e.ID)
+		}
+		j := &Job{ID: e.ID, Kind: e.Kind, Key: e.Key, Status: StatusQueued, Payload: e.Payload}
+		for _, k := range e.Cells {
+			j.Cells = append(j.Cells, Cell{Key: k})
+		}
+		s.byID[e.ID] = j
+		s.Jobs = append(s.Jobs, j)
+
+	case EvCellStarted:
+		var e CellStarted
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("%s: %v", rec.Type, err)
+		}
+		j, c, err := s.cell(rec.Type, e.Job, e.Idx)
+		if err != nil {
+			return err
+		}
+		c.Starts++
+		j.Status = StatusRunning
+
+	case EvCellDone:
+		var e CellDone
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("%s: %v", rec.Type, err)
+		}
+		j, c, err := s.cell(rec.Type, e.Job, e.Idx)
+		if err != nil {
+			return err
+		}
+		if c.Starts == 0 {
+			return fmt.Errorf("%s: job %s cell %d completed without a lease", rec.Type, e.Job, e.Idx)
+		}
+		if c.Done && c.Hash != e.Hash {
+			return fmt.Errorf("%s: job %s cell %d result hash conflict: %s vs %s",
+				rec.Type, e.Job, e.Idx, c.Hash, e.Hash)
+		}
+		c.Done, c.Hash, c.Cached = true, e.Hash, e.Cached
+		j.Status = StatusRunning
+
+	case EvJobDone:
+		var e JobDone
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("%s: %v", rec.Type, err)
+		}
+		j, err := s.activeJob(rec.Type, e.ID)
+		if err != nil {
+			return err
+		}
+		if n := j.DoneCells(); n != len(j.Cells) {
+			return fmt.Errorf("%s: job %s completed with %d/%d cells done", rec.Type, e.ID, n, len(j.Cells))
+		}
+		if e.Receipt.ResultHash != e.ResultHash {
+			return fmt.Errorf("%s: job %s receipt hash %s disagrees with result hash %s",
+				rec.Type, e.ID, e.Receipt.ResultHash, e.ResultHash)
+		}
+		r := e.Receipt
+		j.Status, j.ResultHash, j.Receipt = StatusDone, e.ResultHash, &r
+
+	case EvJobFailed:
+		var e JobFailed
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("%s: %v", rec.Type, err)
+		}
+		j, err := s.activeJob(rec.Type, e.ID)
+		if err != nil {
+			return err
+		}
+		j.Status, j.Error = StatusFailed, e.Error
+
+	case EvJobCancelled:
+		var e JobCancelled
+		if err := json.Unmarshal(rec.Data, &e); err != nil {
+			return fmt.Errorf("%s: %v", rec.Type, err)
+		}
+		j, err := s.activeJob(rec.Type, e.ID)
+		if err != nil {
+			return err
+		}
+		j.Status = StatusCancelled
+
+	default:
+		return fmt.Errorf("unknown event type %q", rec.Type)
+	}
+	return nil
+}
+
+// cell resolves a cell event's target, rejecting events against unknown
+// jobs, out-of-range indices, or jobs already in a terminal state.
+func (s *State) cell(typ, jobID string, idx int) (*Job, *Cell, error) {
+	j, err := s.activeJob(typ, jobID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if idx < 0 || idx >= len(j.Cells) {
+		return nil, nil, fmt.Errorf("%s: job %s cell %d out of range (%d cells)", typ, jobID, idx, len(j.Cells))
+	}
+	return j, &j.Cells[idx], nil
+}
+
+func (s *State) activeJob(typ, id string) (*Job, error) {
+	j, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%s: unknown job %s", typ, id)
+	}
+	switch j.Status {
+	case StatusDone, StatusFailed, StatusCancelled:
+		return nil, fmt.Errorf("%s: job %s already %s", typ, id, j.Status)
+	}
+	return j, nil
+}
+
+// Canonical renders the state's comparison form: everything a campaign
+// computed — job identities, cell result hashes, receipts, terminal
+// statuses — and nothing that legitimately varies across a crash/resume
+// (lease counts, cache-served flags). A resumed campaign must produce
+// bytes identical to the uninterrupted run's.
+func (s *State) Canonical() []byte {
+	var b strings.Builder
+	b.WriteString("runstate/1\n")
+	for _, j := range s.Jobs {
+		fmt.Fprintf(&b, "job id=%s kind=%s key=%s status=%s result=%s", j.ID, j.Kind, j.Key, j.Status, j.ResultHash)
+		if j.Receipt != nil {
+			fmt.Fprintf(&b, " sig=%s", j.Receipt.Sig)
+		}
+		if j.Error != "" {
+			fmt.Fprintf(&b, " error=%q", j.Error)
+		}
+		b.WriteByte('\n')
+		for i, c := range j.Cells {
+			fmt.Fprintf(&b, "  cell %d key=%s done=%v hash=%s\n", i, c.Key, c.Done, c.Hash)
+		}
+	}
+	return []byte(b.String())
+}

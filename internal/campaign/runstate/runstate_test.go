@@ -1,0 +1,176 @@
+package runstate
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign/eventlog"
+	"repro/internal/campaign/receipt"
+)
+
+// script encodes a sequence of typed events into sequence-checked
+// records, the shape Rebuild consumes.
+func script(t *testing.T, events ...any) []eventlog.Record {
+	t.Helper()
+	var recs []eventlog.Record
+	for _, e := range events {
+		var typ string
+		switch e.(type) {
+		case JobAccepted:
+			typ = EvJobAccepted
+		case CellStarted:
+			typ = EvCellStarted
+		case CellDone:
+			typ = EvCellDone
+		case JobDone:
+			typ = EvJobDone
+		case JobFailed:
+			typ = EvJobFailed
+		case JobCancelled:
+			typ = EvJobCancelled
+		default:
+			t.Fatalf("unknown event %T", e)
+		}
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, eventlog.Record{Seq: uint64(len(recs)) + 1, Type: typ, Data: raw})
+	}
+	return recs
+}
+
+// TestRebuildHappyPath: accept → lease → complete → done materializes a
+// finished job with its receipt.
+func TestRebuildHappyPath(t *testing.T) {
+	rcpt := receipt.Sign(receipt.Receipt{
+		Job: "job-000001", Kind: "taskset", Key: "taskset:k", Cells: 2, ResultHash: "rh",
+	}, []byte("key"))
+	st, err := Rebuild(script(t,
+		JobAccepted{ID: "job-000001", Kind: "taskset", Key: "taskset:k", Cells: []string{"c0", "c1"}, Payload: []byte(`{"x":1}`)},
+		CellStarted{Job: "job-000001", Idx: 0},
+		CellDone{Job: "job-000001", Idx: 0, Hash: "h0"},
+		CellStarted{Job: "job-000001", Idx: 1},
+		CellDone{Job: "job-000001", Idx: 1, Hash: "h1", Cached: true},
+		JobDone{ID: "job-000001", ResultHash: "rh", Receipt: rcpt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := st.Job("job-000001")
+	if !ok || j.Status != StatusDone || j.ResultHash != "rh" || j.Receipt == nil || j.Receipt.Sig != rcpt.Sig {
+		t.Fatalf("job = %+v", j)
+	}
+	if j.DoneCells() != 2 || j.Cells[0].Hash != "h0" || !j.Cells[1].Cached {
+		t.Fatalf("cells = %+v", j.Cells)
+	}
+}
+
+// TestRebuildResumableState: a log ending mid-campaign (a lost lease, an
+// unleased cell) materializes the exact picture the resumed server needs.
+func TestRebuildResumableState(t *testing.T) {
+	st, err := Rebuild(script(t,
+		JobAccepted{ID: "j", Kind: "fault", Key: "fault:k", Cells: []string{"c0", "c1", "c2"}},
+		CellStarted{Job: "j", Idx: 0},
+		CellDone{Job: "j", Idx: 0, Hash: "h0"},
+		CellStarted{Job: "j", Idx: 1}, // leased, then the server died
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := st.Job("j")
+	if j.Status != StatusRunning || j.DoneCells() != 1 {
+		t.Fatalf("job = %+v", j)
+	}
+	if j.Cells[1].Starts != 1 || j.Cells[1].Done {
+		t.Fatalf("lost-lease cell = %+v", j.Cells[1])
+	}
+	if j.Cells[2].Starts != 0 {
+		t.Fatalf("unleased cell = %+v", j.Cells[2])
+	}
+}
+
+// TestRebuildInvariants: structurally broken logs are refused, not
+// resumed.
+func TestRebuildInvariants(t *testing.T) {
+	accepted := JobAccepted{ID: "j", Kind: "taskset", Key: "k", Cells: []string{"c0"}}
+	cases := map[string][]eventlog.Record{
+		"unknown job": script(t, CellStarted{Job: "ghost", Idx: 0}),
+		"duplicate job": script(t, accepted,
+			JobAccepted{ID: "j", Kind: "taskset", Key: "k2", Cells: []string{"c0"}}),
+		"cell out of range": script(t, accepted, CellStarted{Job: "j", Idx: 5}),
+		"done without lease": script(t, accepted,
+			CellDone{Job: "j", Idx: 0, Hash: "h"}),
+		"hash conflict": script(t, accepted,
+			CellStarted{Job: "j", Idx: 0},
+			CellDone{Job: "j", Idx: 0, Hash: "h1"},
+			CellStarted{Job: "j", Idx: 0},
+			CellDone{Job: "j", Idx: 0, Hash: "h2"}),
+		"done with missing cells": script(t, accepted,
+			JobDone{ID: "j", ResultHash: "rh", Receipt: receipt.Receipt{ResultHash: "rh"}}),
+		"receipt hash mismatch": script(t, accepted,
+			CellStarted{Job: "j", Idx: 0},
+			CellDone{Job: "j", Idx: 0, Hash: "h"},
+			JobDone{ID: "j", ResultHash: "rh", Receipt: receipt.Receipt{ResultHash: "other"}}),
+		"event after terminal": script(t, accepted,
+			JobCancelled{ID: "j"},
+			CellStarted{Job: "j", Idx: 0}),
+	}
+	for name, recs := range cases {
+		if _, err := Rebuild(recs); err == nil {
+			t.Errorf("%s: rebuilt without error", name)
+		}
+	}
+}
+
+// TestRebuildToleratesIdempotentDuplicateDone: an abandoned (timed-out)
+// worker reporting the same result after the retry already did is
+// harmless — same hash, no error.
+func TestRebuildToleratesIdempotentDuplicateDone(t *testing.T) {
+	st, err := Rebuild(script(t,
+		JobAccepted{ID: "j", Kind: "taskset", Key: "k", Cells: []string{"c0"}},
+		CellStarted{Job: "j", Idx: 0},
+		CellDone{Job: "j", Idx: 0, Hash: "h"},
+		CellDone{Job: "j", Idx: 0, Hash: "h"},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := st.Job("j"); j.DoneCells() != 1 {
+		t.Fatalf("job = %+v", j)
+	}
+}
+
+// TestCanonicalExcludesResumeVariance: lease counts and cache flags do
+// not change the canonical bytes; results and statuses do.
+func TestCanonicalExcludesResumeVariance(t *testing.T) {
+	base := func(extra ...any) *State {
+		events := append([]any{
+			JobAccepted{ID: "j", Kind: "taskset", Key: "k", Cells: []string{"c0"}},
+			CellStarted{Job: "j", Idx: 0},
+		}, extra...)
+		st, err := Rebuild(script(t, events...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	golden := base(CellDone{Job: "j", Idx: 0, Hash: "h"})
+	// The resumed run leased the cell twice and served it from cache.
+	resumed := base(
+		CellStarted{Job: "j", Idx: 0},
+		CellDone{Job: "j", Idx: 0, Hash: "h", Cached: true},
+	)
+	if !bytes.Equal(golden.Canonical(), resumed.Canonical()) {
+		t.Fatalf("canonical bytes differ:\n%s\nvs\n%s", golden.Canonical(), resumed.Canonical())
+	}
+	other := base(CellDone{Job: "j", Idx: 0, Hash: "DIFFERENT"})
+	if bytes.Equal(golden.Canonical(), other.Canonical()) {
+		t.Fatal("different result hash produced identical canonical bytes")
+	}
+	if !strings.Contains(string(golden.Canonical()), "runstate/1") {
+		t.Fatal("canonical form unversioned")
+	}
+}

@@ -2,9 +2,11 @@ package dse
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -40,6 +42,7 @@ type Cache struct {
 	mu      sync.Mutex
 	dir     string
 	mem     map[string]cacheEntry
+	memB    map[string][]byte // opaque-bytes entries (GetBytes/PutBytes)
 	hits    int
 	misses  int
 	saveErr error // first persist failure (diagnosed, not fatal)
@@ -53,7 +56,7 @@ func NewCache(dir string) (*Cache, error) {
 			return nil, fmt.Errorf("dse: cache dir: %w", err)
 		}
 	}
-	return &Cache{dir: dir, mem: map[string]cacheEntry{}}, nil
+	return &Cache{dir: dir, mem: map[string]cacheEntry{}, memB: map[string][]byte{}}, nil
 }
 
 // Stats returns the hit/miss counts accumulated so far.
@@ -100,6 +103,86 @@ func (c *Cache) lookup(key string) (cacheEntry, bool) {
 	}
 	c.misses++
 	return cacheEntry{}, false
+}
+
+// binMagic frames persisted opaque-bytes entries: "dsebin1\n" + 4-byte
+// little-endian CRC-32 (IEEE) of the payload + payload. The checksum is
+// what lets a torn or corrupted entry degrade to a miss (re-evaluation)
+// instead of serving wrong bytes — the same fail-closed contract the
+// JSON entries get from Unmarshal.
+const binMagic = "dsebin1\n"
+
+// GetBytes looks up an opaque result payload stored under key —
+// consulting memory first, then <sha256(key)>.bin under the cache
+// directory. Every call is accounted as a hit or a miss in Stats, like
+// the structured lookups; a missing, torn or checksum-corrupt entry is a
+// miss. The returned slice must not be mutated by the caller.
+func (c *Cache) GetBytes(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.memB[key]; ok {
+		c.hits++
+		return b, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.binPath(key)); err == nil {
+			if b, ok := decodeBin(data); ok {
+				c.memB[key] = b
+				c.hits++
+				return b, true
+			}
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// PutBytes stores an opaque result payload under key, persisting it
+// (checksummed, via a temp-file rename so readers never observe a torn
+// entry) when the cache has a directory. Write failures are recorded in
+// Err, not propagated — the in-memory entry still serves this process.
+func (c *Cache) PutBytes(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := append([]byte(nil), data...)
+	c.memB[key] = cp
+	if c.dir == "" {
+		return
+	}
+	path := c.binPath(key)
+	tmp := path + ".tmp"
+	err := os.WriteFile(tmp, encodeBin(cp), 0o644)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil && c.saveErr == nil {
+		c.saveErr = fmt.Errorf("dse: cache persist: %w", err)
+	}
+}
+
+// binPath maps a key to its opaque-bytes file: sha256(key).bin.
+func (c *Cache) binPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".bin")
+}
+
+func encodeBin(payload []byte) []byte {
+	out := make([]byte, 0, len(binMagic)+4+len(payload))
+	out = append(out, binMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+func decodeBin(data []byte) ([]byte, bool) {
+	if len(data) < len(binMagic)+4 || string(data[:len(binMagic)]) != binMagic {
+		return nil, false
+	}
+	want := binary.LittleEndian.Uint32(data[len(binMagic):])
+	payload := data[len(binMagic)+4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	return payload, true
 }
 
 // store memoizes a successful evaluation, persisting it when the cache

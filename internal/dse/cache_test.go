@@ -178,3 +178,101 @@ func TestCacheCorruptEntryFallsBack(t *testing.T) {
 		t.Errorf("stats = %+v, want the corrupt read counted as a miss", s)
 	}
 }
+
+// TestCacheBytesRoundTrip: opaque payloads stored with PutBytes come back
+// byte-identical from memory and, via a fresh Cache, from disk — the
+// shared result store the campaign server leans on for crash-resumed
+// cells.
+func TestCacheBytesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("result bytes\x00with binary\xff")
+	if _, ok := c.GetBytes("cell"); ok {
+		t.Fatal("empty cache served a hit")
+	}
+	c.PutBytes("cell", payload)
+	got, ok := c.GetBytes("cell")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("memory read = %q ok=%v, want original payload", got, ok)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c2.GetBytes("cell")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("disk read = %q ok=%v, want original payload", got, ok)
+	}
+	if s := c2.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 0 misses", s)
+	}
+}
+
+// TestCacheBytesMemoryOnly: a dir-less cache serves bytes from memory and
+// persists nothing.
+func TestCacheBytesMemoryOnly(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutBytes("k", []byte("v"))
+	if b, ok := c.GetBytes("k"); !ok || string(b) != "v" {
+		t.Fatalf("GetBytes = %q ok=%v", b, ok)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v, want 1 hit", s)
+	}
+}
+
+// TestCacheBytesCorruptEntryIsAMiss: a truncated or bit-flipped persisted
+// payload fails its checksum and degrades to a miss — wrong bytes are
+// never served.
+func TestCacheBytesCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutBytes("k", []byte("the payload"))
+	data, err := os.ReadFile(c.binPath("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range map[string][]byte{
+		"truncated": data[:len(data)-3],
+		"bitflip":   append(append([]byte(nil), data[:len(data)-1]...), data[len(data)-1]^0x40),
+		"garbage":   []byte("not a cache entry"),
+	} {
+		if err := os.WriteFile(c.binPath("k"), corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := NewCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, ok := c2.GetBytes("k"); ok {
+			t.Errorf("%s: corrupt entry served as a hit (%q)", name, b)
+		}
+		if s := c2.Stats(); s.Misses != 1 {
+			t.Errorf("%s: stats = %+v, want the corrupt read counted as a miss", name, s)
+		}
+	}
+}
+
+// TestCacheBytesCallerMutationSafe: mutating the slice passed to PutBytes
+// after the call does not corrupt the stored entry.
+func TestCacheBytesCallerMutationSafe(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("original")
+	c.PutBytes("k", buf)
+	copy(buf, "mutated!")
+	if b, _ := c.GetBytes("k"); string(b) != "original" {
+		t.Fatalf("stored entry mutated: %q", b)
+	}
+}

@@ -41,6 +41,15 @@ type Options struct {
 	// running longer fails with a TimeoutError and its goroutine is
 	// abandoned.
 	Timeout time.Duration
+	// Retry is the worker-loss policy: a job whose worker is lost — a
+	// panic (PanicError) or a watchdog expiry (TimeoutError) — is
+	// re-dispatched up to Retry more times before its error is delivered.
+	// A job that merely returns an error is never retried: application
+	// failures are results, only lost workers are requeued. The delivered
+	// Result carries the dispatch count in Attempts, so callers can flag
+	// requeued work instead of silently absorbing it. Default 0 keeps the
+	// original fail-fast behavior.
+	Retry int
 }
 
 func (o Options) workers() int {
@@ -79,10 +88,11 @@ func (e *PanicError) Error() string {
 
 // Result is one job's outcome, tagged with its submission index.
 type Result[T any] struct {
-	Index int
-	Value T
-	Err   error
-	Wall  time.Duration // host execution time of the job
+	Index    int
+	Value    T
+	Err      error
+	Wall     time.Duration // host execution time of the job (all dispatches)
+	Attempts int           // dispatch count: > 1 means the job was requeued after a worker loss
 }
 
 // job pairs a submission index with its work function.
@@ -169,8 +179,31 @@ func (p *Pool[T]) reorder() {
 	close(p.results)
 }
 
-// runOne executes one job with panic isolation and the optional watchdog.
+// runOne executes one job, re-dispatching it after a worker loss (panic
+// or watchdog expiry) up to Retry times. Every dispatch is accounted in
+// Attempts; a requeued job is therefore never silently dropped — it
+// either delivers a value or its last worker-loss error, flagged with
+// the dispatch count.
 func (p *Pool[T]) runOne(j job[T]) Result[T] {
+	var r Result[T]
+	for attempt := 1; ; attempt++ {
+		r = p.dispatch(j)
+		r.Attempts = attempt
+		if r.Err == nil || attempt > p.opts.Retry {
+			return r
+		}
+		var pe *PanicError
+		if !errors.As(r.Err, &pe) && !errors.Is(r.Err, ErrTimeout) {
+			// An error returned by the job itself is an application
+			// result, not a lost worker: deliver it as-is.
+			return r
+		}
+	}
+}
+
+// dispatch executes one job once with panic isolation and the optional
+// watchdog.
+func (p *Pool[T]) dispatch(j job[T]) Result[T] {
 	start := time.Now()
 	if p.opts.Timeout <= 0 {
 		r := guarded(j)

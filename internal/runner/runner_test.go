@@ -144,6 +144,105 @@ func TestSequentialIsStrictlyOrdered(t *testing.T) {
 	}
 }
 
+// TestRetryRequeuesPanickedJob: with Retry=1 a job whose worker panics is
+// re-dispatched exactly once, delivers its value, and is flagged via
+// Attempts — the campaign server's worker-loss contract (a lost cell is
+// requeued once and flagged in the receipt, never silently dropped).
+func TestRetryRequeuesPanickedJob(t *testing.T) {
+	var calls [4]int64
+	results := Map(4, Options{Jobs: 2, Retry: 1}, func(i int) (int, error) {
+		n := atomic.AddInt64(&calls[i], 1)
+		if i == 2 && n == 1 {
+			panic("worker lost")
+		}
+		return i, nil
+	})
+	for i, r := range results {
+		wantAttempts := 1
+		if i == 2 {
+			wantAttempts = 2
+		}
+		if r.Err != nil || r.Value != i || r.Attempts != wantAttempts {
+			t.Fatalf("job %d: value %d attempts %d err %v, want value %d attempts %d",
+				i, r.Value, r.Attempts, r.Err, i, wantAttempts)
+		}
+		if got := atomic.LoadInt64(&calls[i]); got != int64(wantAttempts) {
+			t.Fatalf("job %d executed %d times, want %d", i, got, wantAttempts)
+		}
+	}
+}
+
+// TestRetryExhausted: a job that panics on every dispatch is executed
+// exactly Retry+1 times and then delivers its PanicError with the full
+// dispatch count — requeued exactly once at Retry=1, never more.
+func TestRetryExhausted(t *testing.T) {
+	var calls int64
+	results := Map(1, Options{Jobs: 1, Retry: 1}, func(i int) (int, error) {
+		atomic.AddInt64(&calls, 1)
+		panic("always lost")
+	})
+	var pe *PanicError
+	if !errors.As(results[0].Err, &pe) {
+		t.Fatalf("err = %v, want PanicError", results[0].Err)
+	}
+	if got := atomic.LoadInt64(&calls); got != 2 {
+		t.Fatalf("job executed %d times, want exactly 2 (requeued exactly once)", got)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", results[0].Attempts)
+	}
+}
+
+// TestRetryIgnoresPlainErrors: an error returned by the job is an
+// application result, not a worker loss — never retried.
+func TestRetryIgnoresPlainErrors(t *testing.T) {
+	var calls int64
+	boom := errors.New("boom")
+	results := Map(1, Options{Jobs: 1, Retry: 3}, func(i int) (int, error) {
+		atomic.AddInt64(&calls, 1)
+		return 0, boom
+	})
+	if !errors.Is(results[0].Err, boom) || results[0].Attempts != 1 {
+		t.Fatalf("err %v attempts %d, want boom after 1 attempt", results[0].Err, results[0].Attempts)
+	}
+	if got := atomic.LoadInt64(&calls); got != 1 {
+		t.Fatalf("job executed %d times, want 1", got)
+	}
+}
+
+// TestRetryTimeout: a watchdog expiry is a worker loss too — the job is
+// re-dispatched and can succeed on its second lease.
+func TestRetryTimeout(t *testing.T) {
+	hung := make(chan struct{})
+	defer close(hung)
+	var calls int64
+	results := Map(1, Options{Jobs: 1, Timeout: 30 * time.Millisecond, Retry: 1}, func(i int) (int, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			<-hung // first lease never returns within the watchdog
+		}
+		return 7, nil
+	})
+	if results[0].Err != nil || results[0].Value != 7 || results[0].Attempts != 2 {
+		t.Fatalf("result = {v:%d attempts:%d err:%v}, want {7 2 nil}",
+			results[0].Value, results[0].Attempts, results[0].Err)
+	}
+}
+
+// TestRetryDefaultOff: the zero Options never retries — existing callers
+// keep fail-fast semantics.
+func TestRetryDefaultOff(t *testing.T) {
+	var calls int64
+	results := Map(1, Options{Jobs: 1}, func(i int) (int, error) {
+		atomic.AddInt64(&calls, 1)
+		panic("lost")
+	})
+	var pe *PanicError
+	if !errors.As(results[0].Err, &pe) || atomic.LoadInt64(&calls) != 1 || results[0].Attempts != 1 {
+		t.Fatalf("calls %d attempts %d err %v, want 1 execution and PanicError",
+			atomic.LoadInt64(&calls), results[0].Attempts, results[0].Err)
+	}
+}
+
 func TestMapEmptyAndErrors(t *testing.T) {
 	if got := Map(0, Options{}, func(i int) (int, error) { return 0, nil }); len(got) != 0 {
 		t.Fatalf("Map(0) returned %d results", len(got))

@@ -114,6 +114,17 @@ go run ./cmd/simbench -check -tolerance 1.0
 echo "== simbench DSE baseline check (BENCH_dse.json)"
 go run ./cmd/simbench -suite dse -check -tolerance 1.0
 
+# Campaign crash-resume gate: the simulation-as-a-service server
+# (cmd/simd, internal/campaign) is killed at every event-log position
+# mid-campaign and restarted; the finished campaign must be
+# byte-identical to the uninterrupted golden run — results, signed
+# receipts, canonical run state — with zero completed cells re-executed
+# (cache-hit accounting), at worker counts 1 and 8 under the race
+# detector. (go test -race ./... above already ran these; the explicit
+# pass keeps the crash-resume contract visible in the gate.)
+echo "== campaign crash-resume differential matrix (jobs 1 and 8)"
+go test -race -run 'TestCrashResume|TestResumeServesDoneJobsFromCache' -count=1 ./internal/campaign
+
 # Soak the scheduler with fresh seeds (offset so they do not just repeat
 # the seeds go test already covered); 4 seeds in flight exercises the
 # concurrent-kernel contract on every run of this gate.
